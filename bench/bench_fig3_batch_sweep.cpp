@@ -1,0 +1,120 @@
+// E3/E6 — Figure 3: search time vs message/batch size for all five
+// methods on the simulated Pentium III + Myrinet cluster, 11 nodes,
+// Methods A/B normalized by the node count (the paper's protocol).
+//
+// Also checks the Section 4.1 textual claims derived from the figure:
+// the ordering at mid batches, the small-batch crossover, the C-3
+// reduction at 32-64 KB, and the slave idle fractions.
+#include "bench/bench_common.hpp"
+
+using namespace dici;
+
+int main(int argc, char** argv) {
+  Cli cli("E3/Figure 3: search time vs batch size, Methods A/B/C-1/C-2/C-3");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "search keys (paper: 2^23)",
+              static_cast<std::int64_t>(bench::kDefaultQueries));
+  cli.add_flag("full", "run at the paper's full 2^23 search keys", false);
+  cli.add_int("nodes", "cluster size", 11);
+  cli.add_flag("csv", "also print CSV", false);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t num_queries =
+      cli.get_flag("full") ? bench::kPaperQueries
+                           : static_cast<std::size_t>(cli.get_int("queries"));
+  const auto w = bench::make_workload(
+      static_cast<std::size_t>(cli.get_int("keys")), num_queries);
+
+  bench::print_header(
+      "E3 / Figure 3 — Comparing Methods A, B and C",
+      "Normalized search time (seconds, scaled to 2^23 keys) vs batch size");
+  std::printf("  index keys=%zu  search keys=%zu  nodes=%d  (A/B divided "
+              "by %d)\n\n",
+              w.index_keys.size(), w.queries.size(),
+              static_cast<int>(cli.get_int("nodes")),
+              static_cast<int>(cli.get_int("nodes")));
+
+  const std::vector<std::uint64_t> batches = {
+      8 * KiB,   16 * KiB,  32 * KiB, 64 * KiB, 128 * KiB,
+      256 * KiB, 512 * KiB, 1 * MiB,  2 * MiB,  4 * MiB};
+  const std::vector<core::Method> methods = {
+      core::Method::kA, core::Method::kB, core::Method::kC1,
+      core::Method::kC2, core::Method::kC3};
+
+  TextTable table({"batch", "A", "B", "C-1", "C-2", "C-3", "C-3 idle"});
+  // Cache per-method results for the claims section.
+  std::vector<std::vector<core::RunReport>> reports(
+      methods.size(), std::vector<core::RunReport>(batches.size()));
+
+  for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+    std::vector<std::string> row{format_bytes(batches[bi])};
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      core::ExperimentConfig cfg =
+          bench::paper_config(methods[mi], batches[bi]);
+      cfg.num_nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+      reports[mi][bi] =
+          core::SimCluster(cfg).run(w.index_keys, w.queries, nullptr);
+      row.push_back(format_double(
+          bench::scaled_seconds(reports[mi][bi], w.queries.size()), 3));
+    }
+    row.push_back(
+        format_double(reports[4][bi].slave_idle_fraction * 100, 1) + "%");
+    table.add_row(std::move(row));
+    std::printf("\r  ... %zu/%zu batch sizes done", bi + 1, batches.size());
+    std::fflush(stdout);
+  }
+  std::printf("\r                                      \r");
+  table.print();
+  if (cli.get_flag("csv")) std::printf("\n%s", table.to_csv().c_str());
+
+  // ---- Section 4.1 claims -------------------------------------------------
+  auto at = [&](core::Method m, std::uint64_t batch) -> const core::RunReport& {
+    for (std::size_t mi = 0; mi < methods.size(); ++mi)
+      if (methods[mi] == m)
+        for (std::size_t bi = 0; bi < batches.size(); ++bi)
+          if (batches[bi] == batch) return reports[mi][bi];
+    std::abort();
+  };
+  std::printf("\nSection 4.1 claims vs this run:\n");
+  const double a64 = at(core::Method::kA, 64 * KiB).seconds();
+  const double b64 = at(core::Method::kB, 64 * KiB).seconds();
+  const double c64 = at(core::Method::kC3, 64 * KiB).seconds();
+  std::printf(
+      "  \"22%% reduction at 32-64 KB\": C-3 vs best(A,B) at 64 KB = "
+      "%.0f%% reduction\n",
+      (1.0 - c64 / std::min(a64, b64)) * 100.0);
+  const double a8 = at(core::Method::kA, 8 * KiB).seconds();
+  const double c8 = at(core::Method::kC3, 8 * KiB).seconds();
+  std::printf(
+      "  \"C worse than A/B at <=16 KB\": at 8 KB C-3/A = %.2fx (%s)\n",
+      c8 / a8, c8 > a8 ? "holds" : "does not hold");
+  std::printf(
+      "  \"slaves idle 50%% at 8 KB, 20%% at 4 MB\": measured %.0f%% and "
+      "%.0f%%\n",
+      at(core::Method::kC3, 8 * KiB).slave_idle_fraction * 100.0,
+      at(core::Method::kC3, 4 * MiB).slave_idle_fraction * 100.0);
+  const double c_best = [&] {
+    double best = 1e30;
+    for (std::size_t bi = 0; bi < batches.size(); ++bi)
+      best = std::min(best, reports[4][bi].seconds());
+    return best;
+  }();
+  std::printf(
+      "  \"C-3 ~2x faster than A\" (abstract: 50%% faster): best C-3 vs A "
+      "= %.2fx\n",
+      at(core::Method::kA, 64 * KiB).seconds() / c_best);
+  std::printf(
+      "  \"B needs 256 KB for the throughput C-2/C-3 reach at 64 KB\": "
+      "B@256 KB = %.3f s vs C-3@64 KB = %.3f s (scaled)\n",
+      bench::scaled_seconds(at(core::Method::kB, 256 * KiB),
+                            w.queries.size()),
+      bench::scaled_seconds(at(core::Method::kC3, 64 * KiB),
+                            w.queries.size()));
+  if (!cli.get_flag("full"))
+    std::printf(
+        "\n  Note: at the default %zu queries the 1-4 MB C rows degrade "
+        "from round-drain (a batch is a large fraction of the whole "
+        "stream); run with --full for the paper's 2^23-key regime.\n",
+        w.queries.size());
+  return 0;
+}

@@ -1,0 +1,153 @@
+// AB5 — Native kernels on THIS host (google-benchmark).
+//
+// The cluster-scale results come from the simulator; these microbenches
+// sanity-check the real data structures on real hardware: sorted-array
+// binary search vs explicit-pointer tree vs CSB+ tree vs buffered batch
+// traversal, plus the threaded Method C-3 end-to-end path.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "src/core/native_engine.hpp"
+#include "src/index/buffered.hpp"
+#include "src/index/fast_search.hpp"
+#include "src/index/partitioner.hpp"
+#include "src/index/sorted_array.hpp"
+#include "src/index/static_tree.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici {
+namespace {
+
+struct Data {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+};
+
+const Data& data(std::size_t n) {
+  static std::map<std::size_t, Data> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(n);
+    Data d;
+    d.keys = workload::make_sorted_unique_keys(n, rng);
+    d.queries = workload::make_uniform_queries(1 << 16, rng);
+    it = cache.emplace(n, std::move(d)).first;
+  }
+  return it->second;
+}
+
+void BM_SortedArrayLookup(benchmark::State& state) {
+  const auto& d = data(static_cast<std::size_t>(state.range(0)));
+  const index::SortedArrayIndex idx(d.keys);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.upper_bound_rank(d.queries[qi]));
+    qi = (qi + 1) % d.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SortedArrayLookup)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18)
+    ->Arg(1 << 21);
+
+template <index::TreeLayout Layout>
+void BM_TreeLookup(benchmark::State& state) {
+  const auto& d = data(static_cast<std::size_t>(state.range(0)));
+  const index::StaticTree tree(d.keys, {64, Layout, 4});
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.lookup(d.queries[qi]));
+    qi = (qi + 1) % d.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeLookup<index::TreeLayout::kExplicitPointers>)
+    ->Arg(1 << 15)->Arg(1 << 18)->Arg(1 << 21);
+BENCHMARK(BM_TreeLookup<index::TreeLayout::kCsbFirstChild>)
+    ->Arg(1 << 15)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_BufferedBatch(benchmark::State& state) {
+  const auto& d = data(1 << 21);
+  const index::StaticTree tree(
+      d.keys, {64, index::TreeLayout::kExplicitPointers, 4});
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<index::BufferedItem> items;
+  for (std::size_t i = 0; i < batch; ++i)
+    items.push_back({d.queries[i % d.queries.size()],
+                     static_cast<std::uint32_t>(i)});
+  index::BufferedConfig cfg;
+  cfg.target_cache_bytes = 256 * 1024;
+  sim::NullProbe probe;
+  index::BufferedResults results;
+  for (auto _ : state) {
+    results.clear();
+    index::buffered_lookup(
+        tree, std::span<const index::BufferedItem>(items), cfg, probe,
+        results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BufferedBatch)->Arg(1 << 11)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_BranchlessUpperBound(benchmark::State& state) {
+  const auto& d = data(static_cast<std::size_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index::branchless_upper_bound(d.keys, d.queries[qi]));
+    qi = (qi + 1) % d.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchlessUpperBound)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18)
+    ->Arg(1 << 21);
+
+void BM_PrefetchUpperBound(benchmark::State& state) {
+  const auto& d = data(static_cast<std::size_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index::prefetch_upper_bound(d.keys, d.queries[qi]));
+    qi = (qi + 1) % d.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefetchUpperBound)->Arg(1 << 15)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_NativeMethodC3EndToEnd(benchmark::State& state) {
+  const auto& d = data(1 << 20);
+  core::NativeConfig cfg;
+  cfg.method = core::Method::kC3;
+  cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
+  cfg.batch_bytes = 64 * 1024;
+  const core::NativeCluster cluster(cfg);
+  for (auto _ : state) {
+    const auto report = cluster.run(d.keys, d.queries, nullptr);
+    benchmark::DoNotOptimize(report.seconds);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.queries.size()));
+}
+BENCHMARK(BM_NativeMethodC3EndToEnd)->Arg(2)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoutePartitioner(benchmark::State& state) {
+  const auto& d = data(1 << 20);
+  const index::RangePartitioner part(
+      d.keys, static_cast<std::uint32_t>(state.range(0)));
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.route(d.queries[qi]));
+    qi = (qi + 1) % d.queries.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutePartitioner)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace dici
+
+BENCHMARK_MAIN();

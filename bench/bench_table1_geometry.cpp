@@ -1,0 +1,68 @@
+// E1 — Table 1 ("The Index Structure Setup"): the shapes of every index
+// structure the experiments use, from our bulk-loaded geometry.
+//
+// Table 1 in the paper is internally inconsistent at face value (a
+// 7-level tree of 32-byte 4-ary nodes cannot hold 327 K keys; see
+// DESIGN.md §8) — this bench prints the actual derived geometry next to
+// the paper's numbers.
+#include "bench/bench_common.hpp"
+#include "src/index/geometry.hpp"
+
+using namespace dici;
+
+namespace {
+
+void print_tree(const char* name, const index::TreeGeometry& g) {
+  std::printf("\n%s (%s, %u B nodes, %u B leaf entries)\n", name,
+              index::layout_name(g.config.layout), g.config.node_bytes,
+              g.config.leaf_entry_bytes);
+  std::printf("  keys            : %llu\n",
+              static_cast<unsigned long long>(g.num_keys));
+  std::printf("  branching       : %u\n", g.config.branching());
+  std::printf("  levels (T)      : %u (%u internal + leaf)\n", g.levels(),
+              g.internal_levels());
+  std::printf("  total size      : %s (paper Table 1: 3.2 MB for the "
+              "replicated tree)\n",
+              format_bytes(g.total_bytes()).c_str());
+  std::printf("  lines per level :");
+  for (auto l : g.lines)
+    std::printf(" %llu", static_cast<unsigned long long>(l));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("E1/Table 1: index structure geometry");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("slaves", "Method C slave count", 10);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto keys = static_cast<std::uint64_t>(cli.get_int("keys"));
+  const auto slaves = static_cast<std::uint64_t>(cli.get_int("slaves"));
+
+  bench::print_header(
+      "E1 / Table 1 — The Index Structure Setup",
+      "Derived geometry of every structure used in the experiments");
+
+  print_tree("Replicated tree (Methods A/B)",
+             index::compute_geometry(
+                 keys, {32, index::TreeLayout::kExplicitPointers, 8}));
+  print_tree("Slave CSB+ tree (Method C-1), one partition",
+             index::compute_geometry(
+                 keys / slaves, {32, index::TreeLayout::kCsbFirstChild, 4}));
+  print_tree("Slave buffered tree (Method C-2), one partition",
+             index::compute_geometry(
+                 keys / slaves,
+                 {32, index::TreeLayout::kExplicitPointers, 4}));
+
+  std::printf("\nSlave sorted array (Method C-3), one partition\n");
+  std::printf("  keys            : %llu\n",
+              static_cast<unsigned long long>(keys / slaves));
+  std::printf("  total size      : %s  (must fit the 512 KB L2: %s)\n",
+              format_bytes(keys / slaves * 4).c_str(),
+              keys / slaves * 4 <= 512 * KiB ? "yes" : "NO");
+  std::printf("\nMaster delimiter array: %llu keys (%s)\n",
+              static_cast<unsigned long long>(slaves - 1),
+              format_bytes((slaves - 1) * 4).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Database query dispatch — the paper's throughput-vs-response-time
+// trade-off (Sec. 4.1's discussion of Figure 3), played out on the
+// simulated cluster.
+//
+// A front-end must dispatch point queries against a large B+-tree index
+// to the proper storage node. Bigger batches raise throughput but delay
+// the first answer (a query sits in the batch buffer until its round is
+// flushed). The paper's observation: the distributed in-cache index
+// reaches its peak throughput at much smaller batches than the buffered
+// replicated tree (64 KB vs 256 KB), i.e. it satisfies BOTH constraints.
+//
+//   $ ./example_db_dispatch
+#include <cstdio>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+#include "src/workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dici;
+  Cli cli("DB query dispatch: throughput vs response time per batch size");
+  cli.add_int("rows", "indexed row keys", 327680);
+  cli.add_int("queries", "point queries", 1 << 19);
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(31);
+  const auto rows = workload::make_sorted_unique_keys(
+      static_cast<std::size_t>(cli.get_int("rows")), rng);
+  const auto queries = workload::make_uniform_queries(
+      static_cast<std::size_t>(cli.get_int("queries")), rng);
+
+  std::printf("index: %zu row keys; %zu point queries; 11-node cluster\n\n",
+              rows.size(), queries.size());
+
+  TextTable t({"batch", "B qps(M)", "C-3 qps(M)", "B batch-fill ms",
+               "C-3 batch-fill ms"});
+  // Batch-fill latency: how long a query waits for its batch to fill at
+  // the observed arrival rate (we use each method's own throughput as
+  // the arrival rate — the saturated regime).
+  for (const std::uint64_t batch :
+       {8 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB}) {
+    double qps[2];
+    int i = 0;
+    for (const auto method : {core::Method::kB, core::Method::kC3}) {
+      core::ExperimentConfig cfg;
+      cfg.method = method;
+      cfg.machine = arch::pentium3_cluster();
+      cfg.batch_bytes = batch;
+      qps[i++] =
+          core::SimCluster(cfg).run(rows, queries, nullptr).throughput_qps();
+    }
+    const double keys_per_batch = static_cast<double>(batch) / 4;
+    t.add_row({format_bytes(batch), format_double(qps[0] / 1e6, 2),
+               format_double(qps[1] / 1e6, 2),
+               format_double(keys_per_batch / qps[0] * 1e3, 2),
+               format_double(keys_per_batch / qps[1] * 1e3, 2)});
+  }
+  t.print();
+  std::printf(
+      "\n  The paper's point (Sec. 4.1): to hit a given throughput target,\n"
+      "  Method C-3 needs a ~4x smaller batch than Method B — so its\n"
+      "  queries wait ~4x less before dispatch. Throughput AND response\n"
+      "  time, simultaneously.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Sensor-network object tracking — the paper's first motivating workload
+// ("examples include object tracking in sensor networks", Sec. 1).
+//
+// A field of sensors is ordered along a space-filling curve; each
+// cluster node manages a contiguous range of curve positions. Every
+// object sighting must be routed to the node managing that position.
+// We compare the replicated-tree baseline (Method A) against the
+// distributed in-cache index (Method C-3) on the simulated cluster as
+// sightings stream in.
+//
+//   $ ./example_sensor_tracking [--sensors N] [--sightings N]
+#include <cstdio>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dici;
+  Cli cli("Sensor-network object tracking over a distributed in-cache index");
+  cli.add_int("sensors", "sensors on the space-filling curve", 300000);
+  cli.add_int("sightings", "object sightings to route", 1 << 19);
+  cli.add_int("nodes", "cluster nodes", 11);
+  if (!cli.parse(argc, argv)) return 0;
+
+  Rng rng(11);
+  // Sensor ids along the curve (sorted, unique) — the index.
+  const auto sensors = workload::make_sorted_unique_keys(
+      static_cast<std::size_t>(cli.get_int("sensors")), rng);
+  const auto n_sightings =
+      static_cast<std::size_t>(cli.get_int("sightings"));
+  // Two traffic patterns: dispersed objects (uniform over the field) and
+  // a spatial hot spot (Zipf over curve regions — e.g. a flock moving
+  // through one corner).
+  const auto dispersed = workload::make_uniform_queries(n_sightings, rng);
+  const auto hotspot = workload::make_zipf_queries(n_sightings, 64, 0.7,
+                                                   rng);
+
+  std::printf("tracking field: %zu sensors, %zu sightings, %d nodes\n\n",
+              sensors.size(), n_sightings,
+              static_cast<int>(cli.get_int("nodes")));
+
+  const std::pair<const char*, const std::vector<dici::key_t>*> patterns[] = {
+      {"dispersed", &dispersed}, {"hot spot ", &hotspot}};
+  for (const auto& [label, sightings_ptr] : patterns) {
+    const auto& sightings = *sightings_ptr;
+    for (const auto method : {core::Method::kA, core::Method::kC3}) {
+      core::ExperimentConfig cfg;
+      cfg.method = method;
+      cfg.machine = arch::pentium3_cluster();
+      cfg.num_nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+      cfg.batch_bytes = 64 * KiB;
+      const auto report =
+          core::SimCluster(cfg).run(sensors, sightings, nullptr);
+      std::printf(
+          "%s  method %-3s: %7.1f ms simulated, %5.1f ns/sighting, "
+          "%.2f M sightings/s\n",
+          label, core::method_name(method), report.seconds() * 1e3,
+          report.per_key_ns(), report.throughput_qps() / 1e6);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Dispersed traffic favors the distributed in-cache index; a strong\n"
+      "hot spot funnels work to few range owners and the replicated tree\n"
+      "catches up — range partitioning trades skew tolerance for cache\n"
+      "residency (quantified in bench_ablation_skew).\n");
+
+  // The routing answers themselves: which sensor bucket saw the object.
+  core::ExperimentConfig cfg;
+  cfg.method = core::Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.batch_bytes = 64 * KiB;
+  std::vector<rank_t> ranks;
+  core::SimCluster(cfg).run(sensors, dispersed, &ranks);
+  std::printf("\nfirst sightings resolved to sensor slots:");
+  for (int i = 0; i < 5; ++i) std::printf(" %u", ranks[i]);
+  std::printf("\n(distributed in-cache index answers are exact: slot = "
+              "rank in the sorted sensor id array)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Geometry of one cache level.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace dici::arch {
+
+/// Size/line/associativity of a single cache level plus the penalty for
+/// missing it (the cost of loading one line from the level below).
+struct CacheGeometry {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t line_bytes = 0;
+  std::uint32_t associativity = 0;  // ways per set
+  double miss_penalty_ns = 0.0;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+
+  /// Validate internal consistency (power-of-two line size, divisible
+  /// capacity). Called by MachineSpec::validate().
+  void validate() const {
+    DICI_CHECK(size_bytes > 0 && line_bytes > 0 && associativity > 0);
+    DICI_CHECK_MSG((line_bytes & (line_bytes - 1)) == 0,
+                   "cache line size must be a power of two");
+    DICI_CHECK_MSG(size_bytes % line_bytes == 0,
+                   "cache size must be a whole number of lines");
+    DICI_CHECK_MSG(num_lines() % associativity == 0,
+                   "cache lines must divide evenly into sets");
+    DICI_CHECK(miss_penalty_ns >= 0.0);
+  }
+};
+
+}  // namespace dici::arch

@@ -1,0 +1,81 @@
+// Architectural parameter sets (the paper's Table 2) and technology
+// trend scaling (Section 4.2).
+//
+// A MachineSpec fully determines both the analytical model's inputs and
+// the discrete-event simulator's cost constants, so a single struct is
+// threaded through everything: change the machine, and the model, the
+// simulator, and the future-trend extrapolation all move together.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/cache_geometry.hpp"
+
+namespace dici::arch {
+
+/// All architectural constants for one node of the (simulated) cluster.
+/// Field names follow Table 2/Table 4 of the paper.
+struct MachineSpec {
+  std::string name;
+
+  CacheGeometry l1;  ///< L1 data cache; miss_penalty_ns is B1 (L2 -> L1).
+  CacheGeometry l2;  ///< L2 cache; miss_penalty_ns is B2 (RAM -> L2).
+
+  std::uint32_t tlb_entries = 0;   ///< data TLB entries (fully associative).
+  std::uint32_t page_bytes = 4096; ///< virtual memory page size.
+  double tlb_miss_penalty_ns = 0;  ///< page-walk cost on TLB miss.
+
+  double comp_cost_node_ns = 0;    ///< compare/branch cost per line-sized
+                                   ///< tree node visited (Table 2).
+  double hot_compare_ns = 0;       ///< one comparison on cache-hot data
+                                   ///< (binary-search step; a few cycles).
+  double msg_cpu_overhead_us = 0;  ///< CPU cost per message send/receive
+                                   ///< (MPI + OS, Sec. 4.1's idle-time
+                                   ///< explanation); not in Table 2.
+  double mem_seq_bw_mbs = 0;       ///< W1: sequential memory bandwidth, MB/s.
+  double mem_rand_bw_mbs = 0;      ///< random 4-byte-access bandwidth, MB/s
+                                   ///< (reported for Table 2; derived costs
+                                   ///< come from B2 misses, not this).
+  double net_bw_mbs = 0;           ///< W2: one-way network bandwidth, MB/s.
+  double net_latency_us = 0;       ///< per-message one-way latency, us.
+
+  /// Bytes per nanosecond helpers (simulator units).
+  double mem_seq_bytes_per_ns() const { return mem_seq_bw_mbs * 1e6 / 1e9; }
+  double net_bytes_per_ns() const { return net_bw_mbs * 1e6 / 1e9; }
+
+  void validate() const;
+};
+
+/// The paper's experimental platform (Table 2): 1.3 GHz Pentium III,
+/// 16 KB L1 / 512 KB L2, 32 B lines, DDR-266, Myrinet (1.1 Gb/s measured).
+MachineSpec pentium3_cluster();
+
+/// The Pentium 4 variant the paper repeatedly references in the text:
+/// 128 B L2 lines and ~150 ns L2 miss penalty.
+MachineSpec pentium4_cluster();
+
+/// A present-day commodity core + 100 GbE-class fabric, for the
+/// "does the conclusion still hold" extension studies.
+MachineSpec modern_cluster();
+
+/// Technology growth-rate assumptions from Section 4.2 of the paper.
+/// Rates are expressed as per-year multipliers.
+struct TechTrends {
+  double cpu_speed_per_year = 1.5874;   ///< 2x every 18 months.
+  double net_bw_per_year = 1.2599;      ///< 2x every 3 years.
+  double mem_bw_per_year = 1.20;        ///< +20% per year (per processor).
+  double mem_latency_per_year = 1.0;    ///< memory latency does not improve.
+};
+
+/// Project `base` forward by (possibly fractional) `years` under `trends`.
+///
+/// Applies the paper's assumptions: compute cost shrinks with CPU speed,
+/// W2 grows with network speed, W1 grows with memory bandwidth, and the
+/// *latency-bound* portions of the miss penalties stay fixed while their
+/// bandwidth-bound portions shrink with W1. Cache geometry is held
+/// constant (the paper models the same binary on faster parts).
+MachineSpec scale_years(const MachineSpec& base, double years,
+                        const TechTrends& trends = TechTrends{});
+
+}  // namespace dici::arch

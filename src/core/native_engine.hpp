@@ -1,0 +1,68 @@
+// Native (real-thread) engines: the same five methods executed on the
+// host machine, with threads playing the cluster nodes and blocking
+// queues playing MPI. Used by examples, the microbenchmarks (AB5), and
+// the integration tests; cluster-scale *measurements* come from the
+// simulator (see DESIGN.md's substitution note).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+struct NativeConfig {
+  Method method = Method::kC3;
+  /// Thread count: 1 master + (num_nodes-1) slaves for Method C;
+  /// num_nodes parallel workers for Methods A/B.
+  std::uint32_t num_nodes = 4;
+  std::uint64_t batch_bytes = 64 * KiB;
+  /// Pin each node thread to a CPU (best-effort; harmless when the box
+  /// has fewer cores than nodes).
+  bool pin_threads = true;
+  /// Node size for tree methods; 64 B matches current hardware lines.
+  std::uint32_t tree_node_bytes = 64;
+  /// Cache budget for buffered methods (B: L2-ish, C-2: L1-ish).
+  std::uint64_t buffered_target_bytes = 256 * KiB;
+  double buffer_fraction = 0.5;
+};
+
+struct NativeReport {
+  Method method{};
+  std::uint64_t num_queries = 0;
+  std::uint32_t num_nodes = 0;
+  double seconds = 0;
+  double per_key_ns() const {
+    return num_queries ? seconds * 1e9 / static_cast<double>(num_queries)
+                       : 0.0;
+  }
+  double throughput_qps() const {
+    return seconds > 0 ? static_cast<double>(num_queries) / seconds : 0.0;
+  }
+  std::uint64_t messages = 0;
+};
+
+class NativeCluster {
+ public:
+  explicit NativeCluster(const NativeConfig& config);
+
+  /// Run all queries; fills `out_ranks` (query order) when non-null.
+  NativeReport run(std::span<const key_t> index_keys,
+                   std::span<const key_t> queries,
+                   std::vector<rank_t>* out_ranks = nullptr) const;
+
+ private:
+  NativeReport run_replicated(std::span<const key_t> index_keys,
+                              std::span<const key_t> queries,
+                              std::vector<rank_t>* out_ranks) const;
+  NativeReport run_distributed(std::span<const key_t> index_keys,
+                               std::span<const key_t> queries,
+                               std::vector<rank_t>* out_ranks) const;
+
+  NativeConfig config_;
+};
+
+}  // namespace dici::core

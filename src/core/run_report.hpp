@@ -1,0 +1,68 @@
+// Result of one simulated (or native) experiment run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/net/sim_network.hpp"
+#include "src/util/stats.hpp"
+#include "src/sim/cache.hpp"
+#include "src/sim/probe.hpp"
+#include "src/sim/tlb.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+/// Per-node accounting. Node 0 is the master for distributed methods;
+/// replicated methods report their single measured node.
+struct NodeReport {
+  picos_t finish = 0;  ///< node-local clock when its last work completed
+  picos_t busy = 0;    ///< time charged by the probe (CPU + memory)
+  picos_t idle = 0;    ///< waited on message arrivals
+  std::uint64_t queries = 0;
+  sim::ChargeBreakdown charges;
+  sim::CacheStats l1;
+  sim::CacheStats l2;
+  sim::TlbStats tlb;
+  net::NicStats nic;
+};
+
+struct RunReport {
+  Method method{};
+  std::uint64_t num_queries = 0;
+  std::uint32_t num_nodes = 1;
+  std::uint64_t batch_bytes = 0;
+
+  /// Virtual time until every result was delivered, unnormalized.
+  picos_t raw_makespan = 0;
+  /// Normalized makespan: raw / num_nodes for replicated methods when
+  /// the config asks for it (Sec. 4.1's fairness rule), raw otherwise.
+  picos_t makespan = 0;
+
+  double seconds() const { return ps_to_sec(makespan); }
+  double per_key_ns() const {
+    return num_queries ? ps_to_ns(makespan) / static_cast<double>(num_queries)
+                       : 0.0;
+  }
+  /// Queries per second at the normalized makespan.
+  double throughput_qps() const {
+    return seconds() > 0 ? static_cast<double>(num_queries) / seconds() : 0.0;
+  }
+
+  /// Mean over slaves of (1 - busy/raw_makespan); 0 for A/B.
+  double slave_idle_fraction = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+
+  /// Per-query response time in ns (read by the dispatcher -> result
+  /// delivered), populated when ExperimentConfig::track_latency is set.
+  /// This is what the paper's "response time" axis means: how long a
+  /// query waits on batching before its answer exists (Sec. 4.1's
+  /// Method-A-responds-fastest observation falls out of it).
+  Summary latency_ns;
+
+  std::vector<NodeReport> nodes;
+};
+
+}  // namespace dici::core

@@ -1,0 +1,42 @@
+// The discrete-event cluster engine: runs any of the five methods over
+// the simulated Pentium III/Myrinet cluster (or any MachineSpec) and
+// reports virtual-time results. This is the experimental apparatus for
+// every table and figure in Section 4.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/run_report.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+class SimCluster {
+ public:
+  explicit SimCluster(const ExperimentConfig& config);
+
+  /// Run `queries` against the index built over `index_keys` (sorted,
+  /// unique). When `out_ranks` is non-null it receives the global
+  /// upper-bound rank of every query, in query order — the hook the
+  /// correctness tests use to compare every method against
+  /// std::upper_bound.
+  RunReport run(std::span<const key_t> index_keys,
+                std::span<const key_t> queries,
+                std::vector<rank_t>* out_ranks = nullptr) const;
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  RunReport run_replicated(std::span<const key_t> index_keys,
+                           std::span<const key_t> queries,
+                           std::vector<rank_t>* out_ranks) const;
+  RunReport run_distributed(std::span<const key_t> index_keys,
+                            std::span<const key_t> queries,
+                            std::vector<rank_t>* out_ranks) const;
+
+  ExperimentConfig config_;
+};
+
+}  // namespace dici::core

@@ -1,0 +1,34 @@
+#include "src/index/buffered.hpp"
+
+namespace dici::index {
+
+std::uint32_t levels_per_group(const StaticTree& tree,
+                               const BufferedConfig& cfg) {
+  const double tree_budget =
+      static_cast<double>(cfg.target_cache_bytes) *
+      (1.0 - cfg.buffer_fraction);
+  const std::uint64_t b = tree.branching();
+  const std::uint64_t node_bytes = tree.config().node_bytes;
+  std::uint32_t g = 1;
+  std::uint64_t nodes = 1;      // nodes in a subtree of g levels
+  std::uint64_t level_width = 1;
+  while (g < tree.internal_levels()) {
+    level_width *= b;
+    const std::uint64_t next_nodes = nodes + level_width;
+    if (static_cast<double>(next_nodes * node_bytes) > tree_budget) break;
+    nodes = next_nodes;
+    ++g;
+  }
+  return g;
+}
+
+std::vector<rank_t> unpermute(const BufferedResults& results) {
+  std::vector<rank_t> ranks(results.size());
+  for (const auto& [id, rank] : results) {
+    DICI_CHECK(id < ranks.size());
+    ranks[id] = rank;
+  }
+  return ranks;
+}
+
+}  // namespace dici::index

@@ -1,0 +1,159 @@
+// The Zhou–Ross buffering access method (Sec. 3.1, Figure 1).
+//
+// The tree is logically decomposed into groups of levels such that one
+// subtree (a node and its descendants down the group) fits in a chosen
+// cache level. A batch of keys makes a single pass per group: every key
+// is pushed `g` levels down and appended to the buffer of the subtree it
+// reaches; buffers are then drained recursively. Tree nodes are touched
+// on demand (they fit in cache, so they hit); buffer traffic is streaming
+// and is charged at memory bandwidth.
+//
+// Method B uses this with subtrees sized to the L2 cache; Method C-2 on a
+// slave uses it with subtrees sized to the L1 cache (Sec. 3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/index/static_tree.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+/// A query travelling through the buffers: its key and its position in
+/// the original batch (results come back permuted, tagged by id).
+struct BufferedItem {
+  key_t key;
+  std::uint32_t id;
+};
+static_assert(sizeof(BufferedItem) == 8);
+
+struct BufferedConfig {
+  /// Cache level the subtrees must fit in (L2 size for Method B, L1 size
+  /// for Method C-2).
+  std::uint64_t target_cache_bytes = 512 * 1024;
+  /// Fraction of the target reserved for the buffers sharing the cache
+  /// with the subtree; the subtree gets the rest.
+  double buffer_fraction = 0.5;
+  /// Logical address/extent of the buffer scratch region, so the cache
+  /// simulator sees buffer pollution. 0 bytes = charge bandwidth only.
+  sim::laddr_t scratch_base = 0;
+  std::uint64_t scratch_bytes = 0;
+};
+
+/// Levels per group: the deepest subtree whose nodes fit in the
+/// non-buffer share of the target cache. Always at least 1.
+std::uint32_t levels_per_group(const StaticTree& tree,
+                               const BufferedConfig& cfg);
+
+/// (id, rank) pairs; order is permuted by the buffers.
+using BufferedResults = std::vector<std::pair<std::uint32_t, rank_t>>;
+
+namespace detail {
+
+/// Rolling cursor over the scratch region: models the buffers' cache
+/// footprint without tracking every bucket's exact bytes.
+template <sim::ProbeLike P>
+class StreamCursor {
+ public:
+  StreamCursor(const BufferedConfig& cfg, P& probe)
+      : base_(cfg.scratch_base), bytes_(cfg.scratch_bytes), probe_(probe) {}
+
+  void write(std::size_t n) {
+    if (bytes_ == 0) {
+      probe_.charge_stream(n);
+    } else {
+      probe_.stream_write(base_ + offset_, n);
+      offset_ = (offset_ + n) % bytes_;
+    }
+  }
+  void read(std::size_t n) {
+    if (bytes_ == 0) {
+      probe_.charge_stream(n);
+    } else {
+      probe_.stream_read(base_ + offset_, n);
+      offset_ = (offset_ + n) % bytes_;
+    }
+  }
+
+ private:
+  sim::laddr_t base_;
+  std::uint64_t bytes_;
+  std::uint64_t offset_ = 0;
+  P& probe_;
+};
+
+template <sim::ProbeLike P>
+void process_subtree(const StaticTree& tree, std::uint32_t level,
+                     std::uint32_t node, std::span<const BufferedItem> items,
+                     std::uint32_t group_levels, StreamCursor<P>& cursor,
+                     bool charge_input_read, P& probe, BufferedResults& out) {
+  const std::uint32_t t_int = tree.internal_levels();
+  // Buffer traffic is charged at 4 bytes per item per hop: the paper
+  // stores the search key and its result in the same memory location
+  // ("to lessen the cache contention", Sec. 4), so one word travels.
+  if (level == t_int) {
+    // `node` is a leaf block: resolve every buffered key.
+    for (const auto& item : items) {
+      if (charge_input_read) cursor.read(sizeof(key_t));
+      out.emplace_back(item.id, tree.leaf_rank(node, item.key, probe));
+      cursor.write(sizeof(rank_t));  // result overwrites the key in place
+    }
+    return;
+  }
+  const std::uint32_t steps = std::min(group_levels, t_int - level);
+  const std::uint32_t next_level = level + steps;
+  const std::uint32_t next_size = next_level == t_int
+                                      ? tree.num_leaf_blocks()
+                                      : tree.level_size(next_level);
+  // Children of this subtree form a contiguous index range at next_level.
+  std::uint64_t span = 1;
+  for (std::uint32_t s = 0; s < steps; ++s) span *= tree.branching();
+  const std::uint64_t first = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(node) * span, next_size - 1);
+  const std::uint64_t last = std::min<std::uint64_t>(
+      (static_cast<std::uint64_t>(node) + 1) * span, next_size);
+
+  std::vector<std::vector<BufferedItem>> buckets(last - first);
+  for (const auto& item : items) {
+    if (charge_input_read) cursor.read(sizeof(key_t));
+    const std::uint32_t child =
+        tree.descend(level, node, item.key, steps, probe);
+    DICI_CHECK(child >= first && child < last);
+    buckets[child - first].push_back(item);
+    cursor.write(sizeof(key_t));
+  }
+  for (std::uint64_t c = 0; c < buckets.size(); ++c) {
+    if (buckets[c].empty()) continue;
+    process_subtree(tree, next_level, static_cast<std::uint32_t>(first + c),
+                    std::span<const BufferedItem>(buckets[c]), group_levels,
+                    cursor, /*charge_input_read=*/true, probe, out);
+  }
+}
+
+}  // namespace detail
+
+/// Batched lookup of `batch` over `tree` using the buffering access
+/// method. Appends (id, rank) pairs to `out` in buffer (permuted) order.
+/// The initial read of `batch` itself is *not* charged here — the caller
+/// owns that buffer (message payload or query stream) and charges it.
+template <sim::ProbeLike P>
+void buffered_lookup(const StaticTree& tree,
+                     std::span<const BufferedItem> batch,
+                     const BufferedConfig& cfg, P& probe,
+                     BufferedResults& out) {
+  out.reserve(out.size() + batch.size());
+  detail::StreamCursor<P> cursor(cfg, probe);
+  const std::uint32_t g = levels_per_group(tree, cfg);
+  detail::process_subtree(tree, 0, 0, batch, g, cursor,
+                          /*charge_input_read=*/false, probe, out);
+}
+
+/// Scatter permuted results back into batch order (utility for callers
+/// that need in-order ranks; not charged — tests/examples only).
+std::vector<rank_t> unpermute(const BufferedResults& results);
+
+}  // namespace dici::index

@@ -1,0 +1,50 @@
+#include "src/index/geometry.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace dici::index {
+
+const char* layout_name(TreeLayout layout) {
+  switch (layout) {
+    case TreeLayout::kExplicitPointers: return "explicit-pointers";
+    case TreeLayout::kCsbFirstChild: return "csb-first-child";
+  }
+  return "?";
+}
+
+std::uint64_t TreeGeometry::internal_nodes() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) total += lines[i];
+  return total;
+}
+
+std::uint64_t TreeGeometry::total_lines() const {
+  std::uint64_t total = 0;
+  for (auto l : lines) total += l;
+  return total;
+}
+
+TreeGeometry compute_geometry(std::uint64_t num_keys, const TreeConfig& cfg) {
+  DICI_CHECK(cfg.node_bytes >= 2 * sizeof(key_t));
+  DICI_CHECK(cfg.branching() >= 2);
+  TreeGeometry g;
+  g.num_keys = num_keys;
+  g.config = cfg;
+
+  const std::uint64_t leaf_blocks =
+      std::max<std::uint64_t>(1, (num_keys + cfg.leaf_keys() - 1) /
+                                     cfg.leaf_keys());
+  // Build bottom-up, then reverse so the root comes first.
+  std::vector<std::uint64_t> up{leaf_blocks};
+  while (up.back() > 1)
+    up.push_back((up.back() + cfg.branching() - 1) / cfg.branching());
+  // A tree with a single leaf block still gets a root over it only if
+  // there are internal nodes; for one block the "tree" is the block.
+  std::reverse(up.begin(), up.end());
+  g.lines = std::move(up);
+  return g;
+}
+
+}  // namespace dici::index

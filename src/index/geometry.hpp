@@ -1,0 +1,79 @@
+// Tree shape math shared by the builder, the analytical model, and the
+// Table 1 bench. Kept separate from StaticTree so the model can reason
+// about trees (e.g. the paper's 2^23-key tree) without building them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+/// How internal nodes are laid out within one cache-line-sized node.
+enum class TreeLayout {
+  /// "Standard" n-ary tree (Methods A/B): each node stores its separator
+  /// keys and an explicit child pointer per child. A 32-byte node holds
+  /// 3 separators + 4 child pointers => branching factor 4.
+  kExplicitPointers,
+  /// CSB+-style node (Method C-1, after Rao & Ross): children are stored
+  /// contiguously so a single first-child pointer suffices. A 32-byte
+  /// node holds 7 separators + 1 pointer => branching factor 8.
+  kCsbFirstChild,
+};
+
+const char* layout_name(TreeLayout layout);
+
+struct TreeConfig {
+  std::uint32_t node_bytes = 32;  ///< one cache line (Table 1)
+  TreeLayout layout = TreeLayout::kExplicitPointers;
+  /// Bytes per leaf entry. 4 = packed keys only (the compact layout the
+  /// Method C slaves use — "a sorted array", Sec. 3.2). 8 = B+-style
+  /// (key, record-pointer) pairs, which is what makes the paper's
+  /// replicated index 3.2 MB for 327 K keys (Table 1) and is the "more
+  /// pressure on the cache" Method A/B pay for.
+  std::uint32_t leaf_entry_bytes = 4;
+
+  /// Children per internal node implied by the layout.
+  std::uint32_t branching() const {
+    return layout == TreeLayout::kExplicitPointers
+               ? node_bytes / (2 * sizeof(std::uint32_t))
+               : node_bytes / sizeof(std::uint32_t);
+  }
+  /// Keys per leaf block (a leaf block is one node-sized line).
+  std::uint32_t leaf_keys() const { return node_bytes / leaf_entry_bytes; }
+};
+
+/// Level-by-level shape of a bulk-loaded static tree. Level 0 is the
+/// root; the last level is the leaf level (blocks of the sorted array).
+/// `lines[i]` is the paper's lambda_i: the number of cache lines at
+/// level i (every node/leaf block is exactly one line).
+struct TreeGeometry {
+  std::vector<std::uint64_t> lines;  ///< node count per level, root first
+  std::uint64_t num_keys = 0;
+  TreeConfig config;
+
+  std::uint32_t levels() const {
+    return static_cast<std::uint32_t>(lines.size());  // includes leaf level
+  }
+  std::uint32_t internal_levels() const { return levels() - 1; }
+  std::uint64_t leaf_blocks() const { return lines.back(); }
+  std::uint64_t internal_nodes() const;
+  /// Arena bytes (internal nodes only).
+  std::uint64_t arena_bytes() const {
+    return internal_nodes() * config.node_bytes;
+  }
+  /// Bytes of the leaf level (each leaf block occupies one node line).
+  std::uint64_t leaf_bytes() const {
+    return leaf_blocks() * config.node_bytes;
+  }
+  /// Total index footprint: internal nodes + leaf level.
+  std::uint64_t total_bytes() const { return arena_bytes() + leaf_bytes(); }
+  std::uint64_t total_lines() const;
+};
+
+/// Compute the shape of the tree `StaticTree` would build over `num_keys`
+/// keys, without building it.
+TreeGeometry compute_geometry(std::uint64_t num_keys, const TreeConfig& cfg);
+
+}  // namespace dici::index

@@ -1,0 +1,27 @@
+#include "src/index/partitioner.hpp"
+
+#include <algorithm>
+
+namespace dici::index {
+
+RangePartitioner::RangePartitioner(std::span<const key_t> sorted_keys,
+                                   std::uint32_t parts,
+                                   sim::laddr_t logical_base)
+    : keys_(sorted_keys), lbase_(logical_base) {
+  DICI_CHECK(parts >= 1);
+  DICI_CHECK_MSG(!sorted_keys.empty(), "cannot partition an empty key set");
+  DICI_CHECK_MSG(std::is_sorted(keys_.begin(), keys_.end()),
+                 "RangePartitioner requires sorted input");
+  DICI_CHECK_MSG(parts <= sorted_keys.size(),
+                 "more partitions than keys");
+  const std::size_t n = keys_.size();
+  starts_.resize(parts + 1);
+  for (std::uint32_t p = 0; p <= parts; ++p)
+    starts_[p] = static_cast<rank_t>(n * static_cast<std::uint64_t>(p) /
+                                     parts);
+  delimiters_.reserve(parts - 1);
+  for (std::uint32_t p = 1; p < parts; ++p)
+    delimiters_.push_back(keys_[starts_[p]]);
+}
+
+}  // namespace dici::index

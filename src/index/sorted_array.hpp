@@ -1,0 +1,68 @@
+// Sorted-array index with binary search — Method C-3's slave structure
+// ("Method C-3 employs a simple sorted array. It employs binary search
+// for key lookup", Sec. 3.2). Also the reference structure every other
+// method is tested against.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/sim/address_space.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+/// Non-owning view over a sorted run of keys with a logical base address
+/// for the cache simulator. Lookups return the *local* upper-bound rank
+/// (index of the first element > q within this run).
+class SortedArrayIndex {
+ public:
+  /// `keys` must stay alive and sorted for the index's lifetime.
+  /// `logical_base` is where this run lives in the node's simulated
+  /// memory (0 is fine for native runs).
+  explicit SortedArrayIndex(std::span<const key_t> keys,
+                            sim::laddr_t logical_base = 0)
+      : keys_(keys), lbase_(logical_base) {
+    DICI_CHECK_MSG(std::is_sorted(keys_.begin(), keys_.end()),
+                   "SortedArrayIndex requires sorted input");
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  std::uint64_t bytes() const { return keys_.size() * sizeof(key_t); }
+  sim::laddr_t logical_base() const { return lbase_; }
+  std::span<const key_t> keys() const { return keys_; }
+
+  /// Binary search for the first element > q; each probe step reports its
+  /// memory access and one key comparison.
+  template <sim::ProbeLike P>
+  rank_t upper_bound_rank(key_t q, P& probe) const {
+    std::size_t lo = 0;
+    std::size_t hi = keys_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      probe.touch(lbase_ + mid * sizeof(key_t), sizeof(key_t));
+      probe.key_compare();
+      if (keys_[mid] <= q) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<rank_t>(lo);
+  }
+
+  /// Uninstrumented fast path for native callers.
+  rank_t upper_bound_rank(key_t q) const {
+    return static_cast<rank_t>(
+        std::upper_bound(keys_.begin(), keys_.end(), q) - keys_.begin());
+  }
+
+ private:
+  std::span<const key_t> keys_;
+  sim::laddr_t lbase_;
+};
+
+}  // namespace dici::index

@@ -1,0 +1,74 @@
+#include "src/index/static_tree.hpp"
+
+#include <limits>
+
+namespace dici::index {
+
+namespace {
+constexpr std::uint32_t kPad = std::numeric_limits<std::uint32_t>::max();
+}
+
+StaticTree::StaticTree(std::span<const key_t> keys, const TreeConfig& config,
+                       sim::AddressSpace* space)
+    : keys_(keys), config_(config) {
+  DICI_CHECK_MSG(!keys.empty(), "cannot index an empty key set");
+  DICI_CHECK_MSG(std::is_sorted(keys_.begin(), keys_.end()),
+                 "StaticTree requires sorted input");
+  DICI_CHECK(config_.node_bytes % sizeof(std::uint32_t) == 0);
+  DICI_CHECK(config_.branching() >= 2);
+  geometry_ = compute_geometry(keys.size(), config_);
+  node_words_ = config_.node_bytes / sizeof(std::uint32_t);
+  build();
+  if (space != nullptr) {
+    arena_lbase_ = space->allocate(geometry_.arena_bytes());
+    keys_lbase_ = space->allocate(geometry_.leaf_bytes());
+  }
+}
+
+void StaticTree::build() {
+  const std::uint32_t t_int = internal_levels();
+  level_offset_.assign(t_int, 0);
+  std::uint64_t total_nodes = 0;
+  for (std::uint32_t l = 0; l < t_int; ++l) {
+    level_offset_[l] = total_nodes;
+    total_nodes += geometry_.lines[l];
+  }
+  arena_.assign(total_nodes * node_words_, kPad);
+
+  const std::uint32_t b = branching();
+  const std::uint32_t seps = b - 1;
+  const std::uint64_t leaf_blocks = geometry_.leaf_blocks();
+
+  // cover[l] = leaf blocks spanned by one node at level l+1 (the level a
+  // child of level l lives at); cover for the leaf level is 1.
+  // A child c of node (l, i) therefore begins at leaf block
+  // (i*b + c) * cover, and its subtree's minimum key is the first key of
+  // that block — which is exactly the separator between child c-1 and c.
+  for (std::uint32_t l = 0; l < t_int; ++l) {
+    std::uint64_t cover = 1;
+    for (std::uint32_t below = l + 1; below < t_int; ++below) cover *= b;
+    const std::uint64_t level_nodes = geometry_.lines[l];
+    const std::uint64_t next_size =
+        l + 1 < t_int ? geometry_.lines[l + 1] : leaf_blocks;
+    for (std::uint64_t i = 0; i < level_nodes; ++i) {
+      std::uint32_t* node = &arena_[(level_offset_[l] + i) * node_words_];
+      for (std::uint32_t c = 1; c < b; ++c) {
+        const std::uint64_t first_block = (i * b + c) * cover;
+        node[c - 1] = first_block < leaf_blocks
+                          ? keys_[first_block * config_.leaf_keys()]
+                          : kPad;
+      }
+      if (config_.layout == TreeLayout::kExplicitPointers) {
+        for (std::uint32_t c = 0; c < b; ++c) {
+          const std::uint64_t child = i * b + c;
+          node[seps + c] = static_cast<std::uint32_t>(
+              child < next_size ? child : next_size - 1);
+        }
+      } else {
+        node[seps] = static_cast<std::uint32_t>(i * b);
+      }
+    }
+  }
+}
+
+}  // namespace dici::index

@@ -1,0 +1,143 @@
+// Bulk-loaded static search tree with cache-line-sized nodes.
+//
+// This is the paper's "sorted n-ary tree": internal nodes are exactly one
+// cache line; the leaf level is the sorted key array itself, viewed as
+// line-sized blocks. Two node layouts (Sec. 3 / Table 1):
+//
+//   kExplicitPointers — separators + one stored pointer per child
+//                       (Methods A and B; branching 4 at 32-byte lines)
+//   kCsbFirstChild    — separators + a single first-child pointer, with
+//                       children stored contiguously (Rao & Ross CSB+;
+//                       Method C-1; branching 8 at 32-byte lines)
+//
+// Internal nodes live in a flat arena in level order, so the whole tree
+// is two contiguous allocations (arena + keys) — which is also what lets
+// the cache simulator see a stable, deterministic address layout.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/index/geometry.hpp"
+#include "src/sim/address_space.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+class StaticTree {
+ public:
+  /// Build over `keys` (must stay alive, sorted, and duplicate-free for
+  /// the tree's lifetime). `arena_base`/`keys_base` are the logical
+  /// addresses of the node arena and the key array in the owning node's
+  /// simulated memory; pass a live AddressSpace to have them assigned.
+  StaticTree(std::span<const key_t> keys, const TreeConfig& config,
+             sim::AddressSpace* space = nullptr);
+
+  const TreeConfig& config() const { return config_; }
+  const TreeGeometry& geometry() const { return geometry_; }
+  std::uint32_t branching() const { return config_.branching(); }
+  std::uint32_t leaf_keys() const { return config_.leaf_keys(); }
+  /// Internal levels; the leaf level is one below the last internal one.
+  std::uint32_t internal_levels() const { return geometry_.internal_levels(); }
+  std::uint32_t num_leaf_blocks() const {
+    return static_cast<std::uint32_t>(geometry_.leaf_blocks());
+  }
+  std::uint64_t arena_bytes() const { return geometry_.arena_bytes(); }
+  std::uint64_t total_bytes() const { return geometry_.total_bytes(); }
+  std::size_t num_keys() const { return keys_.size(); }
+
+  /// Node count of internal level `level` (0 = root).
+  std::uint32_t level_size(std::uint32_t level) const {
+    DICI_CHECK(level < internal_levels());
+    return static_cast<std::uint32_t>(geometry_.lines[level]);
+  }
+
+  /// Full lookup: returns the upper-bound rank of `q` within `keys`.
+  template <sim::ProbeLike P>
+  rank_t lookup(key_t q, P& probe) const {
+    std::uint32_t node = 0;
+    if (internal_levels() > 0)
+      node = descend(0, 0, q, internal_levels(), probe);
+    return leaf_rank(node, q, probe);
+  }
+
+  /// Uninstrumented fast path.
+  rank_t lookup(key_t q) const {
+    sim::NullProbe probe;
+    return lookup(q, probe);
+  }
+
+  /// Walk `steps` levels starting from node `node_idx` of internal level
+  /// `level`. Returns the node index at `level + steps`; when that equals
+  /// internal_levels() the result is a *leaf block* index. Reports one
+  /// line touch and one node comparison per level.
+  template <sim::ProbeLike P>
+  std::uint32_t descend(std::uint32_t level, std::uint32_t node_idx, key_t q,
+                        std::uint32_t steps, P& probe) const {
+    DICI_CHECK(level + steps <= internal_levels());
+    const std::uint32_t b = branching();
+    const std::uint32_t seps = b - 1;
+    for (std::uint32_t s = 0; s < steps; ++s, ++level) {
+      const std::uint64_t arena_idx = level_offset_[level] + node_idx;
+      const std::uint32_t* node = &arena_[arena_idx * node_words_];
+      probe.touch(arena_lbase_ + arena_idx * config_.node_bytes,
+                  config_.node_bytes);
+      probe.node_compare();
+      // Slot = number of separators <= q. Separators are sorted and
+      // padded with key-max, so a plain scan is correct for tail nodes.
+      std::uint32_t slot = 0;
+      while (slot < seps && node[slot] <= q) ++slot;
+      std::uint32_t child;
+      if (config_.layout == TreeLayout::kExplicitPointers) {
+        child = node[seps + slot];  // stored child pointer
+      } else {
+        child = node[seps] + slot;  // CSB: first child + slot
+      }
+      const std::uint32_t next_size =
+          level + 1 < internal_levels()
+              ? level_size(level + 1)
+              : num_leaf_blocks();
+      node_idx = std::min(child, next_size - 1);
+    }
+    return node_idx;
+  }
+
+  /// Resolve the rank inside leaf block `block`. Reports the block touch
+  /// (one node-sized line — leaf entries may carry a record pointer per
+  /// key, see TreeConfig::leaf_entry_bytes) and one node comparison.
+  template <sim::ProbeLike P>
+  rank_t leaf_rank(std::uint32_t block, key_t q, P& probe) const {
+    const std::size_t base =
+        static_cast<std::size_t>(block) * config_.leaf_keys();
+    DICI_CHECK(base < keys_.size() || keys_.empty());
+    const std::size_t len =
+        std::min<std::size_t>(config_.leaf_keys(), keys_.size() - base);
+    probe.touch(keys_lbase_ +
+                    static_cast<sim::laddr_t>(block) * config_.node_bytes,
+                config_.node_bytes);
+    probe.node_compare();
+    const auto* first = keys_.data() + base;
+    return static_cast<rank_t>(
+        base + (std::upper_bound(first, first + len, q) - first));
+  }
+
+  sim::laddr_t arena_logical_base() const { return arena_lbase_; }
+  sim::laddr_t keys_logical_base() const { return keys_lbase_; }
+
+ private:
+  void build();
+
+  std::span<const key_t> keys_;
+  TreeConfig config_;
+  TreeGeometry geometry_;
+  std::uint32_t node_words_;
+  std::vector<std::uint32_t> arena_;        // level-order internal nodes
+  std::vector<std::uint64_t> level_offset_; // first arena node per level
+  sim::laddr_t arena_lbase_ = 0;
+  sim::laddr_t keys_lbase_ = 0;
+};
+
+}  // namespace dici::index

@@ -1,0 +1,63 @@
+#include "src/model/cache_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace dici::model {
+
+double xd(double lambda, double q) {
+  DICI_CHECK(lambda >= 1.0);
+  DICI_CHECK(q >= 0.0);
+  // lambda * (1 - (1-1/lambda)^q), computed stably: for large lambda,
+  // (1-1/lambda)^q = exp(q * log1p(-1/lambda)).
+  const double log_keep = std::log1p(-1.0 / lambda);
+  return lambda * -std::expm1(q * log_keep);
+}
+
+double expected_distinct_lines(const index::TreeGeometry& geometry,
+                               double q) {
+  double total = 0.0;
+  for (const auto lines : geometry.lines)
+    total += xd(static_cast<double>(lines), q);
+  return total;
+}
+
+double cold_misses_per_lookup(const index::TreeGeometry& geometry, double q) {
+  DICI_CHECK(q > 0.0);
+  return expected_distinct_lines(geometry, q) / q;
+}
+
+double solve_q0(const index::TreeGeometry& geometry, double cache_lines) {
+  DICI_CHECK(cache_lines > 0.0);
+  const double tree_lines = static_cast<double>(geometry.total_lines());
+  if (tree_lines <= cache_lines)
+    return std::numeric_limits<double>::infinity();
+  // expected_distinct_lines is monotone increasing in q from 0 to
+  // tree_lines; bisect until the bracket is tight.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (expected_distinct_lines(geometry, hi) < cache_lines) hi *= 2.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-9 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (expected_distinct_lines(geometry, mid) < cache_lines) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double steady_state_misses_per_lookup(const index::TreeGeometry& geometry,
+                                      double cache_lines) {
+  const double q0 = solve_q0(geometry, cache_lines);
+  if (!std::isfinite(q0)) return 0.0;
+  // Eq. 4: sum_i XD(lambda_i, q0+1) - sum_i XD(lambda_i, q0); the second
+  // term equals cache_lines by construction of q0 (Eq. 5).
+  return expected_distinct_lines(geometry, q0 + 1.0) -
+         expected_distinct_lines(geometry, q0);
+}
+
+}  // namespace dici::model

@@ -1,0 +1,41 @@
+// The cache-performance model of Appendix A (following Hankins & Patel):
+// level-dependent access probabilities for tree traversal.
+//
+//   X_D(lambda_i, q) = lambda_i * (1 - (1 - 1/lambda_i)^q)        (Eq. 2)
+//
+// is the expected number of *distinct* cache lines touched at a tree
+// level holding lambda_i lines after q independent lookups. Summed over
+// levels and compared against cache capacity it yields q0, the number of
+// lookups that exactly fills the cache (Eq. 3), and from there the
+// steady-state misses per lookup (Eqs. 4/5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/geometry.hpp"
+
+namespace dici::model {
+
+/// Eq. 2. `lambda` = lines at the level, `q` = number of lookups so far.
+/// Continuous in q (the q0 solver bisects over real q).
+double xd(double lambda, double q);
+
+/// Sum of Eq. 2 over all levels of `geometry` (lambda_i = lines[i]).
+double expected_distinct_lines(const index::TreeGeometry& geometry, double q);
+
+/// Eq. 1 divided by q: expected cache misses per lookup while the tree
+/// streams through a cold cache of unbounded size (used for Method B's
+/// per-batch subtree loads, Eq. 6).
+double cold_misses_per_lookup(const index::TreeGeometry& geometry, double q);
+
+/// Eq. 3: the q0 with expected_distinct_lines(q0) == cache_lines.
+/// Returns +infinity when the whole tree fits in the cache (no q fills
+/// it) — steady_state_misses_per_lookup is then 0.
+double solve_q0(const index::TreeGeometry& geometry, double cache_lines);
+
+/// Eqs. 4/5: expected misses for one more lookup once the cache is full.
+double steady_state_misses_per_lookup(const index::TreeGeometry& geometry,
+                                      double cache_lines);
+
+}  // namespace dici::model

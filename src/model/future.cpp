@@ -1,0 +1,38 @@
+#include "src/model/future.hpp"
+
+namespace dici::model {
+
+std::vector<FuturePoint> future_series(const FutureConfig& config,
+                                       std::uint32_t years) {
+  const auto geometry = index::compute_geometry(config.index_keys,
+                                                config.tree);
+  const std::uint32_t slaves = config.num_nodes - 1;
+  std::vector<FuturePoint> series;
+  series.reserve(years + 1);
+  for (std::uint32_t y = 0; y <= years; ++y) {
+    const auto machine =
+        arch::scale_years(config.base, static_cast<double>(y),
+                          config.trends);
+    FuturePoint pt;
+    pt.year = y;
+    // Methods A/B run replicated on all nodes: normalize by cluster size.
+    pt.method_a_ns = method_a_per_key(machine, geometry).total_ns() /
+                     config.num_nodes;
+    pt.method_b_ns = method_b_per_key(machine, geometry, config.batch_keys,
+                                      config.subtree_levels)
+                         .total_ns() /
+                     config.num_nodes;
+    const auto c_params = c_params_for_sorted_array(
+        config.index_keys / slaves, machine, slaves);
+    pt.method_c3_ns = method_c_per_key_ns(machine, c_params);
+
+    const double keys = static_cast<double>(config.total_keys);
+    pt.method_a_sec = pt.method_a_ns * keys * 1e-9;
+    pt.method_b_sec = pt.method_b_ns * keys * 1e-9;
+    pt.method_c3_sec = pt.method_c3_ns * keys * 1e-9;
+    series.push_back(pt);
+  }
+  return series;
+}
+
+}  // namespace dici::model

@@ -1,0 +1,42 @@
+// Section 4.2: "Predicting the Future" — the model re-evaluated on
+// technology-scaled machines (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/machine.hpp"
+#include "src/index/geometry.hpp"
+#include "src/model/method_costs.hpp"
+
+namespace dici::model {
+
+struct FuturePoint {
+  double year = 0;
+  double method_a_ns = 0;   ///< per-key ns, normalized over the cluster
+  double method_b_ns = 0;
+  double method_c3_ns = 0;
+  /// Normalized total seconds for `total_keys` lookups (the Figure 4 /
+  /// Table 3 presentation).
+  double method_a_sec = 0;
+  double method_b_sec = 0;
+  double method_c3_sec = 0;
+};
+
+struct FutureConfig {
+  arch::MachineSpec base;               ///< year-0 machine
+  arch::TechTrends trends;              ///< growth assumptions (Sec. 4.2)
+  /// Replicated-tree layout for A/B: B+-style leaves (key + record ptr).
+  index::TreeConfig tree{32, index::TreeLayout::kExplicitPointers, 8};
+  std::uint64_t index_keys = 327'680;   ///< Table 1
+  std::uint64_t total_keys = 1ull << 23;
+  double batch_keys = (128.0 * 1024) / 4;  ///< 128 KB batches (Table 3)
+  std::uint32_t num_nodes = 11;         ///< A/B normalization & C cluster
+  double subtree_levels = 6;            ///< L for Method B
+};
+
+/// Evaluate the three modeled methods at integer years [0, years].
+std::vector<FuturePoint> future_series(const FutureConfig& config,
+                                       std::uint32_t years);
+
+}  // namespace dici::model

@@ -1,0 +1,133 @@
+#include "src/model/method_costs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/model/cache_model.hpp"
+#include "src/util/assert.hpp"
+
+namespace dici::model {
+
+namespace {
+
+double w1_ns_per_byte(const arch::MachineSpec& m) {
+  return 1.0 / m.mem_seq_bytes_per_ns();
+}
+
+double w2_ns_per_byte(const arch::MachineSpec& m) {
+  return 1.0 / m.net_bytes_per_ns();
+}
+
+}  // namespace
+
+CostBreakdown method_a_per_key(const arch::MachineSpec& machine,
+                               const index::TreeGeometry& geometry) {
+  CostBreakdown c;
+  const double T = geometry.levels();
+  c.compute_ns = T * machine.comp_cost_node_ns;
+  // Read the key from the input buffer, write the result to the output
+  // buffer: 4 bytes each, sequential.
+  c.buffer_ns = 8.0 * w1_ns_per_byte(machine);
+  const double cache_lines = static_cast<double>(machine.l2.size_bytes) /
+                             machine.l2.line_bytes;
+  c.tree_ns = steady_state_misses_per_lookup(geometry, cache_lines) *
+              machine.l2.miss_penalty_ns;
+  return c;
+}
+
+CostBreakdown method_b_per_key(const arch::MachineSpec& machine,
+                               const index::TreeGeometry& geometry,
+                               double batch_keys, double subtree_levels) {
+  DICI_CHECK(batch_keys >= 1.0);
+  DICI_CHECK(subtree_levels >= 1.0);
+  CostBreakdown c;
+  const double T = geometry.levels();
+  const double stages = T / subtree_levels;  // T/L as written in the paper
+  c.compute_ns = T * machine.comp_cost_node_ns;
+
+  // theta1 (Eq. 6): amortized cost of streaming each subtree's lines
+  // into L2 once per batch pass.
+  const double theta1 = cold_misses_per_lookup(geometry, batch_keys) *
+                        machine.l2.miss_penalty_ns;
+  // theta2 (Eq. 7): the remaining per-level accesses hit in L2 and pay
+  // the L2->L1 penalty.
+  const double theta2 =
+      (T - cold_misses_per_lookup(geometry, batch_keys)) *
+      machine.l1.miss_penalty_ns;
+  c.tree_ns = theta1 + theta2;
+
+  // Buffer reads: one sequential 4-byte read per stage.
+  c.buffer_ns = 4.0 * w1_ns_per_byte(machine) * stages;
+  // Buffer writes: one 4-byte write to a *randomly selected* buffer per
+  // stage transition; charged as a fraction 4/B2 of a full line miss.
+  c.buffer_ns += machine.l2.miss_penalty_ns *
+                 (4.0 / machine.l2.line_bytes) * (stages - 1.0);
+  return c;
+}
+
+MethodCParams c_params_for_tree(std::uint32_t slave_levels,
+                                std::uint32_t num_slaves) {
+  MethodCParams p;
+  p.num_slaves = num_slaves;
+  p.slave_touch_levels = slave_levels;
+  p.slave_comp_node_equivalents = slave_levels;
+  return p;
+}
+
+MethodCParams c_params_for_sorted_array(std::uint64_t partition_keys,
+                                        const arch::MachineSpec& machine,
+                                        std::uint32_t num_slaves) {
+  MethodCParams p;
+  p.num_slaves = num_slaves;
+  const double probes = std::log2(static_cast<double>(partition_keys));
+  const double keys_per_line =
+      static_cast<double>(machine.l2.line_bytes) / sizeof(std::uint32_t);
+  // Binary search touches ~log2(n) lines until the range narrows to one
+  // line, whose last log2(keys_per_line) probes stay within it.
+  p.slave_touch_levels = std::max(1.0, probes - std::log2(keys_per_line));
+  // Comparisons: log2(n) of them, log2(keys_per_line) per node-equivalent.
+  p.slave_comp_node_equivalents = probes / std::log2(keys_per_line);
+  return p;
+}
+
+CostBreakdown method_c_master_per_key(const arch::MachineSpec& machine,
+                                      const MethodCParams& params) {
+  CostBreakdown c;
+  c.compute_ns = params.dispatch_ns;
+  // Read the key from the query stream, append it to a message buffer.
+  c.buffer_ns = 8.0 * w1_ns_per_byte(machine);
+  if (params.master_pays_network)
+    c.network_ns = 4.0 * w2_ns_per_byte(machine);
+  const double inv = 1.0 / params.num_masters;
+  c.compute_ns *= inv;
+  c.buffer_ns *= inv;
+  c.network_ns *= inv;
+  return c;
+}
+
+CostBreakdown method_c_slave_per_key(const arch::MachineSpec& machine,
+                                     const MethodCParams& params) {
+  CostBreakdown c;
+  c.compute_ns =
+      params.slave_comp_node_equivalents * machine.comp_cost_node_ns;
+  // Partition fits L2 but not L1: every touched level is an L1 miss.
+  c.tree_ns = params.slave_touch_levels * machine.l1.miss_penalty_ns;
+  // Read key from the incoming message, write result to the outgoing one.
+  c.buffer_ns = 8.0 * w1_ns_per_byte(machine);
+  // Send the result to the target.
+  c.network_ns = 4.0 * w2_ns_per_byte(machine);
+  const double inv = 1.0 / params.num_slaves;
+  c.compute_ns *= inv;
+  c.tree_ns *= inv;
+  c.buffer_ns *= inv;
+  c.network_ns *= inv;
+  return c;
+}
+
+double method_c_per_key_ns(const arch::MachineSpec& machine,
+                           const MethodCParams& params) {
+  return std::max(method_c_master_per_key(machine, params).total_ns(),
+                  method_c_slave_per_key(machine, params).total_ns());
+}
+
+}  // namespace dici::model

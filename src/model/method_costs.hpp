@@ -1,0 +1,76 @@
+// Per-key cost equations for Methods A, B and C (Appendix A.2).
+//
+// All results are nanoseconds per search key on the *owning* node;
+// normalization across replicated nodes (dividing Methods A/B by the
+// cluster size, Sec. 4.1) is the caller's choice, mirroring the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "src/arch/machine.hpp"
+#include "src/index/geometry.hpp"
+
+namespace dici::model {
+
+/// Additive cost components; total() is the per-key time.
+struct CostBreakdown {
+  double compute_ns = 0;  ///< key comparisons / node traversal
+  double buffer_ns = 0;   ///< sequential buffer reads/writes at W1
+  double tree_ns = 0;     ///< index access (cache miss penalties)
+  double network_ns = 0;  ///< wire transfer at W2 (latency amortized away)
+
+  double total_ns() const {
+    return compute_ns + buffer_ns + tree_ns + network_ns;
+  }
+};
+
+/// Method A (Sec. A.2.1): per-key cost of one-by-one lookups over a
+/// replicated tree that overflows the L2 cache:
+///   T*comp + 8/W1 + steady_state_misses * B2_penalty.
+CostBreakdown method_a_per_key(const arch::MachineSpec& machine,
+                               const index::TreeGeometry& geometry);
+
+/// Method B (Sec. A.2.2): buffered batch lookups, subtrees of L levels:
+///   T*comp + theta1 + theta2 + (4/W1)*(T/L) + B2pen*(4/B2)*(T/L - 1)
+/// with theta1/theta2 from Eqs. 6/7 at `batch_keys` keys per batch.
+CostBreakdown method_b_per_key(const arch::MachineSpec& machine,
+                               const index::TreeGeometry& geometry,
+                               double batch_keys, double subtree_levels);
+
+/// Inputs for Eq. 8 (Method C). The slave structure is abstracted as
+/// "touch_levels" line accesses (each an L1 miss: the partition lives in
+/// L2 but not L1) and "comp_node_equivalents" units of Comp_Cost_Node.
+struct MethodCParams {
+  std::uint32_t num_masters = 1;
+  std::uint32_t num_slaves = 10;
+  double slave_touch_levels = 6;
+  double slave_comp_node_equivalents = 6;
+  /// Master-side routing cost per key. The paper's Table 3 numbers are
+  /// reproduced with 0 (dispatch cost neglected / overlapped).
+  double dispatch_ns = 0.0;
+  /// Whether the master's 4/W2 send term competes with computation.
+  /// The paper notes communication overlaps computation and its Table 3
+  /// prediction matches the slave-side bound, so default off.
+  bool master_pays_network = false;
+};
+
+/// Slave structure descriptors.
+MethodCParams c_params_for_tree(std::uint32_t slave_levels,
+                                std::uint32_t num_slaves);
+MethodCParams c_params_for_sorted_array(std::uint64_t partition_keys,
+                                        const arch::MachineSpec& machine,
+                                        std::uint32_t num_slaves);
+
+/// Master-side per-key cost (first arm of Eq. 8), divided by num_masters.
+CostBreakdown method_c_master_per_key(const arch::MachineSpec& machine,
+                                      const MethodCParams& params);
+
+/// Slave-side per-key cost (second arm of Eq. 8), divided by num_slaves.
+CostBreakdown method_c_slave_per_key(const arch::MachineSpec& machine,
+                                     const MethodCParams& params);
+
+/// Eq. 8: max of the two arms (master and slaves run in parallel).
+double method_c_per_key_ns(const arch::MachineSpec& machine,
+                           const MethodCParams& params);
+
+}  // namespace dici::model

@@ -1,0 +1,71 @@
+// Bounded-optional MPMC blocking queue for the native (threaded) engines.
+//
+// Plays the role MPICH played on the paper's cluster: a slave blocks in
+// pop() until a batch arrives; close() is the end-of-stream marker that
+// replaces the paper's implicit "8 million keys then stop".
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace dici::net {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Push one item; wakes one waiting consumer. Pushing after close()
+  /// is a programming error and the item is dropped in release terms —
+  /// we assert instead.
+  void push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return;  // benign in shutdown races; nothing waits on it
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until an item or close(). Empty optional means closed+drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Signal end-of-stream; wakes all consumers. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dici::net

@@ -1,0 +1,36 @@
+#include "src/net/sim_network.hpp"
+
+#include <algorithm>
+
+namespace dici::net {
+
+picos_t SimNetwork::send(node_id_t src, node_id_t dst, std::uint64_t bytes,
+                         picos_t ready) {
+  DICI_CHECK(src < num_nodes() && dst < num_nodes());
+  DICI_CHECK_MSG(src != dst, "loopback messages are free; do not send them");
+  const picos_t xfer = link_.transfer_ps(bytes);
+
+  // Sender egress serializes this node's outgoing messages.
+  const picos_t egress_start = std::max(ready, egress_free_[src]);
+  egress_free_[src] = egress_start + xfer;
+
+  // Cut-through: the head reaches the receiver's link after the wire
+  // latency; the receiver's ingress NIC then needs `xfer` of its own wire
+  // time, delayed further if it is still draining another message.
+  const picos_t head_arrival = egress_start + link_.latency_ps();
+  const picos_t ingress_start = std::max(head_arrival, ingress_free_[dst]);
+  const picos_t delivered = ingress_start + xfer;
+  ingress_free_[dst] = delivered;
+
+  auto& s = stats_[src];
+  s.messages_sent += 1;
+  s.bytes_sent += bytes;
+  s.egress_busy += xfer;
+  auto& r = stats_[dst];
+  r.messages_received += 1;
+  r.bytes_received += bytes;
+  r.ingress_busy += xfer;
+  return delivered;
+}
+
+}  // namespace dici::net

@@ -1,0 +1,67 @@
+// Virtual-time cluster fabric.
+//
+// Models a full-duplex switched network (Myrinet in the paper): each node
+// has an egress NIC and an ingress NIC, each serializing its messages at
+// the one-way bandwidth W2; the fabric core is non-blocking ("aggregate
+// network bandwidth is unlimited", paper assumption A.2.3-1). Transfers
+// are cut-through: the head of a message arrives `latency` after the
+// sender starts pushing bytes, and the tail arrives one transfer-time
+// later, subject to receiver-side ingress availability.
+//
+// Communication/computation overlap (MPI_Isend in the paper) falls out of
+// the model: send() only needs the sender's CPU-ready timestamp, and the
+// NIC drains the message on its own timeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::net {
+
+using node_id_t = std::uint32_t;
+
+/// Per-node traffic counters.
+struct NicStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  picos_t egress_busy = 0;   ///< total wire time on the send side
+  picos_t ingress_busy = 0;  ///< total wire time on the receive side
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(std::uint32_t num_nodes, const LinkModel& link)
+      : link_(link), egress_free_(num_nodes, 0), ingress_free_(num_nodes, 0),
+        stats_(num_nodes) {}
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(egress_free_.size());
+  }
+
+  /// Schedule a message of `bytes` from `src` to `dst`, handed to the NIC
+  /// at sender time `ready`. Returns the virtual time at which the last
+  /// byte is available at the receiver.
+  picos_t send(node_id_t src, node_id_t dst, std::uint64_t bytes,
+               picos_t ready);
+
+  const NicStats& stats(node_id_t node) const {
+    DICI_CHECK(node < stats_.size());
+    return stats_[node];
+  }
+
+  const LinkModel& link() const { return link_; }
+
+ private:
+  LinkModel link_;
+  std::vector<picos_t> egress_free_;   // when each egress NIC is next idle
+  std::vector<picos_t> ingress_free_;  // when each ingress NIC is next idle
+  std::vector<NicStats> stats_;
+};
+
+}  // namespace dici::net

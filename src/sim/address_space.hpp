@@ -1,0 +1,49 @@
+// Deterministic logical address space for the cache simulator.
+//
+// Index structures execute over real heap memory, but report *logical*
+// addresses to the probe. Logical bases come from this bump allocator, so
+// set-index/tag behaviour is bit-identical across runs regardless of where
+// the OS placed the heap (ASLR would otherwise make conflict misses — and
+// therefore simulated times — drift run to run).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/assert.hpp"
+
+namespace dici::sim {
+
+/// Logical byte address inside one node's simulated memory.
+using laddr_t = std::uint64_t;
+
+/// Bump allocator handing out line-aligned logical regions.
+class AddressSpace {
+ public:
+  /// `alignment` must be a power of two (defaults to a typical line).
+  explicit AddressSpace(std::uint64_t alignment = 64)
+      : alignment_(alignment) {
+    DICI_CHECK((alignment & (alignment - 1)) == 0 && alignment > 0);
+  }
+
+  /// Reserve `bytes` and return the region's base logical address.
+  laddr_t allocate(std::uint64_t bytes) {
+    const laddr_t base = next_;
+    next_ += round_up(bytes);
+    return base;
+  }
+
+  /// Total bytes reserved so far.
+  std::uint64_t used() const { return next_ - kBase; }
+
+ private:
+  std::uint64_t round_up(std::uint64_t v) const {
+    return (v + alignment_ - 1) & ~(alignment_ - 1);
+  }
+
+  // Start away from 0 so "address 0" never aliases a valid region.
+  static constexpr laddr_t kBase = 1 << 20;
+  std::uint64_t alignment_;
+  laddr_t next_ = kBase;
+};
+
+}  // namespace dici::sim

@@ -1,0 +1,74 @@
+#include "src/sim/cache.hpp"
+
+#include <bit>
+
+namespace dici::sim {
+
+Cache::Cache(const arch::CacheGeometry& geometry) : geom_(geometry) {
+  geom_.validate();
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(geom_.line_bytes)));
+  const std::uint64_t sets = geom_.num_sets();
+  DICI_CHECK_MSG((sets & (sets - 1)) == 0,
+                 "number of sets must be a power of two");
+  set_mask_ = sets - 1;
+  ways_ = geom_.associativity;
+  tags_.assign(sets * ways_, kEmpty);
+  lru_.resize(sets * ways_);
+  clear();
+}
+
+void Cache::clear() {
+  std::fill(tags_.begin(), tags_.end(), kEmpty);
+  for (std::uint64_t s = 0; s <= set_mask_; ++s)
+    for (std::uint32_t w = 0; w < ways_; ++w)
+      lru_[s * ways_ + w] = static_cast<std::uint8_t>(w);
+}
+
+int Cache::find_way(std::uint64_t set, std::uint64_t tag) const {
+  const std::uint64_t* base = &tags_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w)
+    if (base[w] == tag) return static_cast<int>(w);
+  return -1;
+}
+
+void Cache::touch_lru(std::uint64_t set, std::uint8_t way) {
+  std::uint8_t* order = &lru_[set * ways_];
+  // Move `way` to the front, shifting the more recent entries down.
+  std::uint32_t pos = 0;
+  while (order[pos] != way) ++pos;
+  for (; pos > 0; --pos) order[pos] = order[pos - 1];
+  order[0] = way;
+}
+
+std::uint8_t Cache::lru_way(std::uint64_t set) const {
+  return lru_[set * ways_ + ways_ - 1];
+}
+
+bool Cache::insert(laddr_t addr, bool count_demand) {
+  const std::uint64_t line = line_of(addr);
+  const std::uint64_t set = set_of(line);
+  const int way = find_way(set, line);
+  if (way >= 0) {
+    if (count_demand) ++stats_.hits;
+    touch_lru(set, static_cast<std::uint8_t>(way));
+    return true;
+  }
+  if (count_demand) ++stats_.misses;
+  const std::uint8_t victim = lru_way(set);
+  if (tags_[set * ways_ + victim] != kEmpty) ++stats_.evictions;
+  tags_[set * ways_ + victim] = line;
+  touch_lru(set, victim);
+  return false;
+}
+
+bool Cache::access(laddr_t addr) { return insert(addr, /*count_demand=*/true); }
+
+bool Cache::fill(laddr_t addr) { return insert(addr, /*count_demand=*/false); }
+
+bool Cache::contains(laddr_t addr) const {
+  const std::uint64_t line = line_of(addr);
+  return find_way(set_of(line), line) >= 0;
+}
+
+}  // namespace dici::sim

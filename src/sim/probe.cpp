@@ -1,0 +1,78 @@
+#include "src/sim/probe.hpp"
+
+namespace dici::sim {
+
+MemoryProbe::MemoryProbe(const arch::MachineSpec& machine,
+                         bool pollute_streams)
+    : machine_(machine),
+      l1_(machine.l1),
+      l2_(machine.l2),
+      tlb_(machine.tlb_entries, machine.page_bytes),
+      pollute_streams_(pollute_streams),
+      b1_ps_(ns_to_ps(machine.l1.miss_penalty_ns)),
+      b2_ps_(ns_to_ps(machine.l2.miss_penalty_ns)),
+      tlb_ps_(ns_to_ps(machine.tlb_miss_penalty_ns)),
+      stream_ps_per_byte_(1e3 / machine.mem_seq_bytes_per_ns()),
+      key_compare_ns_(machine.hot_compare_ns) {}
+
+void MemoryProbe::walk_lines(laddr_t addr, std::size_t bytes, bool demand) {
+  const std::uint64_t line = machine_.l2.line_bytes;  // L1 line == L2 line
+  const laddr_t first = addr & ~(line - 1);
+  const laddr_t last = (addr + (bytes ? bytes : 1) - 1) & ~(line - 1);
+  for (laddr_t a = first; a <= last; a += line) {
+    if (demand) {
+      if (!tlb_.access(a)) charges_.tlb += tlb_ps_;
+      if (l1_.access(a)) continue;         // L1 hit: free (paper neglects)
+      if (l2_.access(a)) {
+        charges_.l2_hit += b1_ps_;         // line moves L2 -> L1
+      } else {
+        charges_.memory += b2_ps_;         // line loaded from RAM
+      }
+      l1_.fill(a);
+    } else {
+      // Streaming / DMA fill: occupy the lines, charge nothing here.
+      tlb_.access(a);
+      l2_.fill(a);
+      l1_.fill(a);
+    }
+  }
+}
+
+void MemoryProbe::touch(laddr_t addr, std::size_t bytes) {
+  walk_lines(addr, bytes, /*demand=*/true);
+}
+
+void MemoryProbe::stream_read(laddr_t addr, std::size_t bytes) {
+  charge_stream(bytes);
+  if (pollute_streams_) walk_lines(addr, bytes, /*demand=*/false);
+}
+
+void MemoryProbe::stream_write(laddr_t addr, std::size_t bytes) {
+  charge_stream(bytes);
+  if (pollute_streams_) walk_lines(addr, bytes, /*demand=*/false);
+}
+
+void MemoryProbe::charge_stream(std::size_t bytes) {
+  charges_.stream +=
+      static_cast<picos_t>(stream_ps_per_byte_ * static_cast<double>(bytes));
+  streamed_bytes_ += bytes;
+}
+
+void MemoryProbe::compute(double ns) { charges_.compute += ns_to_ps(ns); }
+
+void MemoryProbe::dma_fill(laddr_t addr, std::size_t bytes) {
+  walk_lines(addr, bytes, /*demand=*/false);
+}
+
+void MemoryProbe::reset() {
+  l1_.clear();
+  l1_.reset_stats();
+  l2_.clear();
+  l2_.reset_stats();
+  tlb_.clear();
+  tlb_.reset_stats();
+  charges_ = {};
+  streamed_bytes_ = 0;
+}
+
+}  // namespace dici::sim

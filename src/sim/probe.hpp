@@ -1,0 +1,135 @@
+// Memory-access probes.
+//
+// Every index structure executes its real algorithm over real memory and
+// reports each *logical* memory access to a probe. Two implementations:
+//
+//  * NullProbe   — all no-ops; compiles away entirely. Used by the native
+//                  (real-hardware) engines and benchmarks.
+//  * MemoryProbe — drives the L1/L2/TLB simulation and charges virtual
+//                  time per the machine's Table 2 constants. Used by the
+//                  discrete-event cluster simulator.
+//
+// Lookup kernels are templated on the probe type, so the native build pays
+// zero overhead while the simulated build sees every access.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "src/arch/machine.hpp"
+#include "src/sim/address_space.hpp"
+#include "src/sim/cache.hpp"
+#include "src/sim/tlb.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::sim {
+
+/// What index kernels require of a probe.
+template <typename P>
+concept ProbeLike = requires(P p, laddr_t addr, std::size_t n, double ns) {
+  { p.touch(addr, n) };
+  { p.stream_read(addr, n) };
+  { p.stream_write(addr, n) };
+  { p.charge_stream(n) };
+  { p.compute(ns) };
+  { p.node_compare() };
+  { p.key_compare() };
+};
+
+/// No-op probe for native execution. All calls vanish under optimization.
+struct NullProbe {
+  void touch(laddr_t, std::size_t) {}
+  void stream_read(laddr_t, std::size_t) {}
+  void stream_write(laddr_t, std::size_t) {}
+  void charge_stream(std::size_t) {}
+  void compute(double) {}
+  void node_compare() {}
+  void key_compare() {}
+};
+static_assert(ProbeLike<NullProbe>);
+
+/// Time charged by a MemoryProbe, broken down by cause (all picoseconds).
+struct ChargeBreakdown {
+  picos_t compute = 0;   ///< comparison / traversal CPU work
+  picos_t l2_hit = 0;    ///< B1 penalties (line moved L2 -> L1)
+  picos_t memory = 0;    ///< B2 penalties (line loaded from RAM)
+  picos_t stream = 0;    ///< sequential buffer traffic at W1
+  picos_t tlb = 0;       ///< page-walk cost (0 unless enabled)
+
+  picos_t total() const { return compute + l2_hit + memory + stream + tlb; }
+};
+
+/// Cache/TLB/bandwidth simulation for one node's CPU.
+class MemoryProbe {
+ public:
+  /// `pollute_streams`: whether streamed buffers occupy cache lines
+  /// (true reproduces the paper's Sec. 4.1 cache-contention dip; the
+  /// contention ablation switches it off to isolate the effect).
+  explicit MemoryProbe(const arch::MachineSpec& machine,
+                       bool pollute_streams = true);
+
+  /// Demand access (pointer chase): walks each line in [addr, addr+bytes),
+  /// charging B1 on L2 hits and B2 on memory loads.
+  void touch(laddr_t addr, std::size_t bytes);
+
+  /// Sequential read of a buffer: charged at W1; fills cache lines
+  /// (hardware prefetch hides latency but the data still lands in cache).
+  void stream_read(laddr_t addr, std::size_t bytes);
+
+  /// Sequential (write-allocate) write of a buffer: charged at W1.
+  void stream_write(laddr_t addr, std::size_t bytes);
+
+  /// Bandwidth charge only, for buffers whose placement is not modeled.
+  void charge_stream(std::size_t bytes);
+
+  /// Charge CPU work in nanoseconds (e.g. comp_cost_node per level).
+  void compute(double ns);
+
+  /// Charge one tree-node visit: Table 2's "Comp Cost Node" — the
+  /// comparison cost of searching within one line-sized node.
+  void node_compare() { compute(machine_.comp_cost_node_ns); }
+
+  /// Charge a single key comparison (binary-search step). Derived from
+  /// comp_cost_node: a line of k keys takes ~log2(k) comparisons, so one
+  /// comparison costs comp_cost_node / log2(keys_per_line).
+  void key_compare() { compute(key_compare_ns_); }
+
+  /// Model an incoming NIC transfer landing in this node's cache
+  /// (cache-allocating DMA). Costs no CPU time; evicts what it evicts.
+  void dma_fill(laddr_t addr, std::size_t bytes);
+
+  /// Total virtual time charged so far.
+  picos_t charged() const { return charges_.total(); }
+  const ChargeBreakdown& breakdown() const { return charges_; }
+
+  const CacheStats& l1_stats() const { return l1_.stats(); }
+  const CacheStats& l2_stats() const { return l2_.stats(); }
+  const TlbStats& tlb_stats() const { return tlb_.stats(); }
+  std::uint64_t streamed_bytes() const { return streamed_bytes_; }
+
+  /// Drop cache/TLB contents and zero all charges and statistics.
+  void reset();
+
+  const arch::MachineSpec& machine() const { return machine_; }
+
+ private:
+  void walk_lines(laddr_t addr, std::size_t bytes, bool demand);
+
+  arch::MachineSpec machine_;
+  Cache l1_;
+  Cache l2_;
+  Tlb tlb_;
+  bool pollute_streams_;
+
+  picos_t b1_ps_;
+  picos_t b2_ps_;
+  picos_t tlb_ps_;
+  double stream_ps_per_byte_;
+  double key_compare_ns_;
+
+  ChargeBreakdown charges_;
+  std::uint64_t streamed_bytes_ = 0;
+};
+static_assert(ProbeLike<MemoryProbe>);
+
+}  // namespace dici::sim

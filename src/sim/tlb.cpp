@@ -1,0 +1,40 @@
+#include "src/sim/tlb.hpp"
+
+#include <bit>
+
+#include "src/util/assert.hpp"
+
+namespace dici::sim {
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t page_bytes) : entries_(entries) {
+  DICI_CHECK(entries > 0);
+  DICI_CHECK((page_bytes & (page_bytes - 1)) == 0 && page_bytes > 0);
+  page_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(page_bytes)));
+  map_.reserve(entries * 2);
+}
+
+bool Tlb::access(laddr_t addr) {
+  const std::uint64_t page = addr >> page_shift_;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (map_.size() == entries_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(page);
+  map_[page] = order_.begin();
+  return false;
+}
+
+void Tlb::clear() {
+  order_.clear();
+  map_.clear();
+}
+
+}  // namespace dici::sim

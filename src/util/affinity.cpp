@@ -1,0 +1,34 @@
+#include "src/util/affinity.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace dici {
+
+int available_cpus() {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+#else
+  return 1;
+#endif
+}
+
+bool pin_current_thread(int cpu) {
+#if defined(__linux__)
+  const int ncpu = available_cpus();
+  if (ncpu <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu % ncpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace dici

@@ -1,0 +1,19 @@
+// CPU affinity helpers for the native (threaded) engines.
+//
+// The paper's Method C keeps each partition resident in one CPU's cache;
+// on a real multicore box that requires pinning the owning thread. On a
+// machine with fewer cores than nodes the call degrades gracefully
+// (pin to core id modulo available cores).
+#pragma once
+
+namespace dici {
+
+/// Number of CPUs available to this process.
+int available_cpus();
+
+/// Pin the calling thread to `cpu % available_cpus()`. Returns true on
+/// success; false (without aborting) on platforms/configurations where
+/// affinity cannot be set — callers treat pinning as best-effort.
+bool pin_current_thread(int cpu);
+
+}  // namespace dici

@@ -1,0 +1,32 @@
+// Checked assertions that stay on in release builds.
+//
+// Simulation code is full of invariants whose violation silently corrupts
+// virtual-time accounting, so we keep checks enabled in all build types and
+// make failures loud (message + abort) rather than UB.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dici {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "DICI_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace dici
+
+// Abort with a diagnostic if `expr` is false. Always enabled.
+#define DICI_CHECK(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::dici::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+// Like DICI_CHECK but with an explanatory message.
+#define DICI_CHECK_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) ::dici::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,64 @@
+#include "src/util/bytes.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/assert.hpp"
+
+namespace dici {
+
+std::string format_bytes(std::uint64_t bytes) {
+  const struct {
+    std::uint64_t unit;
+    const char* suffix;
+  } scales[] = {{GiB, "GB"}, {MiB, "MB"}, {KiB, "KB"}};
+  char buf[32];
+  for (const auto& s : scales) {
+    if (bytes >= s.unit) {
+      if (bytes % s.unit == 0) {
+        std::snprintf(buf, sizeof buf, "%llu %s",
+                      static_cast<unsigned long long>(bytes / s.unit),
+                      s.suffix);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.1f %s",
+                      static_cast<double>(bytes) / static_cast<double>(s.unit),
+                      s.suffix);
+      }
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "%llu B",
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+std::uint64_t parse_bytes(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  std::size_t start = i;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.'))
+    ++i;
+  DICI_CHECK_MSG(i > start, "parse_bytes: no leading number");
+  const double value = std::stod(std::string(text.substr(start, i - start)));
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  std::uint64_t unit = 1;
+  if (i < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+      case 'k': unit = KiB; break;
+      case 'm': unit = MiB; break;
+      case 'g': unit = GiB; break;
+      case 'b': unit = 1; break;
+      default: DICI_CHECK_MSG(false, "parse_bytes: unknown unit");
+    }
+  }
+  const double bytes = value * static_cast<double>(unit);
+  DICI_CHECK_MSG(bytes >= 0 && std::floor(bytes) == bytes,
+                 "parse_bytes: fractional byte count");
+  return static_cast<std::uint64_t>(bytes);
+}
+
+}  // namespace dici

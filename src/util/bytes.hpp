@@ -1,0 +1,25 @@
+// Human-readable byte sizes ("128 KB", "4 MB") <-> integers.
+//
+// The paper's batch-size axis (Figure 3) is labeled this way; bench output
+// uses the same labels so rows can be compared to the paper at a glance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dici {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Format a byte count compactly: 512 -> "512 B", 131072 -> "128 KB",
+/// 4194304 -> "4 MB". Non-integral multiples keep one decimal.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parse "8KB", "8 KB", "8kib", "4M", "123" (plain bytes). Returns the
+/// byte count; aborts on malformed input (configuration error).
+std::uint64_t parse_bytes(std::string_view text);
+
+}  // namespace dici

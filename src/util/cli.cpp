@@ -1,0 +1,118 @@
+#include "src/util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/assert.hpp"
+#include "src/util/bytes.hpp"
+
+namespace dici {
+
+Cli::Cli(std::string program_summary) : summary_(std::move(program_summary)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   bool default_value) {
+  options_[name] = {Kind::kFlag, help, default_value ? "true" : "false"};
+}
+
+void Cli::add_int(const std::string& name, const std::string& help,
+                  std::int64_t default_value) {
+  options_[name] = {Kind::kInt, help, std::to_string(default_value)};
+}
+
+void Cli::add_double(const std::string& name, const std::string& help,
+                     double default_value) {
+  options_[name] = {Kind::kDouble, help, std::to_string(default_value)};
+}
+
+void Cli::add_string(const std::string& name, const std::string& help,
+                     const std::string& default_value) {
+  options_[name] = {Kind::kString, help, default_value};
+}
+
+void Cli::add_bytes(const std::string& name, const std::string& help,
+                    std::uint64_t default_value) {
+  options_[name] = {Kind::kBytes, help, std::to_string(default_value)};
+}
+
+bool Cli::parse(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    DICI_CHECK_MSG(arg.rfind("--", 0) == 0, "flags must start with --");
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", arg.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    if (it->second.kind == Kind::kFlag) {
+      it->second.value = has_value ? value : "true";
+      continue;
+    }
+    if (!has_value) {
+      DICI_CHECK_MSG(i + 1 < argc, "flag is missing its value");
+      value = argv[++i];
+    }
+    // Validate eagerly so errors point at the offending flag.
+    switch (it->second.kind) {
+      case Kind::kInt: (void)std::stoll(value); break;
+      case Kind::kDouble: (void)std::stod(value); break;
+      case Kind::kBytes: value = std::to_string(parse_bytes(value)); break;
+      default: break;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  DICI_CHECK_MSG(it != options_.end(), "flag was never registered");
+  DICI_CHECK_MSG(it->second.kind == kind, "flag accessed with wrong type");
+  return it->second;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value == "true";
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::kInt).value);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::uint64_t Cli::get_bytes(const std::string& name) const {
+  return std::stoull(find(name, Kind::kBytes).value);
+}
+
+std::string Cli::usage() const {
+  std::string out = summary_ + "\n\nFlags:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name;
+    if (opt.kind != Kind::kFlag) out += " <value>";
+    out += "\n      " + opt.help + " (default: " + opt.value + ")\n";
+  }
+  return out;
+}
+
+}  // namespace dici

@@ -1,0 +1,57 @@
+// Minimal command-line flag parser for bench and example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+// Unknown flags abort with a usage dump so a typo never silently runs
+// the default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dici {
+
+class Cli {
+ public:
+  Cli(std::string program_summary);
+
+  /// Register flags before parse(). `help` appears in usage output.
+  void add_flag(const std::string& name, const std::string& help,
+                bool default_value);
+  void add_int(const std::string& name, const std::string& help,
+               std::int64_t default_value);
+  void add_double(const std::string& name, const std::string& help,
+                  double default_value);
+  void add_string(const std::string& name, const std::string& help,
+                  const std::string& default_value);
+  /// Byte-size flag; accepts "128KB", "4 MB", plain integers.
+  void add_bytes(const std::string& name, const std::string& help,
+                 std::uint64_t default_value);
+
+  /// Parse argv. On `--help` prints usage and returns false (caller should
+  /// exit 0); aborts on malformed input.
+  bool parse(int argc, char** argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  std::uint64_t get_bytes(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString, kBytes };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+  const Option& find(const std::string& name, Kind kind) const;
+  std::string summary_;
+  std::string program_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace dici

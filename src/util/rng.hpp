@@ -1,0 +1,105 @@
+// Seeded, reproducible pseudo-random number generation.
+//
+// We avoid std::mt19937 for speed and cross-platform bit-exactness of the
+// *sequence composition* helpers; xoshiro256** passes BigCrush and is the
+// de-facto standard for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace dici {
+
+/// splitmix64: used to seed xoshiro from a single 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, re-expressed). Deterministic for a given seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x0123456789abcdefull) { reseed(seed); }
+
+  /// Re-initialize the full 256-bit state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift rejection
+  /// method: unbiased and far faster than modulo.
+  std::uint64_t below(std::uint64_t bound) {
+    DICI_CHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    DICI_CHECK(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf(s) sampler over {0, .., n-1} via inverse-CDF on a precomputed
+/// table. Exact (not the approximate rejection sampler) because our n is
+/// modest (number of slaves or key-space buckets).
+class ZipfSampler {
+ public:
+  /// `n` outcomes, exponent `s` >= 0. s = 0 degenerates to uniform.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Sample an outcome index in [0, n).
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of outcome `i` (for tests).
+  double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(outcome <= i)
+};
+
+}  // namespace dici

@@ -1,0 +1,54 @@
+// Descriptive statistics over samples, used by run reports and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dici {
+
+/// One-pass (Welford) accumulator for mean and variance; O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Full-sample summary supporting percentiles (stores its input).
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0,100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  // Sorted lazily on demand.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace dici

@@ -1,0 +1,47 @@
+// Column-aligned text tables for bench output.
+//
+// Every bench binary reproduces one paper table/figure; emitting aligned
+// rows (plus an optional CSV mirror) keeps the output diff-able against
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dici {
+
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles/ints into a row.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  /// Render with padded columns, a header underline, and `indent` leading
+  /// spaces per line.
+  std::string to_string(int indent = 2) const;
+
+  /// Render as comma-separated values (headers first).
+  std::string to_csv() const;
+
+  /// Print `to_string()` to stdout.
+  void print(int indent = 2) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` significant decimals, trimming wide
+/// exponents ("0.3200", "1.25e+09" style never appears in bench tables).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace dici

@@ -1,0 +1,28 @@
+// Wall-clock timing for native (real-hardware) measurements.
+#pragma once
+
+#include <chrono>
+
+namespace dici {
+
+/// Steady-clock stopwatch. start() resets; elapsed_*() reads without
+/// stopping.
+class WallTimer {
+ public:
+  WallTimer() { start(); }
+
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+  double elapsed_ns() const { return elapsed_sec() * 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace dici

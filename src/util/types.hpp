@@ -1,0 +1,35 @@
+// Project-wide scalar type aliases.
+#pragma once
+
+#include <cstdint>
+
+namespace dici {
+
+/// A search key. The paper uses 4-byte keys throughout (Table 1).
+using key_t = std::uint32_t;
+
+/// A lookup result: the global rank of the key in the sorted index,
+/// i.e. the index of the first element strictly greater than the key
+/// (std::upper_bound position). Every method must agree on this value,
+/// which is what the correctness tests assert.
+using rank_t = std::uint32_t;
+
+/// Virtual time, in picoseconds. Integer to keep the discrete-event
+/// simulation exactly reproducible; 1 ns = 1000 ps.
+using picos_t = std::uint64_t;
+
+/// Convert nanoseconds (possibly fractional, e.g. the Pentium III
+/// B1 miss penalty of 16.25 ns) to picoseconds.
+constexpr picos_t ns_to_ps(double ns) {
+  return static_cast<picos_t>(ns * 1e3 + 0.5);
+}
+
+/// Convert picoseconds back to (fractional) nanoseconds.
+constexpr double ps_to_ns(picos_t ps) { return static_cast<double>(ps) / 1e3; }
+
+/// Convert picoseconds to seconds.
+constexpr double ps_to_sec(picos_t ps) {
+  return static_cast<double>(ps) / 1e12;
+}
+
+}  // namespace dici

@@ -1,0 +1,88 @@
+#include "src/workload/workload.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace dici::workload {
+
+std::vector<key_t> make_sorted_unique_keys(std::size_t n, Rng& rng) {
+  DICI_CHECK(n > 0);
+  DICI_CHECK_MSG(n <= (1ull << 31),
+                 "key count too close to the 32-bit key-space size");
+  std::vector<key_t> keys;
+  keys.reserve(n + n / 16 + 16);
+  // Oversample, dedupe, top up: collisions are rare (n << 2^32) so this
+  // converges in one or two rounds.
+  while (true) {
+    while (keys.size() < n + n / 16 + 16)
+      keys.push_back(static_cast<key_t>(rng.next()));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    if (keys.size() >= n) break;
+  }
+  // Drop the surplus at evenly spaced positions — truncating the tail
+  // would bias the key-space coverage (the largest keys would vanish).
+  const std::size_t excess = keys.size() - n;
+  if (excess > 0) {
+    std::size_t write = 0;
+    std::size_t next_drop = 0;
+    for (std::size_t read = 0; read < keys.size(); ++read) {
+      // Drop index floor(k * size / excess) for k = 0..excess-1.
+      if (excess * (read + 1) > next_drop * keys.size()) {
+        ++next_drop;  // this position is one of the evenly spaced drops
+        continue;
+      }
+      keys[write++] = keys[read];
+    }
+    DICI_CHECK(write == n);
+    keys.resize(n);
+  }
+  return keys;
+}
+
+std::vector<key_t> make_uniform_queries(std::size_t n, Rng& rng) {
+  std::vector<key_t> queries(n);
+  for (auto& q : queries) q = static_cast<key_t>(rng.next());
+  return queries;
+}
+
+std::vector<key_t> make_zipf_queries(std::size_t n, std::size_t buckets,
+                                     double s, Rng& rng) {
+  DICI_CHECK(buckets > 0);
+  ZipfSampler zipf(buckets, s);
+  const std::uint64_t bucket_width = (1ull << 32) / buckets;
+  std::vector<key_t> queries(n);
+  for (auto& q : queries) {
+    const std::uint64_t bucket = zipf(rng);
+    const std::uint64_t lo = bucket * bucket_width;
+    const std::uint64_t width =
+        bucket + 1 == buckets ? (1ull << 32) - lo : bucket_width;
+    q = static_cast<key_t>(lo + rng.below(width));
+  }
+  return queries;
+}
+
+std::vector<rank_t> reference_ranks(std::span<const key_t> sorted_keys,
+                                    std::span<const key_t> queries) {
+  std::vector<rank_t> ranks(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ranks[i] = static_cast<rank_t>(
+        std::upper_bound(sorted_keys.begin(), sorted_keys.end(), queries[i]) -
+        sorted_keys.begin());
+  return ranks;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> batch_ranges(
+    std::size_t total, std::uint64_t batch_bytes) {
+  DICI_CHECK(batch_bytes >= sizeof(key_t));
+  const std::size_t per_batch =
+      static_cast<std::size_t>(batch_bytes / sizeof(key_t));
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(total / per_batch + 1);
+  for (std::size_t begin = 0; begin < total; begin += per_batch)
+    ranges.emplace_back(begin, std::min(total, begin + per_batch));
+  return ranges;
+}
+
+}  // namespace dici::workload

@@ -1,0 +1,36 @@
+// Workload generation (Sec. 4: "Both the search keys and the keys used
+// to construct the index structure are randomly generated").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::workload {
+
+/// `n` distinct uniformly random 32-bit keys, sorted ascending.
+std::vector<key_t> make_sorted_unique_keys(std::size_t n, Rng& rng);
+
+/// `n` uniformly random query keys (duplicates allowed, unsorted).
+std::vector<key_t> make_uniform_queries(std::size_t n, Rng& rng);
+
+/// Skewed queries: partition the key space into `buckets` equal ranges
+/// and draw the bucket from Zipf(s), then a uniform key inside it. With
+/// buckets == number of slaves this directly stresses Method C's load
+/// balance (the paper's "statistically varying load" remark, Sec. 4.1).
+std::vector<key_t> make_zipf_queries(std::size_t n, std::size_t buckets,
+                                     double s, Rng& rng);
+
+/// Reference answers: global upper-bound rank of each query.
+std::vector<rank_t> reference_ranks(std::span<const key_t> sorted_keys,
+                                    std::span<const key_t> queries);
+
+/// Slice `total` queries into batches of `batch_bytes` worth of keys
+/// (the last batch may be short). Returns [begin, end) index pairs.
+std::vector<std::pair<std::size_t, std::size_t>> batch_ranges(
+    std::size_t total, std::uint64_t batch_bytes);
+
+}  // namespace dici::workload

@@ -1,0 +1,108 @@
+#include "src/arch/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.hpp"
+
+namespace dici::arch {
+namespace {
+
+TEST(CacheGeometry, DerivedCounts) {
+  const CacheGeometry g{512 * KiB, 32, 8, 110.0};
+  EXPECT_EQ(g.num_lines(), 16384u);
+  EXPECT_EQ(g.num_sets(), 2048u);
+  g.validate();
+}
+
+TEST(CacheGeometryDeath, RejectsNonPowerOfTwoLine) {
+  CacheGeometry g{1024, 48, 4, 1.0};
+  EXPECT_DEATH(g.validate(), "power of two");
+}
+
+TEST(MachineSpec, Pentium3MatchesTable2) {
+  const MachineSpec m = pentium3_cluster();
+  EXPECT_EQ(m.l2.size_bytes, 512 * KiB);
+  EXPECT_EQ(m.l1.size_bytes, 16 * KiB);
+  EXPECT_EQ(m.l2.line_bytes, 32u);
+  EXPECT_EQ(m.l1.line_bytes, 32u);
+  EXPECT_DOUBLE_EQ(m.l2.miss_penalty_ns, 110.0);
+  EXPECT_DOUBLE_EQ(m.l1.miss_penalty_ns, 16.25);
+  EXPECT_EQ(m.tlb_entries, 64u);
+  EXPECT_DOUBLE_EQ(m.comp_cost_node_ns, 30.0);
+  EXPECT_DOUBLE_EQ(m.mem_seq_bw_mbs, 647.0);
+  EXPECT_DOUBLE_EQ(m.mem_rand_bw_mbs, 48.0);
+  EXPECT_DOUBLE_EQ(m.net_bw_mbs, 138.0);
+  EXPECT_DOUBLE_EQ(m.net_latency_us, 7.0);
+}
+
+TEST(MachineSpec, BandwidthUnitHelpers) {
+  const MachineSpec m = pentium3_cluster();
+  EXPECT_NEAR(m.mem_seq_bytes_per_ns(), 0.647, 1e-9);
+  EXPECT_NEAR(m.net_bytes_per_ns(), 0.138, 1e-9);
+}
+
+TEST(MachineSpec, Pentium4HasWideLines) {
+  const MachineSpec m = pentium4_cluster();
+  EXPECT_EQ(m.l2.line_bytes, 128u);   // Sec. 2.2: degradation factor 32
+  EXPECT_DOUBLE_EQ(m.l2.miss_penalty_ns, 150.0);  // Sec. 2.1
+}
+
+TEST(MachineSpec, ModernValidates) { modern_cluster().validate(); }
+
+TEST(ScaleYears, YearZeroIsIdentity) {
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec same = scale_years(base, 0.0);
+  EXPECT_DOUBLE_EQ(same.comp_cost_node_ns, base.comp_cost_node_ns);
+  EXPECT_DOUBLE_EQ(same.net_bw_mbs, base.net_bw_mbs);
+  EXPECT_DOUBLE_EQ(same.mem_seq_bw_mbs, base.mem_seq_bw_mbs);
+  EXPECT_NEAR(same.l2.miss_penalty_ns, base.l2.miss_penalty_ns, 1e-9);
+}
+
+TEST(ScaleYears, CpuDoublesIn18Months) {
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec m = scale_years(base, 1.5);
+  EXPECT_NEAR(m.comp_cost_node_ns, base.comp_cost_node_ns / 2.0, 1e-3);
+  EXPECT_NEAR(m.hot_compare_ns, base.hot_compare_ns / 2.0, 1e-3);
+}
+
+TEST(ScaleYears, NetworkDoublesInThreeYears) {
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec m = scale_years(base, 3.0);
+  EXPECT_NEAR(m.net_bw_mbs, base.net_bw_mbs * 2.0, 0.2);
+}
+
+TEST(ScaleYears, MemoryBandwidthGrows20PercentPerYear) {
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec m = scale_years(base, 1.0);
+  EXPECT_NEAR(m.mem_seq_bw_mbs, base.mem_seq_bw_mbs * 1.2, 1e-6);
+}
+
+TEST(ScaleYears, MissPenaltyLatencyComponentPersists) {
+  // The B2 penalty's latency share must NOT improve (the paper's core
+  // assumption); only the line-transfer share shrinks with bandwidth.
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec m = scale_years(base, 5.0);
+  const double xfer0 = base.l2.line_bytes / base.mem_seq_bytes_per_ns();
+  const double latency = base.l2.miss_penalty_ns - xfer0;
+  EXPECT_GT(m.l2.miss_penalty_ns, latency);          // latency floor holds
+  EXPECT_LT(m.l2.miss_penalty_ns, base.l2.miss_penalty_ns);
+}
+
+TEST(ScaleYears, FiveYearCompoundOrdering) {
+  // After 5 years CPU gained ~10x, network ~3.2x, memory BW ~2.5x: the
+  // compute share of any method shrinks fastest — the trend behind
+  // Figure 4.
+  const MachineSpec base = pentium3_cluster();
+  const MachineSpec m = scale_years(base, 5.0);
+  const double cpu_gain = base.comp_cost_node_ns / m.comp_cost_node_ns;
+  const double net_gain = m.net_bw_mbs / base.net_bw_mbs;
+  const double mem_gain = m.mem_seq_bw_mbs / base.mem_seq_bw_mbs;
+  EXPECT_GT(cpu_gain, net_gain);
+  EXPECT_GT(net_gain, mem_gain);
+  EXPECT_NEAR(cpu_gain, 10.08, 0.1);
+  EXPECT_NEAR(net_gain, 3.17, 0.05);
+  EXPECT_NEAR(mem_gain, 2.49, 0.01);
+}
+
+}  // namespace
+}  // namespace dici::arch

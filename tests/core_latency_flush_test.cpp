@@ -1,0 +1,137 @@
+// Response-time tracking and flush-policy semantics.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(33033);
+    fx.keys = workload::make_sorted_unique_keys(80000, rng);
+    fx.queries = workload::make_uniform_queries(150000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+ExperimentConfig cfg(Method m, std::uint64_t batch) {
+  ExperimentConfig c;
+  c.method = m;
+  c.machine = arch::pentium3_cluster();
+  c.num_nodes = 11;
+  c.batch_bytes = batch;
+  c.track_latency = true;
+  return c;
+}
+
+TEST(Latency, TrackedForEveryQuery) {
+  const auto& fx = fixture();
+  for (const auto m : {Method::kA, Method::kB, Method::kC3}) {
+    const auto report =
+        SimCluster(cfg(m, 32 * KiB)).run(fx.keys, fx.queries);
+    EXPECT_EQ(report.latency_ns.count(), fx.queries.size())
+        << method_name(m);
+    EXPECT_GT(report.latency_ns.min(), 0.0);
+  }
+}
+
+TEST(Latency, OffByDefault) {
+  const auto& fx = fixture();
+  auto c = cfg(Method::kC3, 32 * KiB);
+  c.track_latency = false;
+  const auto report = SimCluster(c).run(fx.keys, fx.queries);
+  EXPECT_EQ(report.latency_ns.count(), 0u);
+}
+
+TEST(Latency, MethodARespondsFastest) {
+  // Sec. 4.1: "Method A has a much faster response time, since it
+  // processes search keys individually."
+  const auto& fx = fixture();
+  const auto a = SimCluster(cfg(Method::kA, 64 * KiB)).run(fx.keys,
+                                                           fx.queries);
+  const auto b = SimCluster(cfg(Method::kB, 64 * KiB)).run(fx.keys,
+                                                           fx.queries);
+  const auto c3 = SimCluster(cfg(Method::kC3, 64 * KiB)).run(fx.keys,
+                                                             fx.queries);
+  EXPECT_LT(a.latency_ns.percentile(50), b.latency_ns.percentile(50));
+  EXPECT_LT(a.latency_ns.percentile(50), c3.latency_ns.percentile(50));
+}
+
+TEST(Latency, C3BeatsBAtEqualBatch) {
+  // The both-worlds claim: at the same batch size C-3's queries wait
+  // less than B's (B holds a batch through the whole buffered pass).
+  const auto& fx = fixture();
+  const auto b = SimCluster(cfg(Method::kB, 128 * KiB)).run(fx.keys,
+                                                            fx.queries);
+  const auto c3 = SimCluster(cfg(Method::kC3, 128 * KiB)).run(fx.keys,
+                                                              fx.queries);
+  EXPECT_LT(c3.latency_ns.percentile(50), b.latency_ns.percentile(50));
+}
+
+TEST(Latency, GrowsWithBatchSize) {
+  const auto& fx = fixture();
+  const auto small =
+      SimCluster(cfg(Method::kC3, 16 * KiB)).run(fx.keys, fx.queries);
+  const auto large =
+      SimCluster(cfg(Method::kC3, 256 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_LT(small.latency_ns.percentile(50),
+            large.latency_ns.percentile(50));
+}
+
+TEST(FlushPolicy, BothPoliciesAreExact) {
+  const auto& fx = fixture();
+  for (const auto policy :
+       {FlushPolicy::kMasterRound, FlushPolicy::kPerSlaveThreshold}) {
+    auto c = cfg(Method::kC3, 32 * KiB);
+    c.flush_policy = policy;
+    std::vector<rank_t> ranks;
+    SimCluster(c).run(fx.keys, fx.queries, &ranks);
+    EXPECT_EQ(ranks, fx.expected) << flush_policy_name(policy);
+  }
+}
+
+TEST(FlushPolicy, ThresholdSendsFewerBiggerMessages) {
+  const auto& fx = fixture();
+  auto c = cfg(Method::kC3, 32 * KiB);
+  const auto round = SimCluster(c).run(fx.keys, fx.queries);
+  c.flush_policy = FlushPolicy::kPerSlaveThreshold;
+  const auto thresh = SimCluster(c).run(fx.keys, fx.queries);
+  EXPECT_LT(thresh.messages, round.messages);
+  // Same keys cross the wire either way (headers differ with count).
+  EXPECT_LT(thresh.wire_bytes, round.wire_bytes);
+}
+
+TEST(FlushPolicy, ThresholdStarvesSlavesAtHugeBatches) {
+  // batch ~ workload/slaves: threshold staging only fills at the end.
+  const auto& fx = fixture();
+  auto c = cfg(Method::kC3, 64 * KiB);  // 16 K keys ~ queries/slaves
+  c.flush_policy = FlushPolicy::kPerSlaveThreshold;
+  const auto thresh = SimCluster(c).run(fx.keys, fx.queries);
+  c.flush_policy = FlushPolicy::kMasterRound;
+  const auto round = SimCluster(c).run(fx.keys, fx.queries);
+  EXPECT_GT(thresh.slave_idle_fraction, round.slave_idle_fraction);
+  EXPECT_GT(thresh.makespan, round.makespan);
+}
+
+TEST(FlushPolicy, Names) {
+  EXPECT_STREQ(flush_policy_name(FlushPolicy::kMasterRound),
+               "master-round");
+  EXPECT_STREQ(flush_policy_name(FlushPolicy::kPerSlaveThreshold),
+               "per-slave-threshold");
+}
+
+}  // namespace
+}  // namespace dici::core

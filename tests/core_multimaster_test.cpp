@@ -1,0 +1,114 @@
+// Multiple-master Method C (the Sec. 3.2 remark): correctness and
+// scaling behaviour.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(77001);
+    fx.keys = workload::make_sorted_unique_keys(100000, rng);
+    fx.queries = workload::make_uniform_queries(120000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+ExperimentConfig config(Method m, std::uint32_t masters,
+                        std::uint32_t slaves) {
+  ExperimentConfig cfg;
+  cfg.method = m;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_masters = masters;
+  cfg.num_nodes = masters + slaves;
+  cfg.batch_bytes = 32 * KiB;
+  return cfg;
+}
+
+class MultiMasterParam
+    : public ::testing::TestWithParam<std::tuple<Method, std::uint32_t>> {};
+
+TEST_P(MultiMasterParam, ExactResults) {
+  const auto& fx = fixture();
+  const auto [method, masters] = GetParam();
+  std::vector<rank_t> ranks;
+  SimCluster(config(method, masters, 10)).run(fx.keys, fx.queries, &ranks);
+  ASSERT_EQ(ranks.size(), fx.expected.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]) << "query " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiMasterParam,
+    ::testing::Combine(::testing::Values(Method::kC1, Method::kC2,
+                                         Method::kC3),
+                       ::testing::Values(1u, 2u, 3u, 5u)),
+    [](const auto& info) {
+      std::string n = method_name(std::get<0>(info.param));
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n + "_M" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MultiMaster, ReportCoversAllNodes) {
+  const auto& fx = fixture();
+  const auto report =
+      SimCluster(config(Method::kC3, 3, 8)).run(fx.keys, fx.queries);
+  ASSERT_EQ(report.nodes.size(), 11u);
+  // The three masters split the stream exactly.
+  std::uint64_t routed = 0;
+  for (int m = 0; m < 3; ++m) routed += report.nodes[m].queries;
+  EXPECT_EQ(routed, fx.queries.size());
+  // The eight slaves answered everything.
+  std::uint64_t answered = 0;
+  for (int s = 3; s < 11; ++s) answered += report.nodes[s].queries;
+  EXPECT_EQ(answered, fx.queries.size());
+}
+
+TEST(MultiMaster, RelievesAMasterBoundCluster) {
+  // Many fast slaves + one master = master-bound; adding masters must
+  // shorten the run, monotonically. (Scaling is sublinear: replies
+  // still serialize on each master's ingress NIC and per-message
+  // overheads do not shrink with M — see bench_ablation_masters.)
+  const auto& fx = fixture();
+  const auto one =
+      SimCluster(config(Method::kC3, 1, 20)).run(fx.keys, fx.queries);
+  const auto two =
+      SimCluster(config(Method::kC3, 2, 20)).run(fx.keys, fx.queries);
+  const auto four =
+      SimCluster(config(Method::kC3, 4, 20)).run(fx.keys, fx.queries);
+  EXPECT_LT(static_cast<double>(two.makespan),
+            0.95 * static_cast<double>(one.makespan));
+  EXPECT_LT(static_cast<double>(four.makespan),
+            0.95 * static_cast<double>(two.makespan));
+}
+
+TEST(MultiMaster, DeterministicAcrossRuns) {
+  const auto& fx = fixture();
+  const SimCluster cluster(config(Method::kC3, 3, 10));
+  EXPECT_EQ(cluster.run(fx.keys, fx.queries).raw_makespan,
+            cluster.run(fx.keys, fx.queries).raw_makespan);
+}
+
+TEST(MultiMasterDeath, NeedsASlave) {
+  const auto& fx = fixture();
+  auto cfg = config(Method::kC3, 3, 0);
+  EXPECT_DEATH(SimCluster(cfg).run(fx.keys, fx.queries),
+               "at least one slave");
+}
+
+}  // namespace
+}  // namespace dici::core

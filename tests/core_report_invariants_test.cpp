@@ -1,0 +1,115 @@
+// Cross-method invariants of RunReport accounting: the quantities a
+// downstream user would chart must be internally consistent for every
+// method and batch size.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(818181);
+    fx.keys = workload::make_sorted_unique_keys(60000, rng);
+    fx.queries = workload::make_uniform_queries(90000, rng);
+    return fx;
+  }();
+  return f;
+}
+
+struct Case {
+  Method method;
+  std::uint64_t batch;
+};
+
+class ReportInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ReportInvariants, AccountingIsConsistent) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = GetParam().method;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 7;
+  cfg.batch_bytes = GetParam().batch;
+  const auto report = SimCluster(cfg).run(fx.keys, fx.queries);
+
+  EXPECT_EQ(report.method, GetParam().method);
+  EXPECT_EQ(report.batch_bytes, GetParam().batch);
+  EXPECT_EQ(report.num_queries, fx.queries.size());
+  EXPECT_GT(report.raw_makespan, 0u);
+  EXPECT_LE(report.makespan, report.raw_makespan);
+  EXPECT_GT(report.per_key_ns(), 0.0);
+  EXPECT_GT(report.throughput_qps(), 0.0);
+  // throughput x seconds == queries.
+  EXPECT_NEAR(report.throughput_qps() * report.seconds(),
+              static_cast<double>(report.num_queries), 1.0);
+
+  for (const auto& node : report.nodes) {
+    // A node never works longer than the whole run, and its charge
+    // breakdown sums to its busy time.
+    EXPECT_LE(node.busy, report.raw_makespan);
+    EXPECT_EQ(node.charges.total(), node.busy);
+    // Cache stats are hierarchical: L2 sees only L1 misses.
+    EXPECT_LE(node.l2.accesses(), node.l1.accesses());
+  }
+
+  if (is_distributed(GetParam().method)) {
+    EXPECT_GT(report.messages, 0u);
+    // Wire traffic: every query key out, every rank back, plus headers.
+    const std::uint64_t payload = 2 * fx.queries.size() * sizeof(key_t);
+    EXPECT_EQ(report.wire_bytes,
+              payload + report.messages * cfg.message_header_bytes);
+    // NIC stats across nodes must balance.
+    std::uint64_t sent = 0, received = 0;
+    for (const auto& node : report.nodes) {
+      sent += node.nic.bytes_sent;
+      received += node.nic.bytes_received;
+    }
+    EXPECT_EQ(sent, received);
+    EXPECT_EQ(sent, report.wire_bytes);
+  } else {
+    EXPECT_EQ(report.messages, 0u);
+    EXPECT_EQ(report.wire_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReportInvariants,
+    ::testing::Values(Case{Method::kA, 32 * KiB}, Case{Method::kB, 8 * KiB},
+                      Case{Method::kB, 128 * KiB}, Case{Method::kC1, 16 * KiB},
+                      Case{Method::kC2, 32 * KiB}, Case{Method::kC3, 8 * KiB},
+                      Case{Method::kC3, 64 * KiB},
+                      Case{Method::kC3, 512 * KiB}),
+    [](const auto& info) {
+      std::string n = method_name(info.param.method);
+      n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+      return n + "_" + std::to_string(info.param.batch / 1024) + "KB";
+    });
+
+TEST(ReportInvariants, BusyPlusIdleBoundsFinishOnSlaves) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 7;
+  cfg.batch_bytes = 32 * KiB;
+  const auto report = SimCluster(cfg).run(fx.keys, fx.queries);
+  for (std::size_t s = 1; s < report.nodes.size(); ++s) {
+    const auto& node = report.nodes[s];
+    // A slave's local clock advances only by waiting or working.
+    EXPECT_EQ(node.finish, node.busy + node.idle);
+  }
+}
+
+}  // namespace
+}  // namespace dici::core

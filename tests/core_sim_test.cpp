@@ -1,0 +1,275 @@
+// Integration tests: every method on the simulated cluster must return
+// exactly std::upper_bound's answer for every query, and the reports
+// must be internally consistent and reproduce the paper's qualitative
+// shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/sim_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(20050101);
+    fx.keys = workload::make_sorted_unique_keys(65536, rng);
+    fx.queries = workload::make_uniform_queries(100000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+ExperimentConfig base_config(Method m, std::uint64_t batch = 64 * KiB) {
+  ExperimentConfig cfg;
+  cfg.method = m;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 11;
+  cfg.batch_bytes = batch;
+  return cfg;
+}
+
+struct SimCase {
+  Method method;
+  std::uint64_t batch;
+};
+
+class SimMethodParam : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimMethodParam, ExactResults) {
+  const auto& fx = fixture();
+  const SimCluster cluster(base_config(GetParam().method, GetParam().batch));
+  std::vector<rank_t> ranks;
+  const auto report = cluster.run(fx.keys, fx.queries, &ranks);
+  ASSERT_EQ(ranks.size(), fx.expected.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]) << "query index " << i;
+  EXPECT_EQ(report.num_queries, fx.queries.size());
+  EXPECT_GT(report.makespan, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndBatches, SimMethodParam,
+    ::testing::Values(SimCase{Method::kA, 64 * KiB},
+                      SimCase{Method::kB, 8 * KiB},
+                      SimCase{Method::kB, 256 * KiB},
+                      SimCase{Method::kC1, 8 * KiB},
+                      SimCase{Method::kC1, 256 * KiB},
+                      SimCase{Method::kC2, 64 * KiB},
+                      SimCase{Method::kC3, 8 * KiB},
+                      SimCase{Method::kC3, 64 * KiB},
+                      SimCase{Method::kC3, 1 * MiB}),
+    [](const auto& info) {
+      std::string name = method_name(info.param.method);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_" + std::to_string(info.param.batch / 1024) + "KB";
+    });
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  const auto& fx = fixture();
+  const SimCluster cluster(base_config(Method::kC3));
+  const auto r1 = cluster.run(fx.keys, fx.queries);
+  const auto r2 = cluster.run(fx.keys, fx.queries);
+  EXPECT_EQ(r1.raw_makespan, r2.raw_makespan);
+  EXPECT_EQ(r1.messages, r2.messages);
+  EXPECT_EQ(r1.wire_bytes, r2.wire_bytes);
+}
+
+TEST(SimCluster, NormalizationDividesByNodes) {
+  const auto& fx = fixture();
+  auto cfg = base_config(Method::kA);
+  const auto normalized = SimCluster(cfg).run(fx.keys, fx.queries);
+  cfg.normalize_replicated = false;
+  const auto raw = SimCluster(cfg).run(fx.keys, fx.queries);
+  EXPECT_EQ(raw.raw_makespan, normalized.raw_makespan);
+  EXPECT_EQ(normalized.makespan, normalized.raw_makespan / 11);
+  EXPECT_EQ(raw.makespan, raw.raw_makespan);
+}
+
+TEST(SimCluster, DistributedReportShape) {
+  const auto& fx = fixture();
+  const auto report =
+      SimCluster(base_config(Method::kC3)).run(fx.keys, fx.queries);
+  ASSERT_EQ(report.nodes.size(), 11u);
+  // Master routed everything; slaves partition the queries exactly.
+  EXPECT_EQ(report.nodes[0].queries, fx.queries.size());
+  std::uint64_t slave_total = 0;
+  for (std::size_t s = 1; s < report.nodes.size(); ++s) {
+    slave_total += report.nodes[s].queries;
+    EXPECT_LE(report.nodes[s].busy, report.raw_makespan);
+    EXPECT_LE(report.nodes[s].finish, report.raw_makespan);
+  }
+  EXPECT_EQ(slave_total, fx.queries.size());
+  EXPECT_GE(report.slave_idle_fraction, 0.0);
+  EXPECT_LE(report.slave_idle_fraction, 1.0);
+  // Each round sends at most one message per slave, each batch is
+  // answered once, and every message carries the header.
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_EQ(report.messages % 2, 0u);  // request + reply pairs
+  EXPECT_GT(report.wire_bytes,
+            2 * fx.queries.size() * sizeof(key_t));  // keys out + ranks back
+}
+
+TEST(SimCluster, ReplicatedHasNoNetworkTraffic) {
+  const auto& fx = fixture();
+  const auto report =
+      SimCluster(base_config(Method::kB)).run(fx.keys, fx.queries);
+  EXPECT_EQ(report.messages, 0u);
+  EXPECT_EQ(report.wire_bytes, 0u);
+  EXPECT_EQ(report.slave_idle_fraction, 0.0);
+}
+
+TEST(SimCluster, MasterBreakdownHasNoTreeMisses) {
+  // The master only touches the (tiny, hot) delimiter array: its memory
+  // charge must be negligible next to the slaves'.
+  const auto& fx = fixture();
+  const auto report =
+      SimCluster(base_config(Method::kC3)).run(fx.keys, fx.queries);
+  const auto& master = report.nodes[0].charges;
+  EXPECT_LT(ps_to_ns(master.memory), 0.05 * ps_to_ns(master.total()));
+}
+
+TEST(SimCluster, MethodAInsensitiveToBatchSize) {
+  const auto& fx = fixture();
+  const auto small =
+      SimCluster(base_config(Method::kA, 8 * KiB)).run(fx.keys, fx.queries);
+  const auto large =
+      SimCluster(base_config(Method::kA, 4 * MiB)).run(fx.keys, fx.queries);
+  EXPECT_EQ(small.makespan, large.makespan);
+}
+
+TEST(SimCluster, MethodBImprovesWithBatchSize) {
+  const auto& fx = fixture();
+  const auto small =
+      SimCluster(base_config(Method::kB, 8 * KiB)).run(fx.keys, fx.queries);
+  const auto large =
+      SimCluster(base_config(Method::kB, 512 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_LT(large.makespan, small.makespan);
+}
+
+// Paper-scale workload (Table 1: 327 K index keys, larger than L2), used
+// by the shape assertions — at the small fixture's 65 K keys the tree
+// fits in cache and Method A legitimately wins, which is exactly the
+// regime the paper excludes.
+const Fixture& paper_fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(9);
+    fx.keys = workload::make_sorted_unique_keys(327680, rng);
+    fx.queries = workload::make_uniform_queries(1 << 19, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+TEST(SimCluster, Figure3OrderingAtMidBatch) {
+  // Sec. 4.1: at 32-64 KB batches the distributed in-cache methods beat
+  // both replicated baselines ("a 22% reduction in run time").
+  const auto& fx = paper_fixture();
+  const auto a =
+      SimCluster(base_config(Method::kA, 64 * KiB)).run(fx.keys, fx.queries);
+  const auto b =
+      SimCluster(base_config(Method::kB, 64 * KiB)).run(fx.keys, fx.queries);
+  const auto c3 =
+      SimCluster(base_config(Method::kC3, 64 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_LT(c3.makespan, a.makespan);
+  EXPECT_LT(c3.makespan, b.makespan);
+  EXPECT_GT(static_cast<double>(a.makespan) /
+                static_cast<double>(c3.makespan),
+            1.15);
+}
+
+TEST(SimCluster, Figure3CrossoverAtSmallBatch) {
+  // Sec. 4.1: "If a batch size is 16 KB or less, Methods C-1, C-2, and
+  // C-3 are worse than method B and method A." Our crossover sits at
+  // ~8 KB (see EXPERIMENTS.md): per-message MPI/OS overhead dominates.
+  const auto& fx = paper_fixture();
+  const auto a =
+      SimCluster(base_config(Method::kA, 8 * KiB)).run(fx.keys, fx.queries);
+  const auto c3 =
+      SimCluster(base_config(Method::kC3, 8 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_GT(c3.makespan, a.makespan);
+}
+
+TEST(SimCluster, SlaveIdleShrinksWithBatchSize) {
+  // Sec. 4.1: slaves idle ~50% at 8 KB, ~20% at 4 MB — idle shrinks as
+  // per-message overheads amortize (within the pipelined regime; batches
+  // comparable to the whole workload degenerate, see EXPERIMENTS.md).
+  const auto& fx = fixture();
+  const auto small =
+      SimCluster(base_config(Method::kC3, 8 * KiB)).run(fx.keys, fx.queries);
+  const auto large =
+      SimCluster(base_config(Method::kC3, 32 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_GT(small.slave_idle_fraction, large.slave_idle_fraction);
+}
+
+TEST(SimCluster, FewerMessagesWithBiggerBatches) {
+  const auto& fx = fixture();
+  const auto small =
+      SimCluster(base_config(Method::kC3, 8 * KiB)).run(fx.keys, fx.queries);
+  const auto large =
+      SimCluster(base_config(Method::kC3, 256 * KiB)).run(fx.keys, fx.queries);
+  EXPECT_GT(small.messages, large.messages);
+}
+
+TEST(SimCluster, WorksWithTwoNodes) {
+  // Degenerate cluster: one master, one slave.
+  const auto& fx = fixture();
+  auto cfg = base_config(Method::kC3);
+  cfg.num_nodes = 2;
+  std::vector<rank_t> ranks;
+  SimCluster(cfg).run(fx.keys, fx.queries, &ranks);
+  EXPECT_EQ(ranks, fx.expected);
+}
+
+TEST(SimCluster, PollutionFlagsChangeTiming) {
+  const auto& fx = fixture();
+  auto cfg = base_config(Method::kC3, 256 * KiB);
+  const auto with = SimCluster(cfg).run(fx.keys, fx.queries);
+  cfg.pollute_streams = false;
+  cfg.dma_pollution = false;
+  const auto without = SimCluster(cfg).run(fx.keys, fx.queries);
+  // Pollution can only hurt (or not matter); it must never help.
+  EXPECT_LE(without.makespan, with.makespan);
+}
+
+TEST(SimCluster, ZipfSkewStillExact) {
+  Rng rng(77);
+  const auto& fx = fixture();
+  const auto skewed = workload::make_zipf_queries(50000, 10, 1.1, rng);
+  const auto expected = workload::reference_ranks(fx.keys, skewed);
+  std::vector<rank_t> ranks;
+  SimCluster(base_config(Method::kC3)).run(fx.keys, skewed, &ranks);
+  EXPECT_EQ(ranks, expected);
+}
+
+TEST(SimCluster, PaperScaleMethodCHeadline) {
+  // The abstract's headline: "the new approach is shown to be 50%
+  // faster". Our simulated gap at 128 KB batches is ~1.3x (the paper's
+  // own Figure 3 reads ~1.2x there, ~1.5x at its plateau).
+  const auto& fx = paper_fixture();
+  const auto a = SimCluster(base_config(Method::kA, 128 * KiB))
+                     .run(fx.keys, fx.queries);
+  const auto c3 = SimCluster(base_config(Method::kC3, 128 * KiB))
+                      .run(fx.keys, fx.queries);
+  EXPECT_LT(c3.makespan, a.makespan);
+  EXPECT_GT(static_cast<double>(a.makespan) /
+                static_cast<double>(c3.makespan),
+            1.2);
+}
+
+}  // namespace
+}  // namespace dici::core

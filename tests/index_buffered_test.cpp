@@ -1,0 +1,162 @@
+#include "src/index/buffered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/arch/machine.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+std::vector<BufferedItem> make_items(const std::vector<key_t>& queries) {
+  std::vector<BufferedItem> items;
+  items.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    items.push_back({queries[i], static_cast<std::uint32_t>(i)});
+  return items;
+}
+
+TEST(LevelsPerGroup, RespectsCacheBudget) {
+  Rng rng(2);
+  const auto keys = workload::make_sorted_unique_keys(1 << 20, rng);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers});
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = 512 * KiB;
+  cfg.buffer_fraction = 0.5;
+  const std::uint32_t g = levels_per_group(tree, cfg);
+  // Subtree of g levels fits in the non-buffer half...
+  std::uint64_t nodes = 0, width = 1;
+  for (std::uint32_t l = 0; l < g; ++l, width *= 4) nodes += width;
+  EXPECT_LE(nodes * 32, 256 * KiB);
+  // ...and one more level would not (g is maximal), unless the whole
+  // tree already fits.
+  if (g < tree.internal_levels()) {
+    EXPECT_GT((nodes + width) * 32, 256 * KiB);
+  }
+}
+
+TEST(LevelsPerGroup, AtLeastOneEvenForTinyCaches) {
+  Rng rng(3);
+  const auto keys = workload::make_sorted_unique_keys(100000, rng);
+  const StaticTree tree(keys, {32, TreeLayout::kCsbFirstChild});
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = 64;  // absurdly small
+  EXPECT_EQ(levels_per_group(tree, cfg), 1u);
+}
+
+struct BufferedCase {
+  std::size_t num_keys;
+  std::size_t num_queries;
+  TreeLayout layout;
+  std::uint64_t target;
+};
+
+class BufferedParam : public ::testing::TestWithParam<BufferedCase> {};
+
+TEST_P(BufferedParam, EquivalentToDirectLookup) {
+  const auto& p = GetParam();
+  Rng rng(p.num_keys + p.num_queries);
+  const auto keys = workload::make_sorted_unique_keys(p.num_keys, rng);
+  const auto queries = workload::make_uniform_queries(p.num_queries, rng);
+  const StaticTree tree(keys, {32, p.layout});
+
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = p.target;
+  sim::NullProbe probe;
+  BufferedResults results;
+  const auto items = make_items(queries);
+  buffered_lookup(tree, items, cfg, probe, results);
+
+  ASSERT_EQ(results.size(), queries.size());
+  const auto ranks = unpermute(results);
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ASSERT_EQ(ranks[i], tree.lookup(queries[i])) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BufferedParam,
+    ::testing::Values(
+        BufferedCase{1000, 500, TreeLayout::kExplicitPointers, 512 * KiB},
+        BufferedCase{1000, 500, TreeLayout::kExplicitPointers, 1 * KiB},
+        BufferedCase{100000, 20000, TreeLayout::kExplicitPointers, 16 * KiB},
+        BufferedCase{100000, 20000, TreeLayout::kCsbFirstChild, 16 * KiB},
+        BufferedCase{100000, 20000, TreeLayout::kCsbFirstChild, 512 * KiB},
+        BufferedCase{50, 1000, TreeLayout::kExplicitPointers, 512 * KiB},
+        BufferedCase{7, 100, TreeLayout::kExplicitPointers, 512 * KiB}));
+
+TEST(Buffered, EmptyBatchProducesNoResults) {
+  Rng rng(4);
+  const auto keys = workload::make_sorted_unique_keys(1000, rng);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers});
+  sim::NullProbe probe;
+  BufferedResults results;
+  buffered_lookup(tree, {}, BufferedConfig{}, probe, results);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Buffered, SingleItem) {
+  Rng rng(5);
+  const auto keys = workload::make_sorted_unique_keys(100000, rng);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers});
+  sim::NullProbe probe;
+  BufferedResults results;
+  const std::vector<BufferedItem> items{{keys[500], 0}};
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = 4 * KiB;
+  buffered_lookup(tree, items, cfg, probe, results);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].second, 501u);
+}
+
+TEST(Buffered, ChargesLessMemoryTimeThanDirectOnBigTree) {
+  // The whole point of Zhou-Ross: a batch pass over an out-of-cache tree
+  // costs fewer misses than one-by-one traversal.
+  Rng rng(6);
+  const auto keys = workload::make_sorted_unique_keys(1 << 20, rng);
+  const auto queries = workload::make_uniform_queries(1 << 15, rng);
+  sim::AddressSpace space(32);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers}, &space);
+  const auto machine = arch::pentium3_cluster();
+
+  sim::MemoryProbe direct(machine);
+  for (const key_t q : queries) tree.lookup(q, direct);
+
+  sim::MemoryProbe buffered(machine);
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = machine.l2.size_bytes;
+  BufferedResults results;
+  buffered_lookup(tree, make_items(queries), cfg, buffered, results);
+
+  EXPECT_LT(buffered.breakdown().memory, direct.breakdown().memory);
+}
+
+TEST(Buffered, ScratchRegionPollutesWhenConfigured) {
+  Rng rng(7);
+  const auto keys = workload::make_sorted_unique_keys(10000, rng);
+  const auto queries = workload::make_uniform_queries(1000, rng);
+  sim::AddressSpace space(32);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers}, &space);
+  sim::MemoryProbe probe(arch::pentium3_cluster());
+  BufferedConfig cfg;
+  cfg.target_cache_bytes = 4 * KiB;
+  cfg.scratch_bytes = 8 * KiB;
+  cfg.scratch_base = space.allocate(cfg.scratch_bytes);
+  BufferedResults results;
+  buffered_lookup(tree, make_items(queries), cfg, probe, results);
+  EXPECT_GT(probe.streamed_bytes(), 0u);
+  EXPECT_EQ(results.size(), queries.size());
+}
+
+TEST(Unpermute, RestoresOrder) {
+  const BufferedResults results{{2, 30}, {0, 10}, {1, 20}};
+  const auto ranks = unpermute(results);
+  EXPECT_EQ(ranks, (std::vector<rank_t>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace dici::index

@@ -1,0 +1,118 @@
+#include "src/index/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/index/sorted_array.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+TEST(Partitioner, SinglePartitionOwnsEverything) {
+  const std::vector<key_t> keys{1, 2, 3, 4, 5};
+  const RangePartitioner part(keys, 1);
+  EXPECT_EQ(part.parts(), 1u);
+  EXPECT_EQ(part.start_of(0), 0u);
+  EXPECT_EQ(part.end_of(0), 5u);
+  EXPECT_EQ(part.route(0), 0u);
+  EXPECT_EQ(part.route(0xFFFFFFFFu), 0u);
+}
+
+TEST(Partitioner, NearEqualSizes) {
+  Rng rng(1);
+  const auto keys = workload::make_sorted_unique_keys(100003, rng);
+  const RangePartitioner part(keys, 10);
+  for (std::uint32_t p = 0; p < 10; ++p) {
+    EXPECT_NEAR(static_cast<double>(part.size_of(p)), 10000.3, 1.0);
+  }
+}
+
+TEST(Partitioner, PartitionsCoverArrayExactly) {
+  Rng rng(2);
+  const auto keys = workload::make_sorted_unique_keys(1000, rng);
+  const RangePartitioner part(keys, 7);
+  rank_t expected_start = 0;
+  for (std::uint32_t p = 0; p < 7; ++p) {
+    EXPECT_EQ(part.start_of(p), expected_start);
+    expected_start = part.end_of(p);
+    const auto slice = part.keys_of(p);
+    EXPECT_TRUE(std::equal(slice.begin(), slice.end(),
+                           keys.begin() + part.start_of(p)));
+  }
+  EXPECT_EQ(expected_start, keys.size());
+}
+
+TEST(Partitioner, RouteInvariantHoldsForRandomQueries) {
+  // The central correctness property (Sec. 3.2): a query's global
+  // upper-bound rank always lies within its routed partition's range, so
+  // slave-local rank + partition start is exact.
+  Rng rng(3);
+  const auto keys = workload::make_sorted_unique_keys(50000, rng);
+  const RangePartitioner part(keys, 9);
+  for (int i = 0; i < 20000; ++i) {
+    const key_t q = static_cast<key_t>(rng.next());
+    const std::uint32_t p = part.route(q);
+    const auto global = static_cast<rank_t>(
+        std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+    ASSERT_GE(global, part.start_of(p)) << "q=" << q;
+    ASSERT_LE(global, part.end_of(p)) << "q=" << q;
+    // And composing with the slave-side structure is exact:
+    const SortedArrayIndex slave(part.keys_of(p));
+    ASSERT_EQ(part.start_of(p) + slave.upper_bound_rank(q), global);
+  }
+}
+
+TEST(Partitioner, RouteBoundaryKeys) {
+  Rng rng(4);
+  const auto keys = workload::make_sorted_unique_keys(10000, rng);
+  const RangePartitioner part(keys, 8);
+  for (std::uint32_t p = 1; p < 8; ++p) {
+    const key_t first = keys[part.start_of(p)];
+    // The first key of partition p routes to p; one less routes to p-1.
+    EXPECT_EQ(part.route(first), p);
+    EXPECT_EQ(part.route(first - 1), p - 1);
+  }
+}
+
+TEST(Partitioner, AsManyPartitionsAsKeys) {
+  const std::vector<key_t> keys{10, 20, 30, 40};
+  const RangePartitioner part(keys, 4);
+  for (std::uint32_t p = 0; p < 4; ++p) EXPECT_EQ(part.size_of(p), 1u);
+  EXPECT_EQ(part.route(15), 0u);
+  EXPECT_EQ(part.route(20), 1u);
+  EXPECT_EQ(part.route(45), 3u);
+}
+
+TEST(PartitionerDeath, RejectsBadInputs) {
+  const std::vector<key_t> keys{1, 2, 3};
+  EXPECT_DEATH(RangePartitioner(keys, 5), "more partitions than keys");
+  const std::vector<key_t> empty;
+  EXPECT_DEATH(RangePartitioner(empty, 1), "empty");
+  const std::vector<key_t> unsorted{3, 1, 2};
+  EXPECT_DEATH(RangePartitioner(unsorted, 1), "sorted");
+}
+
+class PartitionCounts : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionCounts, CompositionIsAlwaysExact) {
+  Rng rng(GetParam());
+  const auto keys = workload::make_sorted_unique_keys(20011, rng);
+  const RangePartitioner part(keys, GetParam());
+  const auto queries = workload::make_uniform_queries(5000, rng);
+  const auto expected = workload::reference_ranks(keys, queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::uint32_t p = part.route(queries[i]);
+    const SortedArrayIndex slave(part.keys_of(p));
+    ASSERT_EQ(part.start_of(p) + slave.upper_bound_rank(queries[i]),
+              expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionCounts,
+                         ::testing::Values(1, 2, 3, 5, 10, 16, 100, 1024));
+
+}  // namespace
+}  // namespace dici::index

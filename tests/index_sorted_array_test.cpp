@@ -1,0 +1,98 @@
+#include "src/index/sorted_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/arch/machine.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+TEST(SortedArray, MatchesStdUpperBoundExhaustively) {
+  const std::vector<key_t> keys{2, 5, 5 + 2, 10, 100, 1000};
+  const SortedArrayIndex idx(keys);
+  for (key_t q = 0; q < 1100; ++q) {
+    const auto expected = static_cast<rank_t>(
+        std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+    EXPECT_EQ(idx.upper_bound_rank(q), expected) << "q=" << q;
+  }
+}
+
+TEST(SortedArray, Extremes) {
+  const std::vector<key_t> keys{10, 20, 30};
+  const SortedArrayIndex idx(keys);
+  EXPECT_EQ(idx.upper_bound_rank(0), 0u);
+  EXPECT_EQ(idx.upper_bound_rank(9), 0u);
+  EXPECT_EQ(idx.upper_bound_rank(10), 1u);
+  EXPECT_EQ(idx.upper_bound_rank(30), 3u);
+  EXPECT_EQ(idx.upper_bound_rank(0xFFFFFFFFu), 3u);
+}
+
+TEST(SortedArray, SingleElement) {
+  const std::vector<key_t> keys{42};
+  const SortedArrayIndex idx(keys);
+  EXPECT_EQ(idx.upper_bound_rank(41), 0u);
+  EXPECT_EQ(idx.upper_bound_rank(42), 1u);
+}
+
+TEST(SortedArray, InstrumentedAgreesWithNative) {
+  Rng rng(17);
+  const auto keys = workload::make_sorted_unique_keys(5000, rng);
+  const SortedArrayIndex idx(keys, /*logical_base=*/1 << 20);
+  sim::MemoryProbe probe(arch::pentium3_cluster());
+  for (int i = 0; i < 2000; ++i) {
+    const key_t q = static_cast<key_t>(rng.next());
+    EXPECT_EQ(idx.upper_bound_rank(q, probe), idx.upper_bound_rank(q));
+  }
+}
+
+TEST(SortedArray, ProbeStepCountIsLogarithmic) {
+  Rng rng(3);
+  const auto keys = workload::make_sorted_unique_keys(1 << 14, rng);
+  const SortedArrayIndex idx(keys);
+  sim::MemoryProbe probe(arch::pentium3_cluster());
+  idx.upper_bound_rank(static_cast<key_t>(rng.next()), probe);
+  // One key_compare per halving step: exactly log2(2^14) = 14 of them.
+  const double compares =
+      ps_to_ns(probe.breakdown().compute) /
+      arch::pentium3_cluster().hot_compare_ns;
+  EXPECT_NEAR(compares, 14.0, 0.01);
+}
+
+TEST(SortedArrayDeath, RejectsUnsorted) {
+  const std::vector<key_t> keys{3, 1, 2};
+  EXPECT_DEATH(SortedArrayIndex idx{keys}, "sorted");
+}
+
+class SortedArraySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortedArraySizes, RandomizedEquivalence) {
+  Rng rng(GetParam() * 7919 + 1);
+  const auto keys = workload::make_sorted_unique_keys(GetParam(), rng);
+  const SortedArrayIndex idx(keys);
+  for (int i = 0; i < 3000; ++i) {
+    const key_t q = static_cast<key_t>(rng.next());
+    const auto expected = static_cast<rank_t>(
+        std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+    ASSERT_EQ(idx.upper_bound_rank(q), expected);
+  }
+  // Also probe the exact stored keys and their neighbours.
+  for (std::size_t i = 0; i < keys.size(); i += keys.size() / 50 + 1) {
+    const key_t k = keys[i];
+    ASSERT_EQ(idx.upper_bound_rank(k), static_cast<rank_t>(i + 1));
+    if (k > 0)
+      ASSERT_EQ(idx.upper_bound_rank(k - 1), static_cast<rank_t>(i))
+          << "only when k-1 is not also a key";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortedArraySizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 64, 1000, 4096,
+                                           100000));
+
+}  // namespace
+}  // namespace dici::index

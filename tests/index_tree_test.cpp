@@ -1,0 +1,202 @@
+#include "src/index/static_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/arch/machine.hpp"
+#include "src/index/geometry.hpp"
+#include "src/sim/probe.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+rank_t reference(const std::vector<key_t>& keys, key_t q) {
+  return static_cast<rank_t>(
+      std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+}
+
+TEST(TreeConfig, BranchingFromLayout) {
+  const TreeConfig explicit32{32, TreeLayout::kExplicitPointers};
+  EXPECT_EQ(explicit32.branching(), 4u);   // 3 separators + 4 pointers
+  EXPECT_EQ(explicit32.leaf_keys(), 8u);
+  const TreeConfig csb32{32, TreeLayout::kCsbFirstChild};
+  EXPECT_EQ(csb32.branching(), 8u);        // 7 separators + 1 pointer
+  const TreeConfig explicit64{64, TreeLayout::kExplicitPointers};
+  EXPECT_EQ(explicit64.branching(), 8u);
+  const TreeConfig csb64{64, TreeLayout::kCsbFirstChild};
+  EXPECT_EQ(csb64.branching(), 16u);
+}
+
+TEST(Geometry, SingleLeafBlock) {
+  const auto g = compute_geometry(5, {32, TreeLayout::kExplicitPointers});
+  EXPECT_EQ(g.levels(), 1u);
+  EXPECT_EQ(g.internal_levels(), 0u);
+  EXPECT_EQ(g.leaf_blocks(), 1u);
+  EXPECT_EQ(g.arena_bytes(), 0u);
+}
+
+TEST(Geometry, LevelWidthsShrinkByBranching) {
+  const auto g =
+      compute_geometry(100000, {32, TreeLayout::kExplicitPointers});
+  ASSERT_GE(g.levels(), 3u);
+  EXPECT_EQ(g.lines.front(), 1u);  // root
+  for (std::size_t i = 1; i < g.lines.size(); ++i) {
+    EXPECT_GT(g.lines[i], g.lines[i - 1]);
+    EXPECT_EQ(g.lines[i - 1], (g.lines[i] + 3) / 4);  // ceil(next/branching)
+  }
+  EXPECT_EQ(g.lines.back(), (100000 + 7) / 8u);
+}
+
+TEST(Geometry, PaperScaleFootprint) {
+  // 327 K keys (Table 1). The explicit-pointer tree must overflow a
+  // 512 KB L2 (that is the paper's premise for Methods A/B).
+  const auto g =
+      compute_geometry(327680, {32, TreeLayout::kExplicitPointers});
+  EXPECT_GT(g.total_bytes(), 512 * KiB);
+  // The CSB tree of one slave partition (1/10th) must fit in L2.
+  const auto slave = compute_geometry(32768, {32, TreeLayout::kCsbFirstChild});
+  EXPECT_LT(slave.total_bytes(), 512 * KiB);
+}
+
+TEST(Geometry, CsbIsShallowerThanExplicit) {
+  const auto e = compute_geometry(1 << 20, {32, TreeLayout::kExplicitPointers});
+  const auto c = compute_geometry(1 << 20, {32, TreeLayout::kCsbFirstChild});
+  EXPECT_LT(c.levels(), e.levels());
+  EXPECT_LT(c.arena_bytes(), e.arena_bytes());
+}
+
+struct TreeCase {
+  std::size_t num_keys;
+  TreeLayout layout;
+  std::uint32_t node_bytes;
+};
+
+class StaticTreeParam : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(StaticTreeParam, MatchesUpperBoundOnRandomQueries) {
+  const auto& p = GetParam();
+  Rng rng(p.num_keys * 31 + static_cast<int>(p.layout));
+  const auto keys = workload::make_sorted_unique_keys(p.num_keys, rng);
+  const StaticTree tree(keys, {p.node_bytes, p.layout});
+  for (int i = 0; i < 4000; ++i) {
+    const key_t q = static_cast<key_t>(rng.next());
+    ASSERT_EQ(tree.lookup(q), reference(keys, q)) << "q=" << q;
+  }
+}
+
+TEST_P(StaticTreeParam, MatchesUpperBoundOnBoundaryQueries) {
+  const auto& p = GetParam();
+  Rng rng(p.num_keys * 17 + static_cast<int>(p.layout));
+  const auto keys = workload::make_sorted_unique_keys(p.num_keys, rng);
+  const StaticTree tree(keys, {p.node_bytes, p.layout});
+  // Exact keys, keys +- 1, and the type extremes: the places where an
+  // off-by-one in separators would show.
+  const std::size_t step = keys.size() / 200 + 1;
+  for (std::size_t i = 0; i < keys.size(); i += step) {
+    for (const key_t q : {keys[i], static_cast<key_t>(keys[i] - 1),
+                          static_cast<key_t>(keys[i] + 1)}) {
+      ASSERT_EQ(tree.lookup(q), reference(keys, q)) << "q=" << q;
+    }
+  }
+  EXPECT_EQ(tree.lookup(0u), reference(keys, 0));
+  EXPECT_EQ(tree.lookup(0xFFFFFFFFu), reference(keys, 0xFFFFFFFFu));
+}
+
+TEST_P(StaticTreeParam, GeometryMatchesBuiltTree) {
+  const auto& p = GetParam();
+  Rng rng(5);
+  const auto keys = workload::make_sorted_unique_keys(p.num_keys, rng);
+  const StaticTree tree(keys, {p.node_bytes, p.layout});
+  const auto g = compute_geometry(p.num_keys, {p.node_bytes, p.layout});
+  EXPECT_EQ(tree.internal_levels(), g.internal_levels());
+  EXPECT_EQ(tree.num_leaf_blocks(), g.leaf_blocks());
+  EXPECT_EQ(tree.arena_bytes(), g.arena_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StaticTreeParam,
+    ::testing::Values(
+        TreeCase{1, TreeLayout::kExplicitPointers, 32},
+        TreeCase{7, TreeLayout::kExplicitPointers, 32},
+        TreeCase{8, TreeLayout::kExplicitPointers, 32},
+        TreeCase{9, TreeLayout::kCsbFirstChild, 32},
+        TreeCase{100, TreeLayout::kExplicitPointers, 32},
+        TreeCase{100, TreeLayout::kCsbFirstChild, 32},
+        TreeCase{4096, TreeLayout::kExplicitPointers, 32},
+        TreeCase{4097, TreeLayout::kCsbFirstChild, 32},
+        TreeCase{50000, TreeLayout::kExplicitPointers, 32},
+        TreeCase{50000, TreeLayout::kCsbFirstChild, 32},
+        TreeCase{50000, TreeLayout::kExplicitPointers, 64},
+        TreeCase{50000, TreeLayout::kCsbFirstChild, 64},
+        TreeCase{327680, TreeLayout::kExplicitPointers, 32},
+        TreeCase{327680, TreeLayout::kCsbFirstChild, 32}));
+
+TEST(StaticTree, DescendPlusLeafRankEqualsLookup) {
+  Rng rng(23);
+  const auto keys = workload::make_sorted_unique_keys(20000, rng);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers});
+  sim::NullProbe probe;
+  ASSERT_GE(tree.internal_levels(), 2u);
+  for (int i = 0; i < 1000; ++i) {
+    const key_t q = static_cast<key_t>(rng.next());
+    // Descend in two hops of arbitrary split.
+    const std::uint32_t split = tree.internal_levels() / 2;
+    const std::uint32_t mid = tree.descend(0, 0, q, split, probe);
+    const std::uint32_t leaf =
+        tree.descend(split, mid, q, tree.internal_levels() - split, probe);
+    ASSERT_EQ(tree.leaf_rank(leaf, q, probe), tree.lookup(q));
+  }
+}
+
+TEST(StaticTree, InstrumentedTouchesOneLinePerLevel) {
+  Rng rng(29);
+  const auto keys = workload::make_sorted_unique_keys(100000, rng);
+  sim::AddressSpace space(32);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers}, &space);
+  sim::MemoryProbe probe(arch::pentium3_cluster());
+  tree.lookup(static_cast<key_t>(rng.next()), probe);
+  // Cold caches: every level's line is a memory miss, plus the leaf.
+  const auto levels = tree.internal_levels() + 1;
+  EXPECT_EQ(probe.l1_stats().misses, levels);
+  EXPECT_EQ(probe.breakdown().memory,
+            levels * ns_to_ps(arch::pentium3_cluster().l2.miss_penalty_ns));
+  // And exactly one node_compare per level.
+  EXPECT_EQ(probe.breakdown().compute,
+            levels * ns_to_ps(arch::pentium3_cluster().comp_cost_node_ns));
+}
+
+TEST(StaticTree, LogicalAddressesAreDisjoint) {
+  Rng rng(31);
+  const auto keys = workload::make_sorted_unique_keys(10000, rng);
+  sim::AddressSpace space(32);
+  const StaticTree tree(keys, {32, TreeLayout::kCsbFirstChild}, &space);
+  EXPECT_NE(tree.arena_logical_base(), tree.keys_logical_base());
+  EXPECT_GE(tree.keys_logical_base(),
+            tree.arena_logical_base() + tree.arena_bytes());
+}
+
+TEST(StaticTreeDeath, RejectsEmptyAndUnsorted) {
+  const std::vector<key_t> empty;
+  EXPECT_DEATH(StaticTree(empty, {32, TreeLayout::kExplicitPointers}),
+               "empty");
+  const std::vector<key_t> unsorted{3, 1};
+  EXPECT_DEATH(StaticTree(unsorted, {32, TreeLayout::kExplicitPointers}),
+               "sorted");
+}
+
+TEST(StaticTree, DuplicateQueriesOnDenseKeys) {
+  // Dense consecutive keys: every query value is a key.
+  std::vector<key_t> keys(1000);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = static_cast<key_t>(i + 100);
+  const StaticTree tree(keys, {32, TreeLayout::kExplicitPointers});
+  for (key_t q = 0; q < 1300; ++q)
+    ASSERT_EQ(tree.lookup(q), reference(keys, q));
+}
+
+}  // namespace
+}  // namespace dici::index

@@ -1,0 +1,43 @@
+#include "src/sim/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dici::sim {
+namespace {
+
+TEST(AddressSpace, AllocationsAreDisjointAndAligned) {
+  AddressSpace space(64);
+  const laddr_t a = space.allocate(100);
+  const laddr_t b = space.allocate(1);
+  const laddr_t c = space.allocate(64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_EQ(c % 64, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 1);
+}
+
+TEST(AddressSpace, DeterministicLayout) {
+  AddressSpace s1(32), s2(32);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(s1.allocate(100 + i), s2.allocate(100 + i));
+}
+
+TEST(AddressSpace, NeverHandsOutZero) {
+  AddressSpace space(32);
+  EXPECT_GT(space.allocate(4), 0u);
+}
+
+TEST(AddressSpace, UsedTracksRoundedBytes) {
+  AddressSpace space(32);
+  space.allocate(1);   // rounds to 32
+  space.allocate(33);  // rounds to 64
+  EXPECT_EQ(space.used(), 96u);
+}
+
+TEST(AddressSpaceDeath, RejectsNonPowerOfTwoAlignment) {
+  EXPECT_DEATH(AddressSpace space(48), "");
+}
+
+}  // namespace
+}  // namespace dici::sim

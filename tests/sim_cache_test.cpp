@@ -1,0 +1,159 @@
+#include "src/sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/bytes.hpp"
+
+namespace dici::sim {
+namespace {
+
+arch::CacheGeometry tiny_cache() {
+  // 4 sets x 2 ways x 32 B lines = 256 B.
+  return {256, 32, 2, 10.0};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(31));   // same line
+  EXPECT_FALSE(c.access(32));  // next line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache c(tiny_cache());
+  // Three lines mapping to set 0 (stride = sets * line = 128).
+  c.access(0);
+  c.access(128);
+  c.access(256);            // evicts line 0 (LRU)
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(128));
+  EXPECT_TRUE(c.contains(256));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, TouchRefreshesLru) {
+  Cache c(tiny_cache());
+  c.access(0);
+  c.access(128);
+  c.access(0);    // 0 becomes MRU
+  c.access(256);  // evicts 128, not 0
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(128));
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache c(tiny_cache());
+  c.access(0);    // set 0
+  c.access(32);   // set 1
+  c.access(64);   // set 2
+  c.access(96);   // set 3
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(32));
+  EXPECT_TRUE(c.contains(64));
+  EXPECT_TRUE(c.contains(96));
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, FillDoesNotCountDemand) {
+  Cache c(tiny_cache());
+  c.fill(0);
+  EXPECT_EQ(c.stats().accesses(), 0u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.access(0));  // now a demand hit
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, FillReportsPriorResidency) {
+  Cache c(tiny_cache());
+  EXPECT_FALSE(c.fill(0));
+  EXPECT_TRUE(c.fill(0));
+}
+
+TEST(Cache, ClearDropsContentsKeepsStats) {
+  Cache c(tiny_cache());
+  c.access(0);
+  c.clear();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.stats().misses, 1u);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheAlwaysMisses) {
+  Cache c(tiny_cache());  // 8 lines total
+  // Cycle through 16 lines twice: with LRU and a round-robin pattern
+  // nothing survives until reuse.
+  for (int round = 0; round < 2; ++round)
+    for (laddr_t a = 0; a < 16 * 32; a += 32) c.access(a);
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 32u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAllHitsAfterWarmup) {
+  Cache c(tiny_cache());
+  for (int round = 0; round < 3; ++round)
+    for (laddr_t a = 0; a < 8 * 32; a += 32) c.access(a);
+  EXPECT_EQ(c.stats().misses, 8u);   // cold only
+  EXPECT_EQ(c.stats().hits, 16u);
+}
+
+TEST(Cache, MissRate) {
+  Cache c(tiny_cache());
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+}
+
+// Pentium III-sized geometry sanity.
+TEST(Cache, PaperGeometry) {
+  Cache l2({512 * KiB, 32, 8, 110.0});
+  // Touch a 3.2 MB "tree": far more lines than fit.
+  const std::uint64_t lines = (3200 * KiB) / 32;
+  for (std::uint64_t i = 0; i < lines; ++i) l2.access(i * 32);
+  EXPECT_EQ(l2.stats().misses, lines);
+  // Second pass: still ~all misses (LRU + sequential sweep).
+  for (std::uint64_t i = 0; i < lines; ++i) l2.access(i * 32);
+  EXPECT_EQ(l2.stats().hits, 0u);
+}
+
+struct GeometryCase {
+  std::uint64_t size;
+  std::uint32_t line;
+  std::uint32_t ways;
+};
+
+class CacheGeometryParam : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(CacheGeometryParam, ResidencyNeverExceedsCapacity) {
+  const auto& p = GetParam();
+  Cache c({p.size, p.line, p.ways, 1.0});
+  const std::uint64_t lines = p.size / p.line;
+  // Touch 4x capacity, then count residents among all touched lines.
+  for (std::uint64_t i = 0; i < 4 * lines; ++i) c.access(i * p.line);
+  std::uint64_t resident = 0;
+  for (std::uint64_t i = 0; i < 4 * lines; ++i)
+    resident += c.contains(i * p.line);
+  EXPECT_EQ(resident, lines);
+}
+
+TEST_P(CacheGeometryParam, RepeatedSingleLineAlwaysHits) {
+  const auto& p = GetParam();
+  Cache c({p.size, p.line, p.ways, 1.0});
+  c.access(p.line * 3);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(c.access(p.line * 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometryParam,
+    ::testing::Values(GeometryCase{16 * KiB, 32, 4},   // P3 L1
+                      GeometryCase{512 * KiB, 32, 8},  // P3 L2
+                      GeometryCase{8 * KiB, 64, 4},    // P4 L1
+                      GeometryCase{512 * KiB, 128, 8}, // P4 L2
+                      GeometryCase{1 * KiB, 64, 1},    // direct-mapped
+                      GeometryCase{2 * KiB, 32, 2}));
+
+}  // namespace
+}  // namespace dici::sim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/arch/machine.hpp"
+#include "src/sim/probe.hpp"
+#include "src/sim/tlb.hpp"
+#include "src/util/bytes.hpp"
+
+namespace dici::sim {
+namespace {
+
+TEST(Tlb, HitAfterMiss) {
+  Tlb tlb(4, 4096);
+  EXPECT_FALSE(tlb.access(0));
+  EXPECT_TRUE(tlb.access(100));    // same page
+  EXPECT_FALSE(tlb.access(4096));  // next page
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb tlb(2, 4096);
+  tlb.access(0 * 4096);
+  tlb.access(1 * 4096);
+  tlb.access(0 * 4096);   // refresh page 0
+  tlb.access(2 * 4096);   // evicts page 1
+  EXPECT_TRUE(tlb.access(0 * 4096));
+  EXPECT_FALSE(tlb.access(1 * 4096));
+}
+
+TEST(Tlb, ClearForgets) {
+  Tlb tlb(4, 4096);
+  tlb.access(0);
+  tlb.clear();
+  EXPECT_FALSE(tlb.access(0));
+}
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  arch::MachineSpec machine_ = arch::pentium3_cluster();
+};
+
+TEST_F(ProbeTest, ColdTouchChargesB2) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 4);
+  EXPECT_EQ(probe.charged(), ns_to_ps(110.0));
+  EXPECT_EQ(probe.breakdown().memory, ns_to_ps(110.0));
+}
+
+TEST_F(ProbeTest, RepeatTouchIsFree) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 4);
+  const picos_t after_first = probe.charged();
+  probe.touch(8, 4);  // same line, already in L1
+  EXPECT_EQ(probe.charged(), after_first);
+  EXPECT_EQ(probe.l1_stats().hits, 1u);
+}
+
+TEST_F(ProbeTest, TouchSpanningTwoLinesChargesTwice) {
+  MemoryProbe probe(machine_);
+  probe.touch(30, 4);  // crosses the 32-byte boundary
+  EXPECT_EQ(probe.charged(), 2 * ns_to_ps(110.0));
+}
+
+TEST_F(ProbeTest, L2HitChargesB1) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 4);
+  // Evict line 0 from L1 (4-way, 128 sets, stride 4 KiB) but not from
+  // the much larger L2.
+  for (int i = 1; i <= 4; ++i)
+    probe.touch(static_cast<laddr_t>(i) * 16 * KiB, 4);
+  const picos_t before = probe.charged();
+  probe.touch(0, 4);  // L1 miss, L2 hit
+  EXPECT_EQ(probe.charged() - before, ns_to_ps(16.25));
+  EXPECT_EQ(probe.breakdown().l2_hit, ns_to_ps(16.25));
+}
+
+TEST_F(ProbeTest, StreamChargesBandwidth) {
+  MemoryProbe probe(machine_);
+  probe.charge_stream(647);  // 647 bytes at 647 MB/s = 1000 ns
+  EXPECT_NEAR(ps_to_ns(probe.charged()), 1000.0, 1.0);
+  EXPECT_EQ(probe.streamed_bytes(), 647u);
+}
+
+TEST_F(ProbeTest, StreamReadPollutesCacheWhenEnabled) {
+  MemoryProbe probe(machine_, /*pollute_streams=*/true);
+  probe.stream_read(0, 4 * KiB);
+  const picos_t after_stream = probe.charged();
+  probe.touch(0, 4);  // the streamed line is resident -> free
+  EXPECT_EQ(probe.charged(), after_stream);
+}
+
+TEST_F(ProbeTest, StreamReadNoPollutionWhenDisabled) {
+  MemoryProbe probe(machine_, /*pollute_streams=*/false);
+  probe.stream_read(0, 4 * KiB);
+  const picos_t after_stream = probe.charged();
+  probe.touch(0, 4);  // cold: full B2 penalty
+  EXPECT_EQ(probe.charged() - after_stream, ns_to_ps(110.0));
+}
+
+TEST_F(ProbeTest, DmaFillCostsNothingButWarms) {
+  MemoryProbe probe(machine_);
+  probe.dma_fill(0, 64);
+  EXPECT_EQ(probe.charged(), 0u);
+  probe.touch(0, 4);
+  EXPECT_EQ(probe.charged(), 0u);  // warmed by the DMA
+}
+
+TEST_F(ProbeTest, ComputeAndCompareCharges) {
+  MemoryProbe probe(machine_);
+  probe.node_compare();
+  EXPECT_EQ(probe.charged(), ns_to_ps(30.0));
+  probe.key_compare();
+  EXPECT_EQ(probe.charged(), ns_to_ps(30.0) + ns_to_ps(machine_.hot_compare_ns));
+  probe.compute(5.5);
+  EXPECT_EQ(probe.breakdown().compute,
+            ns_to_ps(30.0) + ns_to_ps(machine_.hot_compare_ns) + ns_to_ps(5.5));
+}
+
+TEST_F(ProbeTest, TlbMissCountsButCostsZeroByDefault) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 4);
+  probe.touch(8 * KiB, 4);
+  EXPECT_EQ(probe.tlb_stats().misses, 2u);
+  EXPECT_EQ(probe.breakdown().tlb, 0u);
+}
+
+TEST_F(ProbeTest, TlbPenaltyChargedWhenConfigured) {
+  arch::MachineSpec m = machine_;
+  m.tlb_miss_penalty_ns = 100.0;
+  MemoryProbe probe(m);
+  probe.touch(0, 4);
+  EXPECT_EQ(probe.breakdown().tlb, ns_to_ps(100.0));
+}
+
+TEST_F(ProbeTest, ResetZeroesEverything) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 64);
+  probe.charge_stream(100);
+  probe.reset();
+  EXPECT_EQ(probe.charged(), 0u);
+  EXPECT_EQ(probe.l1_stats().accesses(), 0u);
+  EXPECT_EQ(probe.l2_stats().accesses(), 0u);
+  EXPECT_EQ(probe.streamed_bytes(), 0u);
+  // And the caches are cold again.
+  probe.touch(0, 4);
+  EXPECT_EQ(probe.charged(), ns_to_ps(110.0));
+}
+
+TEST_F(ProbeTest, BreakdownTotalsMatchCharged) {
+  MemoryProbe probe(machine_);
+  probe.touch(0, 256);
+  probe.charge_stream(1000);
+  probe.node_compare();
+  const auto& b = probe.breakdown();
+  EXPECT_EQ(b.total(), probe.charged());
+  EXPECT_EQ(b.total(), b.compute + b.l2_hit + b.memory + b.stream + b.tlb);
+}
+
+TEST(NullProbe, SatisfiesConceptAndDoesNothing) {
+  static_assert(ProbeLike<NullProbe>);
+  NullProbe probe;  // all calls compile and are no-ops
+  probe.touch(0, 4);
+  probe.stream_read(0, 4);
+  probe.stream_write(0, 4);
+  probe.charge_stream(4);
+  probe.compute(1.0);
+  probe.node_compare();
+  probe.key_compare();
+}
+
+}  // namespace
+}  // namespace dici::sim

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/util/affinity.hpp"
+#include "src/util/timer.hpp"
+
+namespace dici {
+namespace {
+
+TEST(Affinity, ReportsAtLeastOneCpu) { EXPECT_GE(available_cpus(), 1); }
+
+TEST(Affinity, PinningIsBestEffortAndWrapsAround) {
+  // Pinning must succeed (Linux) or degrade gracefully; out-of-range ids
+  // wrap modulo the CPU count rather than failing.
+  std::thread t([] {
+    const bool ok0 = pin_current_thread(0);
+    const bool okBig = pin_current_thread(1 << 20);
+#if defined(__linux__)
+    EXPECT_TRUE(ok0);
+    EXPECT_TRUE(okBig);
+#else
+    (void)ok0;
+    (void)okBig;
+#endif
+  });
+  t.join();
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double sec = timer.elapsed_sec();
+  EXPECT_GE(sec, 0.015);
+  EXPECT_LT(sec, 5.0);
+  EXPECT_NEAR(timer.elapsed_ns(), timer.elapsed_sec() * 1e9,
+              timer.elapsed_sec() * 1e9 * 0.5);
+}
+
+TEST(WallTimer, StartResets) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.start();
+  EXPECT_LT(timer.elapsed_sec(), 0.01);
+}
+
+}  // namespace
+}  // namespace dici

@@ -1,0 +1,60 @@
+#include "src/util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dici {
+namespace {
+
+TEST(FormatBytes, PlainBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1023), "1023 B");
+}
+
+TEST(FormatBytes, WholeUnits) {
+  EXPECT_EQ(format_bytes(8 * KiB), "8 KB");
+  EXPECT_EQ(format_bytes(128 * KiB), "128 KB");
+  EXPECT_EQ(format_bytes(4 * MiB), "4 MB");
+  EXPECT_EQ(format_bytes(2 * GiB), "2 GB");
+}
+
+TEST(FormatBytes, FractionalUnits) {
+  EXPECT_EQ(format_bytes(1536), "1.5 KB");
+  EXPECT_EQ(format_bytes(KiB + 512 + MiB), "1.0 MB");  // rounds to 1 decimal
+}
+
+TEST(ParseBytes, PlainNumber) {
+  EXPECT_EQ(parse_bytes("123"), 123u);
+  EXPECT_EQ(parse_bytes("0"), 0u);
+}
+
+TEST(ParseBytes, Units) {
+  EXPECT_EQ(parse_bytes("8KB"), 8 * KiB);
+  EXPECT_EQ(parse_bytes("8 KB"), 8 * KiB);
+  EXPECT_EQ(parse_bytes("8kb"), 8 * KiB);
+  EXPECT_EQ(parse_bytes("8k"), 8 * KiB);
+  EXPECT_EQ(parse_bytes("4M"), 4 * MiB);
+  EXPECT_EQ(parse_bytes("1g"), GiB);
+  EXPECT_EQ(parse_bytes("77b"), 77u);
+}
+
+TEST(ParseBytes, Fractional) {
+  EXPECT_EQ(parse_bytes("1.5K"), 1536u);
+  EXPECT_EQ(parse_bytes("0.5M"), 512 * KiB);
+}
+
+TEST(ParseBytes, RoundTripsFormat) {
+  for (std::uint64_t v :
+       std::initializer_list<std::uint64_t>{1, 512, 8 * KiB, 128 * KiB,
+                                            4 * MiB, GiB}) {
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v) << format_bytes(v);
+  }
+}
+
+TEST(ParseBytesDeath, RejectsGarbage) {
+  EXPECT_DEATH((void)parse_bytes("abc"), "no leading number");
+  EXPECT_DEATH((void)parse_bytes("12x"), "unknown unit");
+}
+
+}  // namespace
+}  // namespace dici

@@ -1,0 +1,111 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace dici {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a.next();
+  a.next();
+  a.reseed(77);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear in 500 draws
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(21);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(8)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 8, draws / 80);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(20, 1.0);
+  double total = 0;
+  for (std::size_t i = 0; i < 20; ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(zipf.pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfSampler, MassDecreases) {
+  ZipfSampler zipf(16, 1.2);
+  for (std::size_t i = 1; i < 16; ++i)
+    EXPECT_GT(zipf.pmf(i - 1), zipf.pmf(i));
+}
+
+TEST(ZipfSampler, SamplesMatchPmf) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf(rng)];
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(counts[i] / static_cast<double>(draws), zipf.pmf(i), 0.01);
+}
+
+TEST(ZipfSampler, SingleOutcome) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace dici

@@ -1,0 +1,92 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dici {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(Summary, PercentilesInterpolate) {
+  Summary s;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // interpolated
+}
+
+TEST(Summary, UnsortedInput) {
+  Summary s;
+  s.add_all({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Summary, AddAfterPercentileStillWorks) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(Summary, StddevMatchesOnline) {
+  Summary s;
+  OnlineStats o;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+    o.add(x);
+  }
+  EXPECT_NEAR(s.stddev(), o.stddev(), 1e-12);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace dici

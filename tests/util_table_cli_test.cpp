@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+
+namespace dici {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_string(0);
+  // Every row starts at the same column offsets.
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("a       1"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row_values({3.5, 4.25}, 2);
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3.50,4.25\n");
+}
+
+TEST(TextTable, CountsRowsAndColumns) {
+  TextTable t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTableDeath, RowWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "row width");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(0.32, 2), "0.32");
+  EXPECT_EQ(format_double(1.0 / 3.0, 4), "0.3333");
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("test");
+  cli.add_int("n", "count", 7);
+  cli.add_flag("fast", "speed", false);
+  cli.add_string("name", "label", "x");
+  cli.add_bytes("batch", "batch size", 128 * 1024);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("n"), 7);
+  EXPECT_FALSE(cli.get_flag("fast"));
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_EQ(cli.get_bytes("batch"), 128u * 1024);
+}
+
+TEST(Cli, ParsesAllForms) {
+  Cli cli("test");
+  cli.add_int("n", "count", 0);
+  cli.add_flag("fast", "speed", false);
+  cli.add_double("ratio", "r", 0.0);
+  cli.add_bytes("batch", "batch", 0);
+  const char* argv[] = {"prog", "--n", "42", "--fast", "--ratio=2.5",
+                        "--batch", "8KB"};
+  ASSERT_TRUE(cli.parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_TRUE(cli.get_flag("fast"));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.5);
+  EXPECT_EQ(cli.get_bytes("batch"), 8u * 1024);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Cli, UsageListsFlags) {
+  Cli cli("summary line");
+  cli.add_int("workers", "how many workers", 3);
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("summary line"), std::string::npos);
+  EXPECT_NE(usage.find("--workers"), std::string::npos);
+  EXPECT_NE(usage.find("how many workers"), std::string::npos);
+}
+
+TEST(CliDeath, WrongTypeAccess) {
+  Cli cli("test");
+  cli.add_int("n", "count", 1);
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, const_cast<char**>(argv)));
+  EXPECT_DEATH((void)cli.get_flag("n"), "wrong type");
+  EXPECT_DEATH((void)cli.get_int("missing"), "never registered");
+}
+
+}  // namespace
+}  // namespace dici

@@ -1,0 +1,107 @@
+#include "src/workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/bytes.hpp"
+
+namespace dici::workload {
+namespace {
+
+TEST(MakeKeys, SortedUniqueAndSized) {
+  Rng rng(1);
+  const auto keys = make_sorted_unique_keys(100000, rng);
+  EXPECT_EQ(keys.size(), 100000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(MakeKeys, DeterministicForSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(make_sorted_unique_keys(5000, a), make_sorted_unique_keys(5000, b));
+}
+
+TEST(MakeKeys, SmallCounts) {
+  Rng rng(2);
+  EXPECT_EQ(make_sorted_unique_keys(1, rng).size(), 1u);
+  EXPECT_EQ(make_sorted_unique_keys(2, rng).size(), 2u);
+}
+
+TEST(MakeKeys, SpansTheKeySpace) {
+  Rng rng(3);
+  const auto keys = make_sorted_unique_keys(100000, rng);
+  // Uniform draws from 2^32: min near 0, max near 2^32.
+  EXPECT_LT(keys.front(), 1u << 20);
+  EXPECT_GT(keys.back(), 0xFFFFFFFFu - (1u << 20));
+}
+
+TEST(MakeQueries, UniformCoversSpace) {
+  Rng rng(4);
+  const auto queries = make_uniform_queries(100000, rng);
+  EXPECT_EQ(queries.size(), 100000u);
+  std::size_t low_half = 0;
+  for (const auto q : queries) low_half += q < 0x80000000u;
+  EXPECT_NEAR(static_cast<double>(low_half), 50000.0, 1000.0);
+}
+
+TEST(MakeZipfQueries, SkewsTowardFirstBucket) {
+  Rng rng(5);
+  const std::size_t buckets = 10;
+  const auto queries = make_zipf_queries(50000, buckets, 1.2, rng);
+  const std::uint64_t width = (1ull << 32) / buckets;
+  std::vector<int> counts(buckets, 0);
+  for (const auto q : queries) ++counts[q / width];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 3 * counts[9]);
+}
+
+TEST(MakeZipfQueries, ZeroSkewIsRoughlyUniform) {
+  Rng rng(6);
+  const auto queries = make_zipf_queries(40000, 8, 0.0, rng);
+  const std::uint64_t width = (1ull << 32) / 8;
+  std::vector<int> counts(8, 0);
+  for (const auto q : queries) ++counts[q / width];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(ReferenceRanks, MatchesUpperBound) {
+  const std::vector<key_t> keys{10, 20, 30};
+  const std::vector<key_t> queries{5, 10, 15, 30, 35};
+  EXPECT_EQ(reference_ranks(keys, queries),
+            (std::vector<rank_t>{0, 1, 1, 3, 3}));
+}
+
+TEST(BatchRanges, ExactCover) {
+  const auto ranges = batch_ranges(10, 3 * sizeof(key_t));
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(ranges[3], (std::pair<std::size_t, std::size_t>{9, 10}));
+  std::size_t covered = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, covered);
+    covered = e;
+  }
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(BatchRanges, SingleBatchWhenLarger) {
+  const auto ranges = batch_ranges(5, MiB);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 5}));
+}
+
+TEST(BatchRanges, EmptyInput) {
+  EXPECT_TRUE(batch_ranges(0, KiB).empty());
+}
+
+TEST(BatchRanges, PaperMessageCount) {
+  // Sec. 4.1: "for a batch size of 8 KB, there are 1,000 messages" —
+  // order of magnitude for 8 M keys (2^23 x 4 B / 8 KB = 4096 rounds).
+  const auto ranges = batch_ranges(1ull << 23, 8 * KiB);
+  EXPECT_EQ(ranges.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace dici::workload
