@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
        {32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB}) {
     std::vector<std::string> row{format_bytes(batch)};
     double l1_missrate = 0;
-    for (const auto [streams, dma] :
+    for (const auto& [streams, dma] :
          {std::pair{true, true}, {true, false}, {false, true},
           {false, false}}) {
       core::ExperimentConfig cfg =

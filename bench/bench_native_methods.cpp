@@ -8,7 +8,8 @@
 
 #include <map>
 
-#include "src/core/native_engine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/parallel_engine.hpp"
 #include "src/index/buffered.hpp"
 #include "src/index/fast_search.hpp"
 #include "src/index/partitioner.hpp"
@@ -117,22 +118,30 @@ void BM_PrefetchUpperBound(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefetchUpperBound)->Arg(1 << 15)->Arg(1 << 18)->Arg(1 << 21);
 
-void BM_NativeMethodC3EndToEnd(benchmark::State& state) {
+// End-to-end Method C-3 through the unified Engine seam: the same
+// ExperimentConfig drives the one-queue-per-slave NativeCluster and the
+// sharded ParallelNativeEngine, so the two backends are compared on
+// identical footing (bench_parallel_scaling sweeps the curve in depth).
+template <core::Backend B>
+void BM_EngineC3EndToEnd(benchmark::State& state) {
   const auto& d = data(1 << 20);
-  core::NativeConfig cfg;
+  core::ExperimentConfig cfg;
   cfg.method = core::Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
   cfg.num_nodes = static_cast<std::uint32_t>(state.range(0));
   cfg.batch_bytes = 64 * 1024;
-  const core::NativeCluster cluster(cfg);
+  const auto engine = core::make_engine(B, cfg);
   for (auto _ : state) {
-    const auto report = cluster.run(d.keys, d.queries, nullptr);
-    benchmark::DoNotOptimize(report.seconds);
+    const auto report = engine->run(d.keys, d.queries, nullptr);
+    benchmark::DoNotOptimize(report.makespan);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(d.queries.size()));
 }
-BENCHMARK(BM_NativeMethodC3EndToEnd)->Arg(2)->Arg(3)->Arg(5)
+BENCHMARK(BM_EngineC3EndToEnd<core::Backend::kNative>)->Arg(2)->Arg(3)->Arg(5)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineC3EndToEnd<core::Backend::kParallelNative>)
+    ->Arg(2)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
 void BM_RoutePartitioner(benchmark::State& state) {
   const auto& d = data(1 << 20);

@@ -1,0 +1,83 @@
+#include "src/core/engine.hpp"
+
+#include "src/core/native_engine.hpp"
+#include "src/core/parallel_engine.hpp"
+#include "src/core/sim_engine.hpp"
+#include "src/util/assert.hpp"
+
+namespace dici::core {
+
+void validate(const ExperimentConfig& config) {
+  config.machine.validate();
+  DICI_CHECK_MSG(config.num_nodes >= 2, "a cluster needs at least two nodes");
+  DICI_CHECK(config.batch_bytes >= sizeof(key_t));
+  DICI_CHECK(config.buffer_fraction > 0.0 && config.buffer_fraction <= 1.0);
+  if (is_distributed(config.method)) {
+    DICI_CHECK(config.num_masters >= 1);
+    DICI_CHECK_MSG(config.num_nodes > config.num_masters,
+                   "Method C needs at least one slave");
+  }
+}
+
+void check_native_supported(const ExperimentConfig& config) {
+  DICI_CHECK_MSG(config.flush_policy == FlushPolicy::kMasterRound,
+                 "native backends implement master-round flushing only");
+  DICI_CHECK_MSG(!config.track_latency,
+                 "per-query latency tracking is simulator-only for now");
+}
+
+NativeConfig native_config_from(const ExperimentConfig& config) {
+  validate(config);
+  check_native_supported(config);
+  DICI_CHECK_MSG(!is_distributed(config.method) || config.num_masters == 1,
+                 "native backends implement a single master; multi-master "
+                 "is simulator-only for now");
+  NativeConfig native;
+  native.method = config.method;
+  native.num_nodes = config.num_nodes;
+  native.batch_bytes = config.batch_bytes;
+  native.buffer_fraction = config.buffer_fraction;
+  return native;
+}
+
+RunReport NativeEngine::run(std::span<const key_t> index_keys,
+                            std::span<const key_t> queries,
+                            std::vector<rank_t>* out_ranks) const {
+  const NativeReport native = cluster_.run(index_keys, queries, out_ranks);
+  RunReport report;
+  report.method = native.method;
+  report.num_queries = native.num_queries;
+  report.num_nodes = native.num_nodes;
+  report.batch_bytes = cluster_.config().batch_bytes;
+  // No normalize_replicated division here: the simulator measures A/B on
+  // ONE node and credits a free dispatcher by dividing, whereas the
+  // native engine runs num_nodes real worker threads — its wall time
+  // already IS the whole-cluster makespan.
+  report.raw_makespan = ns_to_ps(native.seconds * 1e9);
+  report.makespan = report.raw_makespan;
+  report.messages = native.messages;
+  return report;
+}
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSim: return "sim";
+    case Backend::kNative: return "native";
+    case Backend::kParallelNative: return "parallel-native";
+  }
+  return "?";
+}
+
+std::unique_ptr<Engine> make_engine(Backend backend,
+                                    const ExperimentConfig& config) {
+  switch (backend) {
+    case Backend::kSim: return std::make_unique<SimCluster>(config);
+    case Backend::kNative: return std::make_unique<NativeEngine>(config);
+    case Backend::kParallelNative:
+      return std::make_unique<ParallelNativeEngine>(config);
+  }
+  DICI_CHECK_MSG(false, "unknown backend");
+  return nullptr;
+}
+
+}  // namespace dici::core

@@ -1,0 +1,66 @@
+// The unified backend seam: every cluster implementation — the
+// discrete-event simulator (SimCluster), the threaded native engine
+// (NativeEngine over NativeCluster), and the sharded parallel engine
+// (ParallelNativeEngine) — answers one contract:
+//
+//   run(index_keys, queries, out_ranks) -> RunReport
+//
+// where out_ranks receives the global std::upper_bound rank of every
+// query in query order. Correctness tests, benches, and examples program
+// against Engine and pick a backend via make_engine(), so future
+// backends (NUMA-aware, remote) drop in behind the same seam.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/config.hpp"
+#include "src/core/run_report.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Run `queries` against the index built over `index_keys` (sorted,
+  /// unique). When `out_ranks` is non-null it receives the global
+  /// upper-bound rank of every query, in query order.
+  ///
+  /// The scalar RunReport fields (makespan, messages, ...) are filled by
+  /// every backend; RunReport::nodes is backend-dependent detail (the
+  /// simulator reports one entry per simulated node — or the single
+  /// measured node for Methods A/B — ParallelNativeEngine reports
+  /// dispatcher + workers, NativeEngine none), so generic callers must
+  /// size-check `nodes` rather than assume num_nodes entries.
+  virtual RunReport run(std::span<const key_t> index_keys,
+                        std::span<const key_t> queries,
+                        std::vector<rank_t>* out_ranks = nullptr) const = 0;
+
+  /// Stable backend identifier ("sim", "native", "parallel-native").
+  virtual const char* name() const = 0;
+};
+
+/// Shared ExperimentConfig validation. Every backend built from an
+/// ExperimentConfig funnels through this, so a nonsense config fails the
+/// same loud way (DICI_CHECK abort) regardless of backend.
+void validate(const ExperimentConfig& config);
+
+/// Aborts when the config requests knobs only the simulator implements
+/// (non-default flush_policy, track_latency) — silently running the
+/// default on a native backend would corrupt cross-backend comparisons.
+void check_native_supported(const ExperimentConfig& config);
+
+enum class Backend { kSim, kNative, kParallelNative };
+
+const char* backend_name(Backend backend);
+
+/// Factory: the one switch benches and tests go through to pick a
+/// backend for a given experiment. kParallelNative requires Method C-3
+/// (it shards sorted arrays).
+std::unique_ptr<Engine> make_engine(Backend backend,
+                                    const ExperimentConfig& config);
+
+}  // namespace dici::core

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "src/core/dispatch.hpp"
+
 #include "src/index/buffered.hpp"
 #include "src/index/partitioner.hpp"
 #include "src/index/sorted_array.hpp"
@@ -98,14 +100,10 @@ NativeReport NativeCluster::run_distributed(std::span<const key_t> index_keys,
   const std::uint32_t S = config_.num_nodes - 1;
   const index::RangePartitioner partitioner(index_keys, S);
 
-  struct NativeBatch {
-    std::vector<key_t> keys;
-    std::vector<std::uint32_t> ids;
-  };
-  std::vector<net::BlockingQueue<NativeBatch>> queues(S);
+  std::vector<net::BlockingQueue<DispatchBatch>> queues(S);
   std::vector<rank_t> sink(out_ranks == nullptr ? queries.size() : 0);
   rank_t* out = out_ranks != nullptr ? out_ranks->data() : sink.data();
-  std::atomic<std::uint64_t> messages{0};
+  std::uint64_t messages = 0;
 
   WallTimer timer;
   std::vector<std::thread> slaves;
@@ -164,26 +162,12 @@ NativeReport NativeCluster::run_distributed(std::span<const key_t> index_keys,
   // Master: route in rounds of batch_bytes, flushing per-slave batches.
   {
     if (config_.pin_threads) pin_current_thread(0);
-    std::vector<NativeBatch> staging(S);
-    const std::size_t keys_per_round =
-        static_cast<std::size_t>(config_.batch_bytes / sizeof(key_t));
-    std::size_t round_fill = 0;
-    auto flush = [&](std::uint32_t s) {
-      if (staging[s].keys.empty()) return;
-      messages.fetch_add(1, std::memory_order_relaxed);
-      queues[s].push(std::move(staging[s]));
-      staging[s] = {};
-    };
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      const std::uint32_t s = partitioner.route(queries[i]);
-      staging[s].keys.push_back(queries[i]);
-      staging[s].ids.push_back(static_cast<std::uint32_t>(i));
-      if (++round_fill == keys_per_round) {
-        for (std::uint32_t slave = 0; slave < S; ++slave) flush(slave);
-        round_fill = 0;
-      }
-    }
-    for (std::uint32_t slave = 0; slave < S; ++slave) flush(slave);
+    messages = dispatch_master_rounds(
+        queries, config_.batch_bytes, S,
+        [&](key_t q) { return partitioner.route(q); },
+        [&](std::uint32_t s, DispatchBatch&& batch) {
+          queues[s].push(std::move(batch));
+        });
     for (auto& q : queues) q.close();
   }
   for (auto& t : slaves) t.join();
@@ -193,7 +177,7 @@ NativeReport NativeCluster::run_distributed(std::span<const key_t> index_keys,
   report.num_queries = queries.size();
   report.num_nodes = config_.num_nodes;
   report.seconds = timer.elapsed_sec();
-  report.messages = messages.load();
+  report.messages = messages;
   return report;
 }
 

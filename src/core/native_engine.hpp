@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/core/config.hpp"
+#include "src/core/engine.hpp"
 #include "src/util/types.hpp"
 
 namespace dici::core {
@@ -54,6 +55,8 @@ class NativeCluster {
                    std::span<const key_t> queries,
                    std::vector<rank_t>* out_ranks = nullptr) const;
 
+  const NativeConfig& config() const { return config_; }
+
  private:
   NativeReport run_replicated(std::span<const key_t> index_keys,
                               std::span<const key_t> queries,
@@ -63,6 +66,29 @@ class NativeCluster {
                                std::vector<rank_t>* out_ranks) const;
 
   NativeConfig config_;
+};
+
+/// Translate the simulator-centric ExperimentConfig into the native
+/// engine's knobs. Thread count mirrors node count; the real-hardware
+/// knobs (tree node size, cache budget) keep their native defaults — the
+/// MachineSpec describes the paper's 2005 cluster, not this host.
+NativeConfig native_config_from(const ExperimentConfig& config);
+
+/// Engine adapter over NativeCluster: the same five methods on real
+/// threads, reported as a RunReport whose makespan is measured wall time.
+class NativeEngine : public Engine {
+ public:
+  explicit NativeEngine(const NativeConfig& config) : cluster_(config) {}
+  explicit NativeEngine(const ExperimentConfig& config)
+      : NativeEngine(native_config_from(config)) {}
+
+  RunReport run(std::span<const key_t> index_keys,
+                std::span<const key_t> queries,
+                std::vector<rank_t>* out_ranks = nullptr) const override;
+  const char* name() const override { return backend_name(Backend::kNative); }
+
+ private:
+  NativeCluster cluster_;
 };
 
 }  // namespace dici::core

@@ -1,0 +1,77 @@
+// ParallelNativeEngine — the multithreaded native backend.
+//
+// Method C-3's architecture mapped onto one multicore host: the sorted
+// key space is sharded with index::RangePartitioner, each worker thread
+// (pinned via util/affinity) owns the shards congruent to its id, and
+// the dispatcher fans query batches out over net::BlockingQueue work
+// queues. Slaves resolve batches with the exact branchless/prefetch
+// upper_bound kernels from index/fast_search and scatter-merge results
+// by query id, so the output array is in query order without a sort —
+// each id is written exactly once by exactly one worker.
+//
+// bench_parallel_scaling measures this engine's 1->N-thread speedup
+// curve the same way the paper measures its cluster scaling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+/// Which exact upper_bound kernel workers run on their shard. All three
+/// return identical ranks; they differ only in speed.
+enum class SearchKernel { kStdUpperBound, kBranchless, kPrefetch };
+
+const char* search_kernel_name(SearchKernel kernel);
+
+struct ParallelConfig {
+  /// Worker thread count. The dispatcher runs on the calling thread and
+  /// is reported as node 0 (the master), so RunReport::num_nodes is
+  /// num_threads + 1 — master-inclusive like every other backend.
+  std::uint32_t num_threads = 4;
+  /// Shard count; 0 means one shard per thread. Shard s is owned by
+  /// worker s % num_threads, so more shards than threads trades dispatch
+  /// fan-out for finer-grained load balance under skew. Clamped to the
+  /// index size for degenerate tiny indexes.
+  std::uint32_t num_shards = 0;
+  /// Query bytes the dispatcher ingests per flush round (the mirror of
+  /// ExperimentConfig::batch_bytes and Figure 3's x-axis).
+  std::uint64_t batch_bytes = 64 * KiB;
+  /// Pin worker w to CPU w (best-effort, modulo available cores).
+  bool pin_threads = true;
+  SearchKernel kernel = SearchKernel::kBranchless;
+  /// Per-message framing charged to RunReport::wire_bytes so the field
+  /// is comparable with the simulator's (request hop only: results are
+  /// scattered directly in shared memory, so there is no reply hop).
+  std::uint64_t message_header_bytes = 64;
+};
+
+class ParallelNativeEngine : public Engine {
+ public:
+  explicit ParallelNativeEngine(const ParallelConfig& config);
+  /// Derive from the shared ExperimentConfig: threads and shards mirror
+  /// the slave count, batch_bytes carries over. Method must be C-3.
+  explicit ParallelNativeEngine(const ExperimentConfig& config);
+
+  RunReport run(std::span<const key_t> index_keys,
+                std::span<const key_t> queries,
+                std::vector<rank_t>* out_ranks = nullptr) const override;
+  const char* name() const override {
+    return backend_name(Backend::kParallelNative);
+  }
+
+  const ParallelConfig& config() const { return config_; }
+
+ private:
+  ParallelConfig config_;
+};
+
+/// The ExperimentConfig -> ParallelConfig mapping used by make_engine.
+ParallelConfig parallel_config_from(const ExperimentConfig& config);
+
+}  // namespace dici::core

@@ -36,9 +36,7 @@ const char* flush_policy_name(FlushPolicy policy) {
 }
 
 SimCluster::SimCluster(const ExperimentConfig& config) : config_(config) {
-  config_.machine.validate();
-  DICI_CHECK(config_.num_nodes >= 2);
-  DICI_CHECK(config_.batch_bytes >= sizeof(key_t));
+  validate(config_);
 }
 
 RunReport SimCluster::run(std::span<const key_t> index_keys,

@@ -8,12 +8,13 @@
 #include <vector>
 
 #include "src/core/config.hpp"
+#include "src/core/engine.hpp"
 #include "src/core/run_report.hpp"
 #include "src/util/types.hpp"
 
 namespace dici::core {
 
-class SimCluster {
+class SimCluster : public Engine {
  public:
   explicit SimCluster(const ExperimentConfig& config);
 
@@ -24,7 +25,8 @@ class SimCluster {
   /// std::upper_bound.
   RunReport run(std::span<const key_t> index_keys,
                 std::span<const key_t> queries,
-                std::vector<rank_t>* out_ranks = nullptr) const;
+                std::vector<rank_t>* out_ranks = nullptr) const override;
+  const char* name() const override { return backend_name(Backend::kSim); }
 
   const ExperimentConfig& config() const { return config_; }
 

@@ -1,0 +1,187 @@
+// ParallelNativeEngine correctness: exact agreement with
+// std::upper_bound across thread counts, shard counts, and kernels, plus
+// degenerate inputs and cross-backend agreement through the Engine seam.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/engine.hpp"
+#include "src/core/parallel_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(20050411);
+    fx.keys = workload::make_sorted_unique_keys(30000, rng);
+    fx.queries = workload::make_uniform_queries(50000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+using Combo = std::tuple<std::uint32_t, std::uint32_t, SearchKernel>;
+
+class ParallelCombos : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ParallelCombos, ExactRanks) {
+  const auto& [threads, shards, kernel] = GetParam();
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = threads;
+  cfg.num_shards = shards;
+  cfg.kernel = kernel;
+  cfg.batch_bytes = 8 * KiB;
+  std::vector<rank_t> ranks;
+  const RunReport report =
+      ParallelNativeEngine(cfg).run(fx.keys, fx.queries, &ranks);
+  ASSERT_EQ(ranks.size(), fx.expected.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]) << "query index " << i;
+  EXPECT_EQ(report.method, Method::kC3);
+  EXPECT_EQ(report.num_queries, fx.queries.size());
+  // Node 0 is the dispatcher (master); workers are nodes 1..threads.
+  EXPECT_EQ(report.num_nodes, threads + 1);
+  EXPECT_GT(report.messages, 0u);
+  ASSERT_EQ(report.nodes.size(), threads + 1);
+  EXPECT_EQ(report.nodes[0].queries, fx.queries.size());
+  // Every query is processed by exactly one worker.
+  const std::uint64_t processed = std::accumulate(
+      report.nodes.begin() + 1, report.nodes.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const NodeReport& n) { return acc + n.queries; });
+  EXPECT_EQ(processed, fx.queries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsShardsKernels, ParallelCombos,
+    ::testing::Combine(
+        ::testing::Values(1u, 2u, 8u),          // thread counts (issue spec)
+        ::testing::Values(0u, 1u, 3u, 16u),     // shard counts; 0 = threads
+        ::testing::Values(SearchKernel::kStdUpperBound,
+                          SearchKernel::kBranchless,
+                          SearchKernel::kPrefetch)),
+    [](const auto& info) {
+      std::string name = "t" + std::to_string(std::get<0>(info.param)) +
+                         "_s" + std::to_string(std::get<1>(info.param)) + "_";
+      for (const char* c = search_kernel_name(std::get<2>(info.param));
+           *c != '\0'; ++c)
+        if (*c != '-') name += *c;
+      return name;
+    });
+
+TEST(ParallelNativeEngine, EmptyQuerySet) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 4;
+  std::vector<rank_t> ranks(7, 123);  // stale contents must be cleared
+  const RunReport report = ParallelNativeEngine(cfg).run(
+      fx.keys, std::span<const key_t>{}, &ranks);
+  EXPECT_TRUE(ranks.empty());
+  EXPECT_EQ(report.num_queries, 0u);
+  EXPECT_EQ(report.messages, 0u);
+}
+
+TEST(ParallelNativeEngine, SingleKeyIndex) {
+  const std::vector<key_t> keys{42};
+  const std::vector<key_t> queries{0, 41, 42, 43, 0xffffffffu};
+  ParallelConfig cfg;
+  cfg.num_threads = 8;
+  cfg.num_shards = 16;  // clamped to the index size
+  std::vector<rank_t> ranks;
+  ParallelNativeEngine(cfg).run(keys, queries, &ranks);
+  EXPECT_EQ(ranks, (std::vector<rank_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(ParallelNativeEngine, DuplicateHeavyQueries) {
+  const auto& fx = fixture();
+  std::vector<key_t> queries(5000, fx.keys[fx.keys.size() / 2]);
+  const auto expected = workload::reference_ranks(fx.keys, queries);
+  ParallelConfig cfg;
+  cfg.num_threads = 3;
+  cfg.num_shards = 5;
+  std::vector<rank_t> ranks;
+  ParallelNativeEngine(cfg).run(fx.keys, queries, &ranks);
+  EXPECT_EQ(ranks, expected);
+}
+
+TEST(ParallelNativeEngine, OneKeyPerBatch) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 2;
+  cfg.batch_bytes = sizeof(key_t);  // flush after every single query
+  std::vector<rank_t> ranks;
+  const auto report = ParallelNativeEngine(cfg).run(
+      fx.keys, std::span(fx.queries.data(), 400), &ranks);
+  for (std::size_t i = 0; i < 400; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+  EXPECT_EQ(report.messages, 400u);
+}
+
+TEST(ParallelNativeEngine, NullOutRanksStillRuns) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 2;
+  const auto report = ParallelNativeEngine(cfg).run(
+      fx.keys, std::span(fx.queries.data(), 1000), nullptr);
+  EXPECT_EQ(report.num_queries, 1000u);
+}
+
+// The seam itself: all three backends, built from the same
+// ExperimentConfig through make_engine, agree on every rank.
+TEST(EngineSeam, BackendsAgreeOnRanks) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 5;
+  cfg.batch_bytes = 16 * KiB;
+  const std::span<const key_t> queries(fx.queries.data(), 20000);
+  const auto expected = workload::reference_ranks(fx.keys, queries);
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    const auto engine = make_engine(backend, cfg);
+    std::vector<rank_t> ranks;
+    const RunReport report = engine->run(fx.keys, queries, &ranks);
+    EXPECT_EQ(ranks, expected) << backend_name(backend);
+    EXPECT_EQ(report.num_queries, queries.size()) << backend_name(backend);
+    EXPECT_GT(report.makespan, 0u) << backend_name(backend);
+  }
+}
+
+TEST(EngineSeam, BackendNamesAreStable) {
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 3;
+  EXPECT_STREQ(make_engine(Backend::kSim, cfg)->name(), "sim");
+  EXPECT_STREQ(make_engine(Backend::kNative, cfg)->name(), "native");
+  EXPECT_STREQ(make_engine(Backend::kParallelNative, cfg)->name(),
+               "parallel-native");
+}
+
+TEST(EngineSeam, ParallelConfigMapsSlaves) {
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 11;
+  cfg.num_masters = 1;
+  const ParallelConfig parallel = parallel_config_from(cfg);
+  EXPECT_EQ(parallel.num_threads, 10u);
+  EXPECT_EQ(parallel.num_shards, 10u);
+  EXPECT_EQ(parallel.batch_bytes, cfg.batch_bytes);
+}
+
+}  // namespace
+}  // namespace dici::core

@@ -48,8 +48,9 @@ TEST_P(GeometryProperty, DepthIsLogarithmic) {
   for (std::uint32_t l = 0; l < g.internal_levels(); ++l)
     reach *= cfg.branching();
   EXPECT_GE(reach, g.leaf_blocks());
-  if (g.internal_levels() > 0)
+  if (g.internal_levels() > 0) {
     EXPECT_LT(reach / cfg.branching(), g.leaf_blocks());
+  }
 }
 
 TEST_P(GeometryProperty, FootprintAccounting) {

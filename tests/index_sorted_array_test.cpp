@@ -84,9 +84,10 @@ TEST_P(SortedArraySizes, RandomizedEquivalence) {
   for (std::size_t i = 0; i < keys.size(); i += keys.size() / 50 + 1) {
     const key_t k = keys[i];
     ASSERT_EQ(idx.upper_bound_rank(k), static_cast<rank_t>(i + 1));
-    if (k > 0)
+    if (k > 0) {
       ASSERT_EQ(idx.upper_bound_rank(k - 1), static_cast<rank_t>(i))
           << "only when k-1 is not also a key";
+    }
   }
 }
 
