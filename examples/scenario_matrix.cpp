@@ -1,0 +1,133 @@
+// Scenario matrix runner: every workload shape x every backend, one
+// streaming session per cell, one verified summary.
+//
+//   $ ./scenario_matrix                 # full default matrix
+//   $ ./scenario_matrix --quick         # tiny sizes (CI smoke)
+//   $ ./scenario_matrix --json out.json # machine-readable artifact
+//
+// Exit code is non-zero when any verified cell's ranks disagree with
+// workload::reference_ranks, so CI can gate on the matrix directly.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/table.hpp"
+#include "src/workload/scenario.hpp"
+
+using namespace dici;
+
+namespace {
+
+bool parse_backends(const std::string& csv,
+                    std::vector<core::Backend>* out) {
+  out->clear();
+  if (csv == "all") {
+    *out = {core::Backend::kSim, core::Backend::kNative,
+            core::Backend::kParallelNative};
+    return true;
+  }
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string name =
+        csv.substr(begin, comma == std::string::npos ? comma : comma - begin);
+    bool known = false;
+    for (const core::Backend b :
+         {core::Backend::kSim, core::Backend::kNative,
+          core::Backend::kParallelNative}) {
+      if (name == core::backend_name(b)) {
+        out->push_back(b);
+        known = true;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("Scenario matrix: distribution x backend, streamed via sessions");
+  cli.add_int("keys", "index keys per scenario", 1 << 16);
+  cli.add_int("queries", "queries per scenario", 1 << 17);
+  cli.add_int("stream-batches", "run_batch calls per session", 8);
+  cli.add_bytes("batch", "dispatcher round size", 8 * KiB);
+  cli.add_int("nodes", "cluster size (1 master + slaves)", 5);
+  cli.add_string("backends", "comma list of sim|native|parallel-native, or "
+                 "'all'", "all");
+  cli.add_string("json", "write the machine-readable summary here", "");
+  cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
+  cli.add_flag("no-verify", "skip rank verification (timing only)", false);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_flag("quick");
+  const std::size_t keys =
+      quick ? (1 << 12) : static_cast<std::size_t>(cli.get_int("keys"));
+  const std::size_t queries =
+      quick ? (1 << 13) : static_cast<std::size_t>(cli.get_int("queries"));
+
+  workload::ScenarioRegistry registry =
+      workload::default_scenarios(keys, queries);
+  // Re-register with the CLI's streaming/batching/cluster knobs applied.
+  workload::ScenarioRegistry tuned;
+  for (workload::ScenarioSpec spec : registry.specs()) {
+    spec.stream_batches =
+        static_cast<std::size_t>(cli.get_int("stream-batches"));
+    spec.batch_bytes = cli.get_bytes("batch");
+    spec.num_nodes = static_cast<std::uint32_t>(cli.get_int("nodes"));
+    tuned.add(std::move(spec));
+  }
+
+  workload::MatrixOptions options;
+  options.verify = !cli.get_flag("no-verify");
+  if (!parse_backends(cli.get_string("backends"), &options.backends))
+    return 2;
+
+  std::printf("scenario matrix: %zu scenarios x %zu backends, %zu keys, "
+              "%zu queries, %lld stream batches\n\n",
+              tuned.specs().size(), options.backends.size(), keys, queries,
+              static_cast<long long>(cli.get_int("stream-batches")));
+
+  const auto cells = workload::run_scenario_matrix(tuned, options);
+
+  TextTable t({"scenario", "backend", "batches", "queries", "ranks", "sec",
+               "ns/key", "Mqps", "messages"});
+  for (const auto& c : cells) {
+    t.add_row({c.scenario, c.backend, std::to_string(c.stream_batches),
+               std::to_string(c.num_queries),
+               !c.verified ? "-" : (c.ranks_ok ? "ok" : "FAIL"),
+               format_double(c.seconds, 4), format_double(c.per_key_ns, 1),
+               format_double(c.throughput_qps / 1e6, 2),
+               std::to_string(c.messages)});
+  }
+  t.print();
+  std::printf("\n  'sec' is virtual time for the sim backend and wall time "
+              "for the native ones.\n");
+
+  const std::string json = workload::matrix_to_json(cells);
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\n  wrote %s (%zu cells)\n", json_path.c_str(), cells.size());
+  }
+
+  if (!workload::all_cells_ok(cells)) {
+    std::fprintf(stderr, "\nRANK MISMATCH in at least one cell\n");
+    return 1;
+  }
+  return 0;
+}

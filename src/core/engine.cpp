@@ -7,6 +7,24 @@
 
 namespace dici::core {
 
+RunReport Session::run_batch(std::span<const key_t> queries,
+                             std::vector<rank_t>* out_ranks) {
+  RunReport report = do_run_batch(queries, out_ranks);
+  if (batches_ == 0) {
+    total_ = report;
+  } else {
+    total_.merge(report);
+  }
+  ++batches_;
+  return report;
+}
+
+RunReport Engine::run(std::span<const key_t> index_keys,
+                      std::span<const key_t> queries,
+                      std::vector<rank_t>* out_ranks) const {
+  return open(index_keys)->run_batch(queries, out_ranks);
+}
+
 void validate(const ExperimentConfig& config) {
   config.machine.validate();
   DICI_CHECK_MSG(config.num_nodes >= 2, "a cluster needs at least two nodes");
@@ -40,23 +58,51 @@ NativeConfig native_config_from(const ExperimentConfig& config) {
   return native;
 }
 
-RunReport NativeEngine::run(std::span<const key_t> index_keys,
-                            std::span<const key_t> queries,
-                            std::vector<rank_t>* out_ranks) const {
-  const NativeReport native = cluster_.run(index_keys, queries, out_ranks);
-  RunReport report;
-  report.method = native.method;
-  report.num_queries = native.num_queries;
-  report.num_nodes = native.num_nodes;
-  report.batch_bytes = cluster_.config().batch_bytes;
-  // No normalize_replicated division here: the simulator measures A/B on
-  // ONE node and credits a free dispatcher by dividing, whereas the
-  // native engine runs num_nodes real worker threads — its wall time
-  // already IS the whole-cluster makespan.
-  report.raw_makespan = ns_to_ps(native.seconds * 1e9);
-  report.makespan = report.raw_makespan;
-  report.messages = native.messages;
-  return report;
+namespace {
+
+/// NativeCluster's session: owns a copy of the key array; every batch
+/// re-runs the cluster's thread fleet over it. (NativeCluster builds its
+/// per-method structures inside run(), so there is no index state to
+/// keep warm — ParallelNativeEngine is the backend with a true
+/// steady-state session.)
+class NativeSession : public Session {
+ public:
+  NativeSession(const NativeConfig& config, std::span<const key_t> index_keys)
+      : cluster_(config), keys_(index_keys.begin(), index_keys.end()) {}
+
+  const char* backend() const override {
+    return backend_name(Backend::kNative);
+  }
+
+ private:
+  RunReport do_run_batch(std::span<const key_t> queries,
+                         std::vector<rank_t>* out_ranks) override {
+    const NativeReport native = cluster_.run(keys_, queries, out_ranks);
+    RunReport report;
+    report.method = native.method;
+    report.num_queries = native.num_queries;
+    report.num_nodes = native.num_nodes;
+    report.batch_bytes = cluster_.config().batch_bytes;
+    // No normalize_replicated division here: the simulator measures A/B
+    // on ONE node and credits a free dispatcher by dividing, whereas the
+    // native engine runs num_nodes real worker threads — its wall time
+    // already IS the whole-cluster makespan.
+    report.raw_makespan = ns_to_ps(native.seconds * 1e9);
+    report.makespan = report.raw_makespan;
+    report.messages = native.messages;
+    return report;
+  }
+
+  NativeCluster cluster_;
+  std::vector<key_t> keys_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> NativeEngine::open(
+    std::span<const key_t> index_keys) const {
+  DICI_CHECK(!index_keys.empty());
+  return std::make_unique<NativeSession>(cluster_.config(), index_keys);
 }
 
 const char* backend_name(Backend backend) {

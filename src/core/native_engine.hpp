@@ -82,9 +82,8 @@ class NativeEngine : public Engine {
   explicit NativeEngine(const ExperimentConfig& config)
       : NativeEngine(native_config_from(config)) {}
 
-  RunReport run(std::span<const key_t> index_keys,
-                std::span<const key_t> queries,
-                std::vector<rank_t>* out_ranks = nullptr) const override;
+  std::unique_ptr<Session> open(
+      std::span<const key_t> index_keys) const override;
   const char* name() const override { return backend_name(Backend::kNative); }
 
  private:

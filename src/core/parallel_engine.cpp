@@ -1,6 +1,8 @@
 #include "src/core/parallel_engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "src/core/dispatch.hpp"
@@ -61,57 +63,114 @@ rank_t run_kernel(SearchKernel kernel, std::span<const key_t> keys, key_t q) {
   }
 }
 
-/// A dispatched message tagged with the shard it must be resolved on
-/// (a worker owns several shards when num_shards > num_threads).
-struct ShardBatch {
-  std::uint32_t shard = 0;
-  DispatchBatch batch;
+std::uint32_t clamped_shards(const ParallelConfig& config, std::size_t n) {
+  const std::uint32_t want =
+      config.num_shards == 0 ? config.num_threads : config.num_shards;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(want, n));
+}
+
+/// The steady-state session behind ParallelNativeEngine::open. Owns a
+/// copy of the key array, the range partitioner over it, and the pinned
+/// worker fleet; all of it persists across run_batch calls.
+class ParallelSession : public Session {
+ public:
+  ParallelSession(const ParallelConfig& config,
+                  std::span<const key_t> index_keys);
+  ~ParallelSession() override;
+
+  const char* backend() const override {
+    return backend_name(Backend::kParallelNative);
+  }
+
+ private:
+  /// A dispatched message tagged with the shard it must be resolved on
+  /// (a worker owns several shards when num_shards > num_threads).
+  /// `drain` marks the end-of-batch barrier token instead of work.
+  struct WorkItem {
+    std::uint32_t shard = 0;
+    DispatchBatch batch;
+    bool drain = false;
+  };
+
+  RunReport do_run_batch(std::span<const key_t> queries,
+                         std::vector<rank_t>* out_ranks) override;
+  void worker_loop(std::uint32_t w);
+
+  ParallelConfig config_;
+  std::vector<key_t> keys_;
+  index::RangePartitioner partitioner_;
+
+  // Per-batch state. The dispatcher writes these before pushing any work
+  // (queue mutexes publish them to workers) and reads the per-worker
+  // stats only after the drain barrier (done_mu_ publishes them back).
+  rank_t* out_ = nullptr;
+  std::vector<std::uint64_t> worker_queries_;
+  std::vector<double> worker_busy_sec_;
+
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::uint32_t drained_ = 0;
+
+  std::vector<net::BlockingQueue<WorkItem>> queues_;
+  std::vector<std::thread> workers_;
 };
 
-}  // namespace
+ParallelSession::ParallelSession(const ParallelConfig& config,
+                                 std::span<const key_t> index_keys)
+    : config_(config),
+      keys_(index_keys.begin(), index_keys.end()),
+      partitioner_(keys_, clamped_shards(config, keys_.size())),
+      worker_queries_(config.num_threads, 0),
+      worker_busy_sec_(config.num_threads, 0.0),
+      queues_(config.num_threads) {
+  workers_.reserve(config_.num_threads);
+  for (std::uint32_t w = 0; w < config_.num_threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
 
-RunReport ParallelNativeEngine::run(std::span<const key_t> index_keys,
-                                    std::span<const key_t> queries,
-                                    std::vector<rank_t>* out_ranks) const {
-  DICI_CHECK(!index_keys.empty());
+ParallelSession::~ParallelSession() {
+  for (auto& queue : queues_) queue.close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ParallelSession::worker_loop(std::uint32_t w) {
+  if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
+  while (auto item = queues_[w].pop()) {
+    if (item->drain) {
+      // All of this batch's work on this worker precedes the marker
+      // (per-queue FIFO), so acknowledging it is the batch barrier.
+      {
+        std::lock_guard lock(done_mu_);
+        ++drained_;
+      }
+      done_cv_.notify_one();
+      continue;
+    }
+    WallTimer batch_timer;
+    const auto part = partitioner_.keys_of(item->shard);
+    const rank_t offset = partitioner_.start_of(item->shard);
+    const DispatchBatch& batch = item->batch;
+    for (std::size_t j = 0; j < batch.keys.size(); ++j)
+      out_[batch.ids[j]] =
+          offset + run_kernel(config_.kernel, part, batch.keys[j]);
+    worker_queries_[w] += batch.keys.size();
+    worker_busy_sec_[w] += batch_timer.elapsed_sec();
+  }
+}
+
+RunReport ParallelSession::do_run_batch(std::span<const key_t> queries,
+                                        std::vector<rank_t>* out_ranks) {
   const std::uint32_t T = config_.num_threads;
-  const std::uint32_t shards = static_cast<std::uint32_t>(std::min<std::size_t>(
-      config_.num_shards == 0 ? T : config_.num_shards, index_keys.size()));
-  const index::RangePartitioner partitioner(index_keys, shards);
+  const std::uint32_t shards = partitioner_.parts();
 
   if (out_ranks != nullptr) out_ranks->assign(queries.size(), 0);
   std::vector<rank_t> sink(out_ranks == nullptr ? queries.size() : 0);
-  rank_t* out = out_ranks != nullptr ? out_ranks->data() : sink.data();
-
-  // One work queue per worker; shard s belongs to worker s % T. Workers
-  // scatter by query id, so "merge" is implicit and order-preserving:
-  // ids across batches are disjoint and each is written exactly once.
-  std::vector<net::BlockingQueue<ShardBatch>> queues(T);
-  std::vector<std::uint64_t> worker_queries(T, 0);
-  std::vector<double> worker_busy_sec(T, 0.0);
-
-  WallTimer timer;
-  std::vector<std::thread> workers;
-  workers.reserve(T);
-  for (std::uint32_t w = 0; w < T; ++w) {
-    workers.emplace_back([&, w] {
-      if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
-      std::uint64_t processed = 0;
-      double busy = 0.0;
-      while (auto item = queues[w].pop()) {
-        WallTimer batch_timer;
-        const auto part = partitioner.keys_of(item->shard);
-        const rank_t offset = partitioner.start_of(item->shard);
-        const DispatchBatch& batch = item->batch;
-        for (std::size_t j = 0; j < batch.keys.size(); ++j)
-          out[batch.ids[j]] =
-              offset + run_kernel(config_.kernel, part, batch.keys[j]);
-        processed += batch.keys.size();
-        busy += batch_timer.elapsed_sec();
-      }
-      worker_queries[w] = processed;
-      worker_busy_sec[w] = busy;
-    });
+  out_ = out_ranks != nullptr ? out_ranks->data() : sink.data();
+  std::fill(worker_queries_.begin(), worker_queries_.end(), 0);
+  std::fill(worker_busy_sec_.begin(), worker_busy_sec_.end(), 0.0);
+  {
+    std::lock_guard lock(done_mu_);
+    drained_ = 0;
   }
 
   // Dispatcher (this thread plays the master): the shared kMasterRound
@@ -121,19 +180,24 @@ RunReport ParallelNativeEngine::run(std::span<const key_t> index_keys,
   // shared-memory scatter (a real cluster's reply hop would carry the
   // ranks instead), so they are not charged as wire traffic.
   std::uint64_t wire_bytes = 0;
+  WallTimer timer;
   WallTimer dispatch_timer;
   std::uint64_t messages = dispatch_master_rounds(
       queries, config_.batch_bytes, shards,
-      [&](key_t q) { return partitioner.route(q); },
+      [&](key_t q) { return partitioner_.route(q); },
       [&](std::uint32_t s, DispatchBatch&& batch) {
         wire_bytes += config_.message_header_bytes +
                       batch.keys.size() * sizeof(key_t);
-        queues[s % T].push(ShardBatch{s, std::move(batch)});
+        queues_[s % T].push(WorkItem{s, std::move(batch), /*drain=*/false});
       });
-  for (auto& queue : queues) queue.close();
+  for (auto& queue : queues_) queue.push(WorkItem{0, {}, /*drain=*/true});
   const double dispatch_sec = dispatch_timer.elapsed_sec();
-  for (auto& worker : workers) worker.join();
+  {
+    std::unique_lock lock(done_mu_);
+    done_cv_.wait(lock, [&] { return drained_ == T; });
+  }
   const double wall_sec = timer.elapsed_sec();
+  out_ = nullptr;
 
   // The dispatcher is node 0 (the master), workers are nodes 1..T — the
   // same master-inclusive accounting as the other backends, so
@@ -157,16 +221,24 @@ RunReport ParallelNativeEngine::run(std::span<const key_t> index_keys,
   double idle_sum = 0.0;
   for (std::uint32_t w = 0; w < T; ++w) {
     NodeReport& node = report.nodes[w + 1];
-    node.queries = worker_queries[w];
-    node.busy = ns_to_ps(worker_busy_sec[w] * 1e9);
+    node.queries = worker_queries_[w];
+    node.busy = ns_to_ps(worker_busy_sec_[w] * 1e9);
     node.finish = report.raw_makespan;
     node.idle =
         report.raw_makespan > node.busy ? report.raw_makespan - node.busy : 0;
     if (wall_sec > 0.0)
-      idle_sum += std::max(0.0, 1.0 - worker_busy_sec[w] / wall_sec);
+      idle_sum += std::max(0.0, 1.0 - worker_busy_sec_[w] / wall_sec);
   }
   report.slave_idle_fraction = idle_sum / T;
   return report;
+}
+
+}  // namespace
+
+std::unique_ptr<Session> ParallelNativeEngine::open(
+    std::span<const key_t> index_keys) const {
+  DICI_CHECK(!index_keys.empty());
+  return std::make_unique<ParallelSession>(config_, index_keys);
 }
 
 }  // namespace dici::core

@@ -6,6 +6,7 @@
 
 #include "src/core/config.hpp"
 #include "src/net/sim_network.hpp"
+#include "src/util/assert.hpp"
 #include "src/util/stats.hpp"
 #include "src/sim/cache.hpp"
 #include "src/sim/probe.hpp"
@@ -63,6 +64,64 @@ struct RunReport {
   Summary latency_ns;
 
   std::vector<NodeReport> nodes;
+
+  /// Fold a subsequent batch's report into this one with *sequential*
+  /// semantics — the session served batch after batch on the same built
+  /// index, so makespans add, counters add, and per-node accounting adds
+  /// element-wise when both reports describe the same node set (nodes is
+  /// cleared otherwise: mixing backends' node layouts has no meaning).
+  /// Session::run_batch uses this to maintain Session::total().
+  void merge(const RunReport& other) {
+    DICI_CHECK_MSG(method == other.method,
+                   "merging reports from different methods");
+    const picos_t prev_raw = raw_makespan;
+    num_queries += other.num_queries;
+    raw_makespan += other.raw_makespan;
+    makespan += other.makespan;
+    messages += other.messages;
+    wire_bytes += other.wire_bytes;
+    // Idle fraction is a rate, not a counter: weight each batch's value
+    // by the wall (raw) time over which it was observed.
+    slave_idle_fraction =
+        raw_makespan > 0
+            ? (slave_idle_fraction * static_cast<double>(prev_raw) +
+               other.slave_idle_fraction *
+                   static_cast<double>(other.raw_makespan)) /
+                  static_cast<double>(raw_makespan)
+            : 0.0;
+    latency_ns.merge(other.latency_ns);
+    if (nodes.size() == other.nodes.size()) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        NodeReport& n = nodes[i];
+        const NodeReport& o = other.nodes[i];
+        n.finish += o.finish;
+        n.busy += o.busy;
+        n.idle += o.idle;
+        n.queries += o.queries;
+        n.charges.compute += o.charges.compute;
+        n.charges.l2_hit += o.charges.l2_hit;
+        n.charges.memory += o.charges.memory;
+        n.charges.stream += o.charges.stream;
+        n.charges.tlb += o.charges.tlb;
+        n.l1.hits += o.l1.hits;
+        n.l1.misses += o.l1.misses;
+        n.l1.evictions += o.l1.evictions;
+        n.l2.hits += o.l2.hits;
+        n.l2.misses += o.l2.misses;
+        n.l2.evictions += o.l2.evictions;
+        n.tlb.hits += o.tlb.hits;
+        n.tlb.misses += o.tlb.misses;
+        n.nic.messages_sent += o.nic.messages_sent;
+        n.nic.bytes_sent += o.nic.bytes_sent;
+        n.nic.messages_received += o.nic.messages_received;
+        n.nic.bytes_received += o.nic.bytes_received;
+        n.nic.egress_busy += o.nic.egress_busy;
+        n.nic.ingress_busy += o.nic.ingress_busy;
+      }
+    } else {
+      nodes.clear();
+    }
+  }
 };
 
 }  // namespace dici::core

@@ -39,14 +39,43 @@ SimCluster::SimCluster(const ExperimentConfig& config) : config_(config) {
   validate(config_);
 }
 
-RunReport SimCluster::run(std::span<const key_t> index_keys,
-                          std::span<const key_t> queries,
-                          std::vector<rank_t>* out_ranks) const {
+RunReport SimCluster::run_once(std::span<const key_t> index_keys,
+                               std::span<const key_t> queries,
+                               std::vector<rank_t>* out_ranks) const {
   DICI_CHECK(!index_keys.empty());
   if (out_ranks != nullptr) out_ranks->assign(queries.size(), 0);
   return is_distributed(config_.method)
              ? run_distributed(index_keys, queries, out_ranks)
              : run_replicated(index_keys, queries, out_ranks);
+}
+
+namespace {
+
+/// The simulator's session: owns the key array; each batch is one full
+/// simulated run over it. Copies the config, so it outlives the engine.
+class SimSession : public Session {
+ public:
+  SimSession(const ExperimentConfig& config, std::span<const key_t> index_keys)
+      : cluster_(config), keys_(index_keys.begin(), index_keys.end()) {}
+
+  const char* backend() const override { return backend_name(Backend::kSim); }
+
+ private:
+  RunReport do_run_batch(std::span<const key_t> queries,
+                         std::vector<rank_t>* out_ranks) override {
+    return cluster_.run_once(keys_, queries, out_ranks);
+  }
+
+  SimCluster cluster_;
+  std::vector<key_t> keys_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> SimCluster::open(
+    std::span<const key_t> index_keys) const {
+  DICI_CHECK(!index_keys.empty());
+  return std::make_unique<SimSession>(config_, index_keys);
 }
 
 namespace {

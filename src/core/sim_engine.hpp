@@ -18,15 +18,23 @@ class SimCluster : public Engine {
  public:
   explicit SimCluster(const ExperimentConfig& config);
 
-  /// Run `queries` against the index built over `index_keys` (sorted,
-  /// unique). When `out_ranks` is non-null it receives the global
-  /// upper-bound rank of every query, in query order — the hook the
-  /// correctness tests use to compare every method against
-  /// std::upper_bound.
-  RunReport run(std::span<const key_t> index_keys,
-                std::span<const key_t> queries,
-                std::vector<rank_t>* out_ranks = nullptr) const override;
+  /// Open a session over `index_keys` (sorted, unique). The simulator
+  /// rebuilds its virtual data structures per batch (simulated time, not
+  /// wall time, is the product), so the session's job is owning the key
+  /// array and accumulating the merged report; determinism is preserved
+  /// batch by batch.
+  std::unique_ptr<Session> open(
+      std::span<const key_t> index_keys) const override;
   const char* name() const override { return backend_name(Backend::kSim); }
+
+  /// One full simulated run (build + dispatch + drain). When `out_ranks`
+  /// is non-null it receives the global upper-bound rank of every query,
+  /// in query order — the hook the correctness tests use to compare
+  /// every method against std::upper_bound. This is the body behind both
+  /// the one-shot Engine::run wrapper and the session's run_batch.
+  RunReport run_once(std::span<const key_t> index_keys,
+                     std::span<const key_t> queries,
+                     std::vector<rank_t>* out_ranks = nullptr) const;
 
   const ExperimentConfig& config() const { return config_; }
 

@@ -32,6 +32,12 @@ void Summary::add_all(const std::vector<double>& xs) {
   sorted_ = false;
 }
 
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 void Summary::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -34,6 +34,9 @@ class Summary {
  public:
   void add(double x) { samples_.push_back(x); }
   void add_all(const std::vector<double>& xs);
+  /// Fold another summary's samples into this one (RunReport::merge uses
+  /// this to accumulate per-batch latency distributions across a session).
+  void merge(const Summary& other);
 
   std::size_t count() const { return samples_.size(); }
   double mean() const;

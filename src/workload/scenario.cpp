@@ -1,0 +1,276 @@
+#include "src/workload/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/arch/machine.hpp"
+#include "src/util/assert.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::workload {
+
+namespace {
+
+constexpr std::array<Distribution, 5> kAllDistributions = {
+    Distribution::kUniform,        Distribution::kZipf,
+    Distribution::kHotspot,        Distribution::kSortedAscending,
+    Distribution::kAdversarialBoundary,
+};
+
+/// Decorrelates the query stream from the index draws sharing one seed.
+constexpr std::uint64_t kQueryStreamSalt = 0x9e3779b97f4a7c15ull;
+
+constexpr std::uint64_t kKeySpace = 1ull << 32;
+
+}  // namespace
+
+std::span<const Distribution> all_distributions() { return kAllDistributions; }
+
+const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipf: return "zipf";
+    case Distribution::kHotspot: return "hotspot";
+    case Distribution::kSortedAscending: return "sorted-ascending";
+    case Distribution::kAdversarialBoundary: return "adversarial-boundary";
+  }
+  return "?";
+}
+
+bool parse_distribution(const std::string& name, Distribution* out) {
+  for (const Distribution d : kAllDistributions) {
+    if (name == distribution_name(d)) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<key_t> make_scenario_index(const ScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  return make_sorted_unique_keys(spec.index_keys, rng);
+}
+
+std::vector<key_t> make_scenario_queries(const ScenarioSpec& spec,
+                                         std::span<const key_t> index_keys) {
+  Rng rng(spec.seed ^ kQueryStreamSalt);
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+      return make_uniform_queries(spec.num_queries, rng);
+    case Distribution::kZipf: {
+      // Default bucket count = slave count, so skew maps one-to-one onto
+      // Method C's load balance (the paper's Sec. 4.1 remark).
+      const std::size_t buckets = spec.zipf_buckets != 0
+                                      ? spec.zipf_buckets
+                                      : std::max<std::size_t>(
+                                            1, spec.num_nodes - 1);
+      return make_zipf_queries(spec.num_queries, buckets, spec.zipf_s, rng);
+    }
+    case Distribution::kHotspot:
+      return make_hotspot_queries(spec.num_queries, spec.hot_fraction,
+                                  spec.hot_width, rng);
+    case Distribution::kSortedAscending:
+      return make_sorted_ascending_queries(spec.num_queries, rng);
+    case Distribution::kAdversarialBoundary:
+      return make_adversarial_boundary_queries(spec.num_queries, index_keys,
+                                               rng);
+  }
+  DICI_CHECK_MSG(false, "unknown distribution");
+  return {};
+}
+
+std::vector<key_t> make_hotspot_queries(std::size_t n, double hot_fraction,
+                                        double hot_width, Rng& rng) {
+  DICI_CHECK_MSG(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                 "hot_fraction is a probability");
+  DICI_CHECK_MSG(hot_width > 0.0 && hot_width <= 1.0,
+                 "hot_width is a key-space fraction in (0, 1]");
+  const std::uint64_t width = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(hot_width * static_cast<double>(kKeySpace)));
+  const std::uint64_t lo = rng.below(kKeySpace - width + 1);
+  std::vector<key_t> queries(n);
+  for (auto& q : queries) {
+    q = rng.uniform01() < hot_fraction
+            ? static_cast<key_t>(lo + rng.below(width))
+            : static_cast<key_t>(rng.next());
+  }
+  return queries;
+}
+
+std::vector<key_t> make_sorted_ascending_queries(std::size_t n, Rng& rng) {
+  std::vector<key_t> queries = make_uniform_queries(n, rng);
+  std::sort(queries.begin(), queries.end());
+  return queries;
+}
+
+std::vector<key_t> make_adversarial_boundary_queries(
+    std::size_t n, std::span<const key_t> index_keys, Rng& rng) {
+  DICI_CHECK_MSG(!index_keys.empty(),
+                 "adversarial-boundary targets an index's keys");
+  std::vector<key_t> queries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      queries[i] = 0;  // rank 0 whenever the smallest key is > 0
+      continue;
+    }
+    if (i == 1) {
+      queries[i] = static_cast<key_t>(kKeySpace - 1);  // rank n always
+      continue;
+    }
+    const key_t k = index_keys[rng.below(index_keys.size())];
+    switch (i % 3) {
+      case 0: queries[i] = k == 0 ? k : k - 1; break;
+      case 1: queries[i] = k; break;
+      default:
+        queries[i] = k == static_cast<key_t>(kKeySpace - 1) ? k : k + 1;
+        break;
+    }
+  }
+  return queries;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  DICI_CHECK_MSG(!spec.name.empty(), "scenario needs a name");
+  DICI_CHECK_MSG(find(spec.name) == nullptr, "duplicate scenario name");
+  DICI_CHECK(spec.stream_batches >= 1);
+  DICI_CHECK(spec.index_keys > 0);
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& spec : specs_)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+ScenarioRegistry default_scenarios(std::size_t index_keys,
+                                   std::size_t num_queries) {
+  ScenarioRegistry registry;
+  for (const Distribution d : kAllDistributions) {
+    ScenarioSpec spec;
+    spec.name = distribution_name(d);
+    spec.distribution = d;
+    spec.index_keys = index_keys;
+    spec.num_queries = num_queries;
+    registry.add(std::move(spec));
+  }
+  return registry;
+}
+
+std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
+                                              const MatrixOptions& options) {
+  std::vector<ScenarioCell> cells;
+  for (const ScenarioSpec& spec : registry.specs()) {
+    const std::vector<key_t> index = make_scenario_index(spec);
+    const std::vector<key_t> queries = make_scenario_queries(spec, index);
+    std::vector<rank_t> expected;
+    if (options.verify) expected = reference_ranks(index, queries);
+
+    core::ExperimentConfig config;
+    config.method = spec.method;
+    config.machine = arch::pentium3_cluster();
+    config.num_nodes = spec.num_nodes;
+    config.batch_bytes = spec.batch_bytes;
+
+    for (const core::Backend backend : options.backends) {
+      if (backend == core::Backend::kParallelNative &&
+          spec.method != core::Method::kC3)
+        continue;  // that backend shards sorted arrays only
+      const auto engine = core::make_engine(backend, config);
+      const auto session = engine->open(index);
+
+      ScenarioCell cell;
+      cell.scenario = spec.name;
+      cell.distribution = spec.distribution;
+      cell.backend = engine->name();
+      cell.verified = options.verify;
+      const std::size_t B = spec.stream_batches;
+      std::vector<rank_t> ranks;
+      for (std::size_t b = 0; b < B; ++b) {
+        const std::size_t begin = b * queries.size() / B;
+        const std::size_t end = (b + 1) * queries.size() / B;
+        const std::span<const key_t> slice(queries.data() + begin,
+                                           end - begin);
+        session->run_batch(slice, options.verify ? &ranks : nullptr);
+        if (options.verify)
+          for (std::size_t i = 0; i < ranks.size(); ++i)
+            cell.mismatches += ranks[i] != expected[begin + i];
+      }
+      const core::RunReport& total = session->total();
+      cell.stream_batches = session->batches();
+      cell.num_queries = total.num_queries;
+      cell.ranks_ok = cell.mismatches == 0;
+      cell.seconds = total.seconds();
+      cell.per_key_ns = total.per_key_ns();
+      cell.throughput_qps = total.throughput_qps();
+      cell.messages = total.messages;
+      cell.wire_bytes = total.wire_bytes;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+bool all_cells_ok(std::span<const ScenarioCell> cells) {
+  for (const auto& cell : cells)
+    if (!cell.ranks_ok) return false;
+  return true;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string matrix_to_json(std::span<const ScenarioCell> cells) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ScenarioCell& c = cells[i];
+    out += "  {\"scenario\": ";
+    append_json_string(out, c.scenario);
+    out += ", \"distribution\": ";
+    append_json_string(out, distribution_name(c.distribution));
+    out += ", \"backend\": ";
+    append_json_string(out, c.backend);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"stream_batches\": %" PRIu64 ", \"queries\": %" PRIu64
+                  ", \"verified\": %s, \"ranks_ok\": %s, \"mismatches\": %" PRIu64,
+                  c.stream_batches, c.num_queries,
+                  c.verified ? "true" : "false", c.ranks_ok ? "true" : "false",
+                  c.mismatches);
+    out += buf;
+    out += ", \"seconds\": ";
+    append_json_number(out, c.seconds);
+    out += ", \"per_key_ns\": ";
+    append_json_number(out, c.per_key_ns);
+    out += ", \"throughput_qps\": ";
+    append_json_number(out, c.throughput_qps);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"messages\": %" PRIu64 ", \"wire_bytes\": %" PRIu64 "}",
+                  c.messages, c.wire_bytes);
+    out += buf;
+    out += i + 1 < cells.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace dici::workload

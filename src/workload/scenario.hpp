@@ -1,0 +1,159 @@
+// Scenario matrix: one instrument, many systematically varied setups.
+//
+// The merger-survey discipline applied to this system: instead of ad-hoc
+// one-off experiments, a ScenarioSpec declares a workload shape
+// (distribution, sizes, batching, method) once, a registry collects the
+// named specs, and run_scenario_matrix drives the cross product
+// scenario x backend through the streaming Session API — one built
+// index, many query batches — verifying every rank against
+// workload::reference_ranks and emitting one machine-readable summary.
+// Every future backend (NUMA, remote) and every future workload plugs
+// into this matrix and is measured the same way.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::workload {
+
+/// Query stream shapes. Uniform/zipf stress throughput and skewed load
+/// balance; hotspot concentrates traffic on a narrow key window (one
+/// overloaded slave); sorted-ascending sweeps the key space in order
+/// (worst case for range-partition locality churn); adversarial-boundary
+/// aims every query at index keys and their neighbours, 0, and the key
+/// maximum, pinning the upper_bound edge ranks and the partition
+/// delimiter seams.
+enum class Distribution {
+  kUniform,
+  kZipf,
+  kHotspot,
+  kSortedAscending,
+  kAdversarialBoundary,
+};
+
+/// All five shapes, in declaration order — the matrix's workload axis.
+std::span<const Distribution> all_distributions();
+
+const char* distribution_name(Distribution d);
+
+/// Parse "uniform" | "zipf" | "hotspot" | "sorted-ascending" |
+/// "adversarial-boundary"; returns false on anything else.
+bool parse_distribution(const std::string& name, Distribution* out);
+
+/// One declarative cell recipe: everything needed to reproduce a
+/// workload and run it through a backend, with a stable name for
+/// reports.
+struct ScenarioSpec {
+  std::string name;
+  Distribution distribution = Distribution::kUniform;
+  std::size_t index_keys = 1u << 15;
+  std::size_t num_queries = 1u << 15;
+  /// The query stream is sliced into this many Session::run_batch calls
+  /// (the streaming axis; >= 1).
+  std::size_t stream_batches = 4;
+  /// Dispatcher round size inside the engines (Figure 3's x-axis).
+  std::uint64_t batch_bytes = 8 * KiB;
+  core::Method method = core::Method::kC3;
+  std::uint32_t num_nodes = 5;
+  std::uint64_t seed = 20050501;
+
+  // Distribution-specific knobs (ignored by the others).
+  double zipf_s = 1.1;
+  std::size_t zipf_buckets = 0;  ///< 0 = one bucket per slave
+  double hot_fraction = 0.9;     ///< share of queries inside the hot window
+  double hot_width = 1.0 / 64;   ///< hot window width as key-space fraction
+};
+
+/// The spec's index: `index_keys` sorted unique draws from Rng(seed).
+std::vector<key_t> make_scenario_index(const ScenarioSpec& spec);
+
+/// Generate the spec's query stream (deterministic for a given spec:
+/// same seed => byte-identical stream; the query Rng is salted so the
+/// stream is decorrelated from the index draws). `index_keys` is
+/// consulted by the adversarial-boundary shape only.
+std::vector<key_t> make_scenario_queries(const ScenarioSpec& spec,
+                                         std::span<const key_t> index_keys);
+
+// The individual generators behind make_scenario_queries (uniform and
+// zipf live in workload.hpp). Tested directly for shape and determinism.
+
+/// `hot_fraction` of the queries fall in a window of `hot_width` *
+/// 2^32 keys whose position is drawn from `rng`; the rest are uniform.
+std::vector<key_t> make_hotspot_queries(std::size_t n, double hot_fraction,
+                                        double hot_width, Rng& rng);
+
+/// Uniform draws sorted ascending — the full key-space sweep.
+std::vector<key_t> make_sorted_ascending_queries(std::size_t n, Rng& rng);
+
+/// Every query is an index key or its immediate neighbour (k-1, k, k+1),
+/// except queries 0 and 1 which are pinned to key 0 and the key-space
+/// maximum — so the stream always exercises both documented edge ranks:
+/// 0 (query below the smallest key, when it is > 0) and n (query >= the
+/// largest key).
+std::vector<key_t> make_adversarial_boundary_queries(
+    std::size_t n, std::span<const key_t> index_keys, Rng& rng);
+
+/// Named collection of specs; names are unique (DICI_CHECK).
+class ScenarioRegistry {
+ public:
+  void add(ScenarioSpec spec);
+  const std::vector<ScenarioSpec>& specs() const { return specs_; }
+  /// nullptr when no spec has that name.
+  const ScenarioSpec* find(const std::string& name) const;
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+/// The default matrix: one spec per distribution at the given scale,
+/// named after its distribution.
+ScenarioRegistry default_scenarios(std::size_t index_keys,
+                                   std::size_t num_queries);
+
+/// One scenario x backend cell of the matrix run.
+struct ScenarioCell {
+  std::string scenario;
+  Distribution distribution{};
+  std::string backend;
+  std::uint64_t stream_batches = 0;
+  std::uint64_t num_queries = 0;
+  bool verified = false;      ///< ranks were checked against the reference
+  bool ranks_ok = false;      ///< every rank matched (true when !verified)
+  std::uint64_t mismatches = 0;
+  double seconds = 0;         ///< summed makespan (virtual time for sim)
+  double per_key_ns = 0;
+  double throughput_qps = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+struct MatrixOptions {
+  std::vector<core::Backend> backends = {core::Backend::kSim,
+                                         core::Backend::kNative,
+                                         core::Backend::kParallelNative};
+  /// Check every rank of every batch against reference_ranks.
+  bool verify = true;
+};
+
+/// Drive the cross product: for each spec, build the index and query
+/// stream once, then stream the batches through a session per backend.
+/// kParallelNative cells are skipped for specs whose method is not C-3
+/// (that backend shards sorted arrays only). Returns one cell per
+/// (spec, backend) actually run, in spec-major order.
+std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
+                                              const MatrixOptions& options);
+
+/// True iff every verified cell's ranks matched.
+bool all_cells_ok(std::span<const ScenarioCell> cells);
+
+/// Machine-readable summary: a JSON array of cell objects, stable field
+/// order, newline-terminated — CI uploads this as the run artifact.
+std::string matrix_to_json(std::span<const ScenarioCell> cells);
+
+}  // namespace dici::workload

@@ -49,7 +49,11 @@ std::vector<key_t> make_uniform_queries(std::size_t n, Rng& rng) {
 
 std::vector<key_t> make_zipf_queries(std::size_t n, std::size_t buckets,
                                      double s, Rng& rng) {
-  DICI_CHECK(buckets > 0);
+  // Check here, not just in ZipfSampler: a zero bucket count would also
+  // divide the key space by zero below, and a negative exponent would
+  // silently invert the skew callers asked for.
+  DICI_CHECK_MSG(buckets > 0, "zipf needs at least one bucket");
+  DICI_CHECK_MSG(s >= 0.0, "zipf exponent must be non-negative");
   ZipfSampler zipf(buckets, s);
   const std::uint64_t bucket_width = (1ull << 32) / buckets;
   std::vector<key_t> queries(n);

@@ -138,6 +138,144 @@ TEST(ParallelNativeEngine, NullOutRanksStillRuns) {
   EXPECT_EQ(report.num_queries, 1000u);
 }
 
+// --- Streaming sessions -------------------------------------------------
+
+TEST(ParallelSession, ManyBatchesOnOneSession) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 4;
+  cfg.num_shards = 7;
+  cfg.batch_bytes = 4 * KiB;
+  const ParallelNativeEngine engine(cfg);
+  const auto session = engine.open(fx.keys);
+  const std::size_t B = 5;
+  std::vector<rank_t> ranks;
+  for (std::size_t b = 0; b < B; ++b) {
+    const std::size_t begin = b * fx.queries.size() / B;
+    const std::size_t end = (b + 1) * fx.queries.size() / B;
+    const auto report = session->run_batch(
+        std::span(fx.queries.data() + begin, end - begin), &ranks);
+    ASSERT_EQ(ranks.size(), end - begin);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      ASSERT_EQ(ranks[i], fx.expected[begin + i]) << "batch " << b;
+    EXPECT_EQ(report.num_queries, end - begin);
+  }
+  EXPECT_EQ(session->batches(), B);
+  // total() is the RunReport::merge accumulation over all batches.
+  const RunReport& total = session->total();
+  EXPECT_EQ(total.num_queries, fx.queries.size());
+  EXPECT_EQ(total.num_nodes, cfg.num_threads + 1);
+  EXPECT_GT(total.messages, 0u);
+  ASSERT_EQ(total.nodes.size(), cfg.num_threads + 1);
+  const std::uint64_t processed = std::accumulate(
+      total.nodes.begin() + 1, total.nodes.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const NodeReport& n) { return acc + n.queries; });
+  EXPECT_EQ(processed, fx.queries.size());
+}
+
+TEST(ParallelSession, EmptyBatchIsHarmless) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 3;
+  const auto session = ParallelNativeEngine(cfg).open(fx.keys);
+  std::vector<rank_t> ranks(4, 99);
+  session->run_batch(std::span<const key_t>{}, &ranks);
+  EXPECT_TRUE(ranks.empty());
+  session->run_batch(std::span(fx.queries.data(), 100), &ranks);
+  for (std::size_t i = 0; i < 100; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+  EXPECT_EQ(session->batches(), 2u);
+  EXPECT_EQ(session->total().num_queries, 100u);
+}
+
+TEST(ParallelSession, OutlivesItsEngine) {
+  const auto& fx = fixture();
+  std::unique_ptr<Session> session;
+  {
+    ParallelConfig cfg;
+    cfg.num_threads = 2;
+    session = ParallelNativeEngine(cfg).open(fx.keys);
+  }  // engine destroyed; the session owns keys, partitioner, workers
+  std::vector<rank_t> ranks;
+  session->run_batch(std::span(fx.queries.data(), 1000), &ranks);
+  for (std::size_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+}
+
+TEST(SessionSeam, EveryBackendStreamsCorrectly) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 4;
+  cfg.batch_bytes = 8 * KiB;
+  const std::span<const key_t> queries(fx.queries.data(), 6000);
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    const auto engine = make_engine(backend, cfg);
+    const auto session = engine->open(fx.keys);
+    EXPECT_STREQ(session->backend(), backend_name(backend));
+    std::vector<rank_t> ranks;
+    for (const std::size_t begin : {std::size_t{0}, std::size_t{3000}}) {
+      session->run_batch(queries.subspan(begin, 3000), &ranks);
+      for (std::size_t i = 0; i < 3000; ++i)
+        ASSERT_EQ(ranks[i], fx.expected[begin + i])
+            << backend_name(backend) << " query " << begin + i;
+    }
+    EXPECT_EQ(session->batches(), 2u);
+    EXPECT_EQ(session->total().num_queries, queries.size());
+    EXPECT_GT(session->total().makespan, 0u);
+  }
+}
+
+TEST(SessionSeam, OneShotRunMatchesSessionRanks) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 5;
+  const auto engine = make_engine(Backend::kParallelNative, cfg);
+  const std::span<const key_t> queries(fx.queries.data(), 5000);
+  std::vector<rank_t> one_shot;
+  engine->run(fx.keys, queries, &one_shot);
+  std::vector<rank_t> streamed;
+  engine->open(fx.keys)->run_batch(queries, &streamed);
+  EXPECT_EQ(one_shot, streamed);
+}
+
+TEST(RunReportMerge, AddsCountersAndNodes) {
+  RunReport a;
+  a.method = Method::kC3;
+  a.num_queries = 10;
+  a.raw_makespan = 100;
+  a.makespan = 100;
+  a.messages = 3;
+  a.wire_bytes = 64;
+  a.slave_idle_fraction = 0.5;
+  a.nodes.resize(2);
+  a.nodes[1].queries = 10;
+  RunReport b = a;
+  b.num_queries = 30;
+  b.raw_makespan = 300;
+  b.makespan = 300;
+  b.slave_idle_fraction = 0.1;
+  b.nodes[1].queries = 30;
+  a.merge(b);
+  EXPECT_EQ(a.num_queries, 40u);
+  EXPECT_EQ(a.makespan, 400);
+  EXPECT_EQ(a.messages, 6u);
+  EXPECT_EQ(a.wire_bytes, 128u);
+  // Time-weighted: (0.5*100 + 0.1*300) / 400 = 0.2.
+  EXPECT_NEAR(a.slave_idle_fraction, 0.2, 1e-12);
+  ASSERT_EQ(a.nodes.size(), 2u);
+  EXPECT_EQ(a.nodes[1].queries, 40u);
+  // Mismatched node sets have no meaningful element-wise sum.
+  RunReport c = b;
+  c.nodes.resize(5);
+  a.merge(c);
+  EXPECT_TRUE(a.nodes.empty());
+}
+
 // The seam itself: all three backends, built from the same
 // ExperimentConfig through make_engine, agree on every rank.
 TEST(EngineSeam, BackendsAgreeOnRanks) {

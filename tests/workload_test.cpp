@@ -66,6 +66,16 @@ TEST(MakeZipfQueries, ZeroSkewIsRoughlyUniform) {
   for (int c : counts) EXPECT_NEAR(c, 5000, 500);
 }
 
+TEST(MakeZipfQueries, RejectsZeroBuckets) {
+  Rng rng(7);
+  EXPECT_DEATH(make_zipf_queries(10, 0, 1.0, rng), "at least one bucket");
+}
+
+TEST(MakeZipfQueries, RejectsNegativeExponent) {
+  Rng rng(8);
+  EXPECT_DEATH(make_zipf_queries(10, 4, -0.5, rng), "non-negative");
+}
+
 TEST(ReferenceRanks, MatchesUpperBound) {
   const std::vector<key_t> keys{10, 20, 30};
   const std::vector<key_t> queries{5, 10, 15, 30, 35};
