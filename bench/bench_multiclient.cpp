@@ -1,0 +1,235 @@
+// AB-multiclient — clients x in-flight depth scaling of the v2 API on
+// ParallelNativeEngine.
+//
+// The paper's steady-state picture is many concurrent front ends
+// feeding one master/slave cluster; the v2 Engine API makes that
+// literal: one immutable Index (shared worker fleet), N connected
+// Clients each playing a master, each keeping D batches in flight
+// through submit/wait. This bench sweeps the (clients, depth) surface
+// and reports aggregate throughput, the speedup over the same client
+// count at depth 1 (what pipelining buys), and over the 1x1 corner
+// (what concurrency buys). Before timing anything it runs one verified
+// cell — every rank checked against std::upper_bound — and exits
+// non-zero on disagreement, so CI can gate on it.
+//
+//   $ ./bench_multiclient                       # full sweep
+//   $ ./bench_multiclient --quick --json out.json   # CI smoke artifact
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <span>
+#include <thread>
+
+#include "src/core/parallel_engine.hpp"
+#include "src/util/affinity.hpp"
+#include "src/util/timer.hpp"
+
+using namespace dici;
+
+namespace {
+
+struct Cell {
+  std::uint32_t clients = 0;
+  std::size_t depth = 0;
+  double seconds = 0;
+  double qps = 0;
+};
+
+/// One client's whole stream: B slices of `queries`, up to `depth`
+/// tickets in flight, drained at the end. `out_ranks` non-null makes
+/// every batch verifiable (slot buffers are settled before reuse).
+void stream_client(const core::Index& index, std::span<const dici::key_t> queries,
+                   std::size_t batches, std::size_t depth,
+                   std::vector<std::vector<dici::rank_t>>* out_ranks) {
+  const auto client = index.connect();
+  std::vector<core::Ticket> tickets(depth);
+  std::vector<bool> live(depth, false);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t begin = b * queries.size() / batches;
+    const std::size_t end = (b + 1) * queries.size() / batches;
+    const std::size_t slot = b % depth;
+    if (live[slot]) client->wait(tickets[slot]);
+    tickets[slot] = client->submit(
+        std::span(queries.data() + begin, end - begin),
+        out_ranks != nullptr ? &(*out_ranks)[b] : nullptr);
+    live[slot] = true;
+  }
+  client->drain();
+}
+
+/// Time one (clients, depth) cell: every client thread streams the full
+/// query array through its own Client against the one shared index.
+double run_cell(const core::Index& index, std::span<const dici::key_t> queries,
+                std::uint32_t clients, std::size_t batches, std::size_t depth,
+                int repeats) {
+  double best = 0;
+  for (int r = 0; r < repeats; ++r) {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> fleet;
+    fleet.reserve(clients);
+    for (std::uint32_t c = 0; c < clients; ++c)
+      fleet.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        stream_client(index, queries, batches, depth, nullptr);
+      });
+    WallTimer timer;
+    go.store(true, std::memory_order_release);
+    for (auto& t : fleet) t.join();
+    const double sec = timer.elapsed_sec();
+    if (r == 0 || sec < best) best = sec;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("AB-multiclient: clients x in-flight depth on the shared index");
+  cli.add_int("keys", "index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "search keys per client",
+              static_cast<std::int64_t>(bench::kDefaultQueries));
+  cli.add_bytes("batch", "dispatcher round size", 64 * KiB);
+  cli.add_int("threads", "worker threads in the shared fleet", 4);
+  cli.add_int("maxclients", "largest concurrent client count", 4);
+  cli.add_int("maxdepth", "largest in-flight depth", 4);
+  cli.add_int("batches", "submit() calls per client stream", 16);
+  cli.add_int("repeats", "timed repetitions per cell (best kept)", 3);
+  cli.add_string("json", "write the machine-readable summary here", "");
+  cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_flag("quick");
+  const auto w = bench::make_workload(
+      quick ? (1u << 14) : static_cast<std::size_t>(cli.get_int("keys")),
+      quick ? (1u << 16) : static_cast<std::size_t>(cli.get_int("queries")));
+  // Clamp on the signed value so a negative flag becomes 1, not a
+  // huge unsigned count.
+  const int repeats =
+      std::max(1, quick ? 1 : static_cast<int>(cli.get_int("repeats")));
+  const auto max_clients = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, quick ? 4 : cli.get_int("maxclients")));
+  const auto max_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, quick ? 4 : cli.get_int("maxdepth")));
+  const auto batches = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, quick ? 8 : cli.get_int("batches")));
+
+  core::ParallelConfig cfg;
+  cfg.num_threads = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("threads")));
+  cfg.num_shards = cfg.num_threads;
+  cfg.batch_bytes = cli.get_bytes("batch");
+  const core::ParallelNativeEngine engine(cfg);
+  const auto index = engine.build(w.index_keys);
+
+  bench::print_header(
+      "AB-multiclient — shared index, concurrent clients, async pipeline",
+      "Engine::build -> Index::connect x N -> Client::submit/wait at depth D");
+  std::printf("  host CPUs: %d   workers: %u   batch: %s   %zu keys, %zu "
+              "queries/client, %zu submits/stream\n\n",
+              available_cpus(), cfg.num_threads,
+              format_bytes(cfg.batch_bytes).c_str(), w.index_keys.size(),
+              w.queries.size(), batches);
+
+  // Correctness gate, untimed: one 2-client x depth-2 pass with every
+  // rank of every batch checked against the std::upper_bound reference.
+  {
+    const auto expected = workload::reference_ranks(w.index_keys, w.queries);
+    std::atomic<std::uint64_t> mismatches{0};
+    std::vector<std::thread> fleet;
+    std::vector<std::vector<std::vector<dici::rank_t>>> ranks(
+        2, std::vector<std::vector<dici::rank_t>>(batches));
+    for (int c = 0; c < 2; ++c)
+      fleet.emplace_back([&, c] {
+        stream_client(*index, w.queries, batches, 2, &ranks[c]);
+        for (std::size_t b = 0; b < batches; ++b) {
+          const std::size_t begin = b * w.queries.size() / batches;
+          for (std::size_t i = 0; i < ranks[c][b].size(); ++i)
+            if (ranks[c][b][i] != expected[begin + i])
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    for (auto& t : fleet) t.join();
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr, "RANK MISMATCH: %llu ranks disagree with "
+                   "std::upper_bound under concurrent clients\n",
+                   static_cast<unsigned long long>(mismatches.load()));
+      return 1;
+    }
+    std::printf("  verification: 2 clients x depth 2, every rank == "
+                "std::upper_bound  [ok]\n\n");
+  }
+
+  std::vector<std::uint32_t> client_counts;
+  for (std::uint32_t c = 1; c <= max_clients; c *= 2) client_counts.push_back(c);
+  if (client_counts.back() != max_clients) client_counts.push_back(max_clients);
+  std::vector<std::size_t> depths;
+  for (std::size_t d = 1; d <= max_depth; d *= 2) depths.push_back(d);
+  if (depths.back() != max_depth) depths.push_back(max_depth);
+
+  std::vector<Cell> cells;
+  TextTable t({"clients", "depth", "sec", "Mqps", "vs depth 1", "vs 1x1"});
+  double base_1x1 = 0;
+  for (const std::uint32_t clients : client_counts) {
+    double depth1_qps = 0;
+    for (const std::size_t depth : depths) {
+      Cell cell;
+      cell.clients = clients;
+      cell.depth = depth;
+      cell.seconds = run_cell(*index, w.queries, clients, batches, depth,
+                              repeats);
+      cell.qps = cell.seconds > 0
+                     ? static_cast<double>(clients) *
+                           static_cast<double>(w.queries.size()) / cell.seconds
+                     : 0;
+      if (depth == 1) depth1_qps = cell.qps;
+      if (clients == 1 && depth == 1) base_1x1 = cell.qps;
+      t.add_row({std::to_string(clients), std::to_string(depth),
+                 format_double(cell.seconds, 4),
+                 format_double(cell.qps / 1e6, 2),
+                 format_double(depth1_qps > 0 ? cell.qps / depth1_qps : 0, 2) +
+                     "x",
+                 format_double(base_1x1 > 0 ? cell.qps / base_1x1 : 0, 2) +
+                     "x"});
+      cells.push_back(cell);
+    }
+  }
+  t.print();
+
+  std::printf(
+      "\n  Reading: 'vs depth 1' is what the async pipeline buys — at depth\n"
+      "  >= 2 a client routes batch k+1 while the fleet resolves batch k,\n"
+      "  so dispatch hides behind slave work. 'vs 1x1' is what shared-index\n"
+      "  concurrency buys: more masters feeding the same pinned workers.\n"
+      "  Both flatten once the workers (or the host's cores, when clients +\n"
+      "  workers exceed them) saturate; past that point added clients queue\n"
+      "  rather than scale, which is the paper's master-bottleneck remark\n"
+      "  inverted — here the *slave fleet* is the shared resource. On a\n"
+      "  core-starved host (CPUs <= workers) depth-1 already timeshares\n"
+      "  dispatch with slave work, so the depth win shrinks toward 1x and\n"
+      "  only reappears once several clients give the scheduler slack.\n");
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::string json = "[\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"clients\": %u, \"depth\": %zu, \"seconds\": %.9g, "
+                    "\"qps\": %.9g}%s\n",
+                    cells[i].clients, cells[i].depth, cells[i].seconds,
+                    cells[i].qps, i + 1 < cells.size() ? "," : "");
+      json += buf;
+    }
+    json += "]\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\n  wrote %s (%zu cells)\n", json_path.c_str(), cells.size());
+  }
+  return 0;
+}

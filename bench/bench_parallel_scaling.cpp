@@ -6,7 +6,9 @@
 // wall-clock throughput, speedup vs one thread, and parallel efficiency.
 // A second table compares the three exact search kernels, since the
 // branchless/prefetch variants are the per-shard analogue of the paper's
-// cache-conscious slave structures.
+// cache-conscious slave structures; a third measures index reuse vs
+// rebuild-per-call amortization through the v2 build/connect API (the
+// clients x in-flight-depth surface lives in bench_multiclient).
 #include "bench/bench_common.hpp"
 
 #include <span>
@@ -30,15 +32,19 @@ core::SearchKernel kernel_from_name(const std::string& name) {
 }
 
 /// Best-of-`repeats` wall time: scheduler jitter makes min far more
-/// stable than mean at these run lengths. Since the session API split,
-/// run()'s makespan covers dispatch->drain on a ready fleet; worker
-/// spawn happens in open() and is not part of the row (the session-reuse
-/// table below is where setup amortization is measured).
+/// stable than mean at these run lengths. v2 API: the index (and its
+/// worker fleet) is built once per row; each repeat is one submit/wait
+/// round trip on a fresh client, so the makespan covers dispatch->drain
+/// on a ready fleet — worker spawn happens in build() and is not part
+/// of the row (the reuse table below is where setup amortization is
+/// measured).
 core::RunReport best_run(const core::ParallelNativeEngine& engine,
                          const bench::BenchWorkload& w, int repeats) {
+  const auto index = engine.build(w.index_keys);
   core::RunReport best;
   for (int r = 0; r < repeats; ++r) {
-    const auto report = engine.run(w.index_keys, w.queries, nullptr);
+    const auto client = index->connect();
+    const auto report = client->wait(client->submit(w.queries, nullptr));
     if (r == 0 || report.makespan < best.makespan) best = report;
   }
   return best;
@@ -145,14 +151,14 @@ int main(int argc, char** argv) {
   }
   k.print();
 
-  // Session reuse vs rebuild-per-call: the streaming API's amortization
-  // curve. The rebuild baseline pays index partitioning + thread spawn +
-  // join on EVERY batch (the pre-session world); the session pays it
-  // once in open() and streams batches through the warm worker fleet.
-  // Both totals include their full setup cost, so the per-batch column
-  // is the honest amortized figure.
+  // Index reuse vs rebuild-per-call: the v2 API's amortization curve.
+  // The rebuild baseline pays index partitioning + thread spawn + join
+  // on EVERY batch (the pre-build/connect world); the reuse column pays
+  // it once in build() and streams batches through one client on the
+  // warm worker fleet. Both totals include their full setup cost, so
+  // the per-batch column is the honest amortized figure.
   std::printf("\n");
-  TextTable s({"batches", "rebuild ms/batch", "session ms/batch", "speedup"});
+  TextTable s({"batches", "rebuild ms/batch", "reuse ms/batch", "speedup"});
   const auto session_batches =
       static_cast<std::size_t>(cli.get_int("session-batches"));
   // Powers of two plus the requested maximum itself, like the thread
@@ -179,13 +185,17 @@ int main(int argc, char** argv) {
     double session_sec = 0;
     for (int r = 0; r < repeats; ++r) {
       WallTimer rebuild_timer;
-      for (std::size_t b = 0; b < batches; ++b)
-        sengine.run(w.index_keys, slice(b), nullptr);
+      for (std::size_t b = 0; b < batches; ++b) {
+        const auto index = sengine.build(w.index_keys);
+        const auto client = index->connect();
+        client->wait(client->submit(slice(b), nullptr));
+      }
       const double rebuild = rebuild_timer.elapsed_sec();
       WallTimer session_timer;
-      const auto session = sengine.open(w.index_keys);
+      const auto index = sengine.build(w.index_keys);
+      const auto client = index->connect();
       for (std::size_t b = 0; b < batches; ++b)
-        session->run_batch(slice(b), nullptr);
+        client->wait(client->submit(slice(b), nullptr));
       const double streamed = session_timer.elapsed_sec();
       if (r == 0 || rebuild < rebuild_sec) rebuild_sec = rebuild;
       if (r == 0 || streamed < session_sec) session_sec = streamed;
@@ -200,8 +210,8 @@ int main(int argc, char** argv) {
   }
   s.print();
   if (speedup_at_4_batches > 0)
-    std::printf("\n  4-batch session reuse vs rebuild-per-call: %.2fx "
-                "(target: >1x — open() cost amortizes away)\n",
+    std::printf("\n  4-batch index reuse vs rebuild-per-call: %.2fx "
+                "(target: >1x — build() cost amortizes away)\n",
                 speedup_at_4_batches);
 
   std::printf(

@@ -1,46 +1,74 @@
-// Quickstart: build a distributed in-cache index, route keys, and run a
-// batched lookup — the five-minute tour of the public API.
+// Quickstart: build a shared index once, attach clients, and stream
+// query batches through the async submit/wait pipeline — the
+// five-minute tour of the v2 Engine API.
 //
 //   $ ./example_quickstart
 #include <cstdio>
+#include <thread>
 #include <vector>
 
-#include "src/core/distributed_index.hpp"
-#include "src/util/bytes.hpp"
+#include "src/core/parallel_engine.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/workload.hpp"
 
 int main() {
   using namespace dici;
 
-  // 1. Some data to index: a million random 32-bit keys.
+  // 1. Some data to index: a million random 32-bit keys, and a backend.
+  //    ParallelNativeEngine is Method C-3 on this host's cores: sharded
+  //    sorted array, pinned workers, batched dispatch.
   Rng rng(/*seed=*/7);
-  std::vector<dici::key_t> keys = workload::make_sorted_unique_keys(1 << 20, rng);
+  const std::vector<dici::key_t> keys =
+      workload::make_sorted_unique_keys(1 << 20, rng);
+  core::ParallelConfig cfg;
+  cfg.num_threads = 4;
+  const core::ParallelNativeEngine engine(cfg);
 
-  // 2. Build the index, partitioned so each slice fits a 512 KB cache —
-  //    the paper's sizing rule for spreading an index over CPU caches.
-  const auto partitions =
-      DistributedInCacheIndex::partitions_for_cache(keys.size(), 512 * KiB);
-  DistributedInCacheIndex index(std::move(keys), partitions);
-  std::printf("indexed %zu keys across %u cache-sized partitions\n",
-              index.size(), index.partitions());
+  // 2. Build the immutable index ONCE. The key array is copied into the
+  //    Index and shared by every client; the worker fleet spawns here
+  //    and stays warm. The engine itself is no longer needed.
+  const std::shared_ptr<const core::Index> index = engine.build(keys);
+  std::printf("built a %zu-key index on %u pinned workers\n", index->size(),
+              cfg.num_threads);
 
-  // 3. Point queries: which node owns a key, and what is its rank?
-  const dici::key_t probe_key = index.keys()[12345];
-  std::printf("key %u -> partition %u, rank %u, contains=%s\n", probe_key,
-              index.route(probe_key), index.lookup(probe_key),
-              index.contains(probe_key) ? "yes" : "no");
-  std::printf("key %u (not indexed) -> rank %u, contains=%s\n",
-              probe_key + 1, index.lookup(probe_key + 1),
-              index.contains(probe_key + 1) ? "yes" : "no");
-
-  // 4. Batched lookups: the master/slave dataflow of the paper's
-  //    Method C-3, on native threads.
-  const auto queries = workload::make_uniform_queries(100000, rng);
-  const auto ranks = index.lookup_batch(queries);
+  // 3. Attach a client and pipeline batches: submit() returns a Ticket
+  //    without blocking, so the fleet resolves batch k while we route
+  //    batch k+1. wait() returns that batch's report; ranks land in the
+  //    buffer we handed to submit (global std::upper_bound ranks, in
+  //    query order).
+  const auto queries = workload::make_uniform_queries(1 << 18, rng);
+  const auto client = index->connect();
+  const std::size_t kBatches = 8;
+  std::vector<std::vector<dici::rank_t>> ranks(kBatches);
+  std::vector<core::Ticket> tickets(kBatches);
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const std::size_t begin = b * queries.size() / kBatches;
+    const std::size_t end = (b + 1) * queries.size() / kBatches;
+    tickets[b] = client->submit(
+        std::span(queries.data() + begin, end - begin), &ranks[b]);
+  }
+  client->drain();  // everything in flight is now complete
   std::uint64_t checksum = 0;
-  for (const auto r : ranks) checksum += r;
-  std::printf("looked up %zu keys in a batch (rank checksum %llu)\n",
-              ranks.size(), static_cast<unsigned long long>(checksum));
+  for (const auto& batch : ranks)
+    for (const auto r : batch) checksum += r;
+  std::printf("client 1: %llu queries over %llu batches in flight "
+              "(rank checksum %llu)\n",
+              static_cast<unsigned long long>(client->total().num_queries),
+              static_cast<unsigned long long>(client->batches()),
+              static_cast<unsigned long long>(checksum));
+
+  // 4. Many clients, one index: each connect() is an independent stream
+  //    with its own accounting, safe from its own thread — the paper's
+  //    multi-master setup with the slave fleet shared.
+  std::vector<std::thread> fleet;
+  for (int c = 0; c < 2; ++c)
+    fleet.emplace_back([&index, &queries] {
+      const auto worker_client = index->connect();
+      std::vector<dici::rank_t> batch_ranks;
+      worker_client->wait(worker_client->submit(queries, &batch_ranks));
+    });
+  for (auto& t : fleet) t.join();
+  std::printf("2 more clients streamed the same shared index "
+              "concurrently\n");
   return 0;
 }

@@ -1,5 +1,5 @@
 // Scenario matrix runner: every workload shape x every backend, one
-// streaming session per cell, one verified summary.
+// pipelined client stream per cell, one verified summary.
 //
 //   $ ./scenario_matrix                 # full default matrix
 //   $ ./scenario_matrix --quick         # tiny sizes (CI smoke)
@@ -8,6 +8,8 @@
 // Exit code is non-zero when any verified cell's ranks disagree with
 // workload::reference_ranks, so CI can gate on the matrix directly.
 #include <cstdio>
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -58,7 +60,9 @@ int main(int argc, char** argv) {
   Cli cli("Scenario matrix: distribution x backend, streamed via sessions");
   cli.add_int("keys", "index keys per scenario", 1 << 16);
   cli.add_int("queries", "queries per scenario", 1 << 17);
-  cli.add_int("stream-batches", "run_batch calls per session", 8);
+  cli.add_int("stream-batches", "submit() calls per client stream", 8);
+  cli.add_int("in-flight", "batches kept in flight per client (at >1 the "
+              "'sec' column sums overlapping makespans)", 1);
   cli.add_bytes("batch", "dispatcher round size", 8 * KiB);
   cli.add_int("nodes", "cluster size (1 master + slaves)", 5);
   cli.add_string("backends", "comma list of sim|native|parallel-native, or "
@@ -88,13 +92,16 @@ int main(int argc, char** argv) {
 
   workload::MatrixOptions options;
   options.verify = !cli.get_flag("no-verify");
+  options.in_flight = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("in-flight")));
   if (!parse_backends(cli.get_string("backends"), &options.backends))
     return 2;
 
   std::printf("scenario matrix: %zu scenarios x %zu backends, %zu keys, "
-              "%zu queries, %lld stream batches\n\n",
+              "%zu queries, %lld stream batches, %zu in flight\n\n",
               tuned.specs().size(), options.backends.size(), keys, queries,
-              static_cast<long long>(cli.get_int("stream-batches")));
+              static_cast<long long>(cli.get_int("stream-batches")),
+              options.in_flight);
 
   const auto cells = workload::run_scenario_matrix(tuned, options);
 

@@ -7,6 +7,84 @@
 
 namespace dici::core {
 
+// --- Index ----------------------------------------------------------------
+
+Index::Index(std::span<const key_t> index_keys)
+    : keys_(index_keys.begin(), index_keys.end()) {
+  DICI_CHECK_MSG(!keys_.empty(), "an index needs at least one key");
+}
+
+std::unique_ptr<Client> Index::connect() const {
+  // shared_from_this() also enforces the ownership contract: an Index
+  // not held by shared_ptr (never possible via Engine::build) throws.
+  return do_connect(shared_from_this());
+}
+
+// --- Client ---------------------------------------------------------------
+
+Client::Client(std::shared_ptr<const Index> index)
+    : index_(std::move(index)) {
+  DICI_CHECK(index_ != nullptr);
+}
+
+Client::~Client() {
+  // Drain-on-destroy: tickets still in flight reference caller buffers
+  // (out_ranks) and shared machinery, so block until they complete.
+  // Completions are self-contained, safe to await from the base dtor.
+  for (Entry& entry : entries_)
+    if (entry.completion) entry.completion->await();
+}
+
+Ticket Client::submit(std::span<const key_t> queries,
+                      std::vector<rank_t>* out_ranks) {
+  Entry entry;
+  entry.completion = do_submit(queries, out_ranks);
+  entries_.push_back(std::move(entry));
+  ++in_flight_;
+  return Ticket(this, next_id_++);
+}
+
+RunReport Client::wait(const Ticket& ticket) {
+  DICI_CHECK_MSG(ticket.owner_ == this,
+                 "Ticket belongs to a different Client (or was "
+                 "default-constructed, never submit()ed)");
+  DICI_CHECK(ticket.id_ < next_id_);
+  DICI_CHECK_FMT(
+      ticket.id_ >= base_id_ &&
+          entries_[ticket.id_ - base_id_].completion != nullptr,
+      "Ticket %llu was already waited — each ticket is waited exactly "
+      "once; capture the RunReport from the first wait",
+      static_cast<unsigned long long>(ticket.id_));
+  Entry& entry = entries_[ticket.id_ - base_id_];
+  RunReport report = entry.completion->await();
+  entry.completion.reset();
+  --in_flight_;
+  // Retire the settled prefix so the ledger stays O(in-flight).
+  while (!entries_.empty() && entries_.front().completion == nullptr) {
+    entries_.pop_front();
+    ++base_id_;
+  }
+  // First batch assigns (merge DICI_CHECKs method agreement, which a
+  // default-constructed total_ cannot satisfy).
+  if (batches_ == 0) {
+    total_ = report;
+  } else {
+    total_.merge(report);
+  }
+  ++batches_;
+  return report;
+}
+
+const RunReport& Client::drain() {
+  // The front entry is always unsettled while anything is in flight
+  // (settled entries are retired from the front), so draining is just
+  // waiting the front until the ledger empties.
+  while (in_flight_ > 0) wait(Ticket(this, base_id_));
+  return total_;
+}
+
+// --- v1 compatibility wrappers --------------------------------------------
+
 RunReport Session::run_batch(std::span<const key_t> queries,
                              std::vector<rank_t>* out_ranks) {
   RunReport report = do_run_batch(queries, out_ranks);
@@ -19,37 +97,87 @@ RunReport Session::run_batch(std::span<const key_t> queries,
   return report;
 }
 
+namespace {
+
+/// Session = one client with every submit immediately waited. The
+/// client (and through it the shared Index) is the only state; key
+/// storage lives in the Index, not here.
+class CompatSession : public Session {
+ public:
+  explicit CompatSession(std::unique_ptr<Client> client)
+      : client_(std::move(client)) {}
+
+  const char* backend() const override { return client_->backend(); }
+
+ private:
+  RunReport do_run_batch(std::span<const key_t> queries,
+                         std::vector<rank_t>* out_ranks) override {
+    return client_->wait(client_->submit(queries, out_ranks));
+  }
+
+  std::unique_ptr<Client> client_;
+};
+
+}  // namespace
+
+std::unique_ptr<Session> Engine::open(
+    std::span<const key_t> index_keys) const {
+  return std::make_unique<CompatSession>(build(index_keys)->connect());
+}
+
 RunReport Engine::run(std::span<const key_t> index_keys,
                       std::span<const key_t> queries,
                       std::vector<rank_t>* out_ranks) const {
   return open(index_keys)->run_batch(queries, out_ranks);
 }
 
+// --- Config validation ----------------------------------------------------
+
 void validate(const ExperimentConfig& config) {
   config.machine.validate();
-  DICI_CHECK_MSG(config.num_nodes >= 2, "a cluster needs at least two nodes");
-  DICI_CHECK(config.batch_bytes >= sizeof(key_t));
-  DICI_CHECK(config.buffer_fraction > 0.0 && config.buffer_fraction <= 1.0);
+  DICI_CHECK_FMT(config.num_nodes >= 2,
+                 "ExperimentConfig::num_nodes = %u: a cluster needs at least "
+                 "two nodes",
+                 config.num_nodes);
+  DICI_CHECK_FMT(config.batch_bytes >= sizeof(key_t),
+                 "ExperimentConfig::batch_bytes = %llu: a dispatch round must "
+                 "hold at least one %zu-byte key",
+                 static_cast<unsigned long long>(config.batch_bytes),
+                 sizeof(key_t));
+  DICI_CHECK_FMT(
+      config.buffer_fraction > 0.0 && config.buffer_fraction <= 1.0,
+      "ExperimentConfig::buffer_fraction = %g: must be in (0, 1]",
+      config.buffer_fraction);
   if (is_distributed(config.method)) {
-    DICI_CHECK(config.num_masters >= 1);
-    DICI_CHECK_MSG(config.num_nodes > config.num_masters,
-                   "Method C needs at least one slave");
+    DICI_CHECK_FMT(config.num_masters >= 1,
+                   "ExperimentConfig::num_masters = %u: Method C needs at "
+                   "least one master",
+                   config.num_masters);
+    DICI_CHECK_FMT(config.num_nodes > config.num_masters,
+                   "ExperimentConfig::num_nodes = %u with num_masters = %u: "
+                   "Method C needs at least one slave",
+                   config.num_nodes, config.num_masters);
   }
 }
 
 void check_native_supported(const ExperimentConfig& config) {
-  DICI_CHECK_MSG(config.flush_policy == FlushPolicy::kMasterRound,
-                 "native backends implement master-round flushing only");
-  DICI_CHECK_MSG(!config.track_latency,
-                 "per-query latency tracking is simulator-only for now");
+  DICI_CHECK_FMT(config.flush_policy == FlushPolicy::kMasterRound,
+                 "ExperimentConfig::flush_policy = %s: native backends "
+                 "implement master-round flushing only",
+                 flush_policy_name(config.flush_policy));
+  DICI_CHECK_FMT(!config.track_latency,
+                 "ExperimentConfig::track_latency = true: per-query latency "
+                 "tracking is simulator-only for now");
 }
 
 NativeConfig native_config_from(const ExperimentConfig& config) {
   validate(config);
   check_native_supported(config);
-  DICI_CHECK_MSG(!is_distributed(config.method) || config.num_masters == 1,
-                 "native backends implement a single master; multi-master "
-                 "is simulator-only for now");
+  DICI_CHECK_FMT(!is_distributed(config.method) || config.num_masters == 1,
+                 "ExperimentConfig::num_masters = %u: native backends "
+                 "implement a single master; multi-master is simulator-only "
+                 "for now",
+                 config.num_masters);
   NativeConfig native;
   native.method = config.method;
   native.num_nodes = config.num_nodes;
@@ -58,31 +186,37 @@ NativeConfig native_config_from(const ExperimentConfig& config) {
   return native;
 }
 
+// --- NativeEngine's v2 adapter --------------------------------------------
+
 namespace {
 
-/// NativeCluster's session: owns a copy of the key array; every batch
-/// re-runs the cluster's thread fleet over it. (NativeCluster builds its
-/// per-method structures inside run(), so there is no index state to
-/// keep warm — ParallelNativeEngine is the backend with a true
-/// steady-state session.)
-class NativeSession : public Session {
+class NativeIndex;
+
+/// NativeCluster resolves each submission synchronously on its own
+/// thread fleet (it builds per-method structures inside run(), so there
+/// is no warm state to pipeline through — ParallelNativeEngine is the
+/// backend with a true async pipeline). Many clients may still share
+/// one NativeIndex: NativeCluster::run is const and self-contained.
+class NativeClient : public Client {
  public:
-  NativeSession(const NativeConfig& config, std::span<const key_t> index_keys)
-      : cluster_(config), keys_(index_keys.begin(), index_keys.end()) {}
+  NativeClient(std::shared_ptr<const Index> index, const NativeCluster* cluster)
+      : Client(std::move(index)), cluster_(cluster) {}
 
   const char* backend() const override {
     return backend_name(Backend::kNative);
   }
 
  private:
-  RunReport do_run_batch(std::span<const key_t> queries,
-                         std::vector<rank_t>* out_ranks) override {
-    const NativeReport native = cluster_.run(keys_, queries, out_ranks);
+  std::unique_ptr<Completion> do_submit(
+      std::span<const key_t> queries,
+      std::vector<rank_t>* out_ranks) override {
+    const NativeReport native =
+        cluster_->run(index().keys(), queries, out_ranks);
     RunReport report;
     report.method = native.method;
     report.num_queries = native.num_queries;
     report.num_nodes = native.num_nodes;
-    report.batch_bytes = cluster_.config().batch_bytes;
+    report.batch_bytes = cluster_->config().batch_bytes;
     // No normalize_replicated division here: the simulator measures A/B
     // on ONE node and credits a free dispatcher by dividing, whereas the
     // native engine runs num_nodes real worker threads — its wall time
@@ -90,20 +224,38 @@ class NativeSession : public Session {
     report.raw_makespan = ns_to_ps(native.seconds * 1e9);
     report.makespan = report.raw_makespan;
     report.messages = native.messages;
-    return report;
+    return std::make_unique<ImmediateCompletion>(std::move(report));
+  }
+
+  const NativeCluster* cluster_;  // owned by the NativeIndex
+};
+
+class NativeIndex : public Index {
+ public:
+  NativeIndex(const NativeConfig& config, std::span<const key_t> index_keys)
+      : Index(index_keys), cluster_(config) {}
+
+  const char* backend() const override {
+    return backend_name(Backend::kNative);
+  }
+
+ private:
+  std::unique_ptr<Client> do_connect(
+      std::shared_ptr<const Index> self) const override {
+    return std::make_unique<NativeClient>(std::move(self), &cluster_);
   }
 
   NativeCluster cluster_;
-  std::vector<key_t> keys_;
 };
 
 }  // namespace
 
-std::unique_ptr<Session> NativeEngine::open(
+std::shared_ptr<const Index> NativeEngine::build(
     std::span<const key_t> index_keys) const {
-  DICI_CHECK(!index_keys.empty());
-  return std::make_unique<NativeSession>(cluster_.config(), index_keys);
+  return std::make_shared<const NativeIndex>(cluster_.config(), index_keys);
 }
+
+// --- Factory --------------------------------------------------------------
 
 const char* backend_name(Backend backend) {
   switch (backend) {

@@ -1,27 +1,38 @@
-// The unified backend seam: every cluster implementation — the
+// The unified backend seam, v2: every cluster implementation — the
 // discrete-event simulator (SimCluster), the threaded native engine
 // (NativeEngine over NativeCluster), and the sharded parallel engine
-// (ParallelNativeEngine) — answers one two-phase contract:
+// (ParallelNativeEngine) — answers one three-layer contract:
 //
-//   open(index_keys) -> Session
-//   Session::run_batch(queries, out_ranks) -> RunReport
+//   Engine::build(index_keys) -> std::shared_ptr<const Index>
+//   Index::connect()          -> std::unique_ptr<Client>
+//   Client::submit(queries, out_ranks) -> Ticket
+//   Client::wait(ticket)      -> RunReport        (plus drain())
 //
-// open() builds the index once; the Session owns it (plus any persistent
-// worker state — ParallelNativeEngine keeps its pinned threads, shards,
-// and work queues alive across calls) and serves repeated query batches,
-// the paper's steady-state master/slave pipeline rather than a cold
-// start per call. out_ranks receives the global std::upper_bound rank of
-// every query in query order. The classic one-shot
+// build() constructs one immutable, shareable index: the key array is
+// copied exactly once, into the Index, and every Client serves its query
+// stream against that same copy (no per-session duplication). connect()
+// may be called many times; Clients are independent query streams and
+// are safe to drive from different threads concurrently — this is the
+// paper's Sec. 3.2 multi-master remark made literal, many front ends
+// sharing one built slave fleet. submit() enqueues a batch and returns
+// immediately with a Ticket, so a caller keeps several batches in
+// flight; wait() blocks for one batch's RunReport, drain() for all of
+// them. ParallelNativeEngine's persistent pinned worker fleet lives in
+// its Index and interleaves work items from every connected client
+// through the same queues.
 //
-//   run(index_keys, queries, out_ranks) -> RunReport
+// The v1 surface survives as thin compatibility wrappers:
 //
-// survives as a thin open-then-run_batch wrapper, so code that wants a
-// single cold measurement keeps compiling unchanged. Correctness tests,
-// benches, and examples program against Engine/Session and pick a
-// backend via make_engine(), so future backends (NUMA-aware, remote)
-// drop in behind the same seam.
+//   Engine::open(index_keys) -> Session      == build + connect
+//   Session::run_batch(queries, out_ranks)   == submit + wait
+//   Engine::run(index_keys, queries, out)    == one-shot of all of it
+//
+// so pre-v2 code keeps compiling unchanged. out_ranks always receives
+// the global std::upper_bound rank of every query in query order — the
+// invariant every backend is tested against.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
@@ -32,12 +43,173 @@
 
 namespace dici::core {
 
-/// A built index plus whatever steady-state machinery the backend keeps
-/// warm between batches. Sessions are self-contained: they copy the
-/// config and key array at open(), so the Engine that created one may be
-/// destroyed while the session lives on. A session serves one query
-/// stream — run_batch is NOT thread-safe; callers wanting concurrent
-/// streams open one session per stream.
+class Client;
+
+/// An immutable built index plus whatever steady-state machinery the
+/// backend keeps warm (ParallelNativeEngine parks its pinned worker
+/// fleet here). The one owner of the key array: clients and sessions
+/// reference it, they do not copy it. Always held by shared_ptr — the
+/// index stays alive while any Client (or the caller) still references
+/// it, so the Engine that built it may be destroyed freely.
+///
+/// Thread-safety: everything reachable from a const Index is safe to
+/// use from many clients on many threads concurrently; the internal
+/// work queues of threaded backends are internally synchronized.
+class Index : public std::enable_shared_from_this<Index> {
+ public:
+  virtual ~Index() = default;
+
+  /// Attach one more client stream to this index. Clients are
+  /// independent: each has its own tickets and accounting, and distinct
+  /// clients may submit/wait concurrently from different threads.
+  std::unique_ptr<Client> connect() const;
+
+  /// The built (sorted, unique) key array — the single shared copy.
+  std::span<const key_t> keys() const { return keys_; }
+  std::size_t size() const { return keys_.size(); }
+
+  /// Stable identifier of the backend that built this index.
+  virtual const char* backend() const = 0;
+
+ protected:
+  explicit Index(std::span<const key_t> index_keys);
+
+ private:
+  virtual std::unique_ptr<Client> do_connect(
+      std::shared_ptr<const Index> self) const = 0;
+
+  std::vector<key_t> keys_;
+};
+
+/// Handle for one in-flight submission. Cheap to copy; only meaningful
+/// with the Client that issued it (wait()ing it on any other client
+/// aborts). A default-constructed Ticket belongs to no client.
+class Ticket {
+ public:
+  Ticket() = default;
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Client;
+  Ticket(const Client* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+
+  const Client* owner_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// One query stream against a shared Index. submit() enqueues a batch
+/// and returns a Ticket without blocking on the result; wait() blocks
+/// until that batch completes and returns its RunReport; drain() waits
+/// for everything outstanding. Per-client accounting (total(),
+/// batches()) accumulates as tickets are waited.
+///
+/// Threading contract: one Client serves one stream — its methods are
+/// NOT thread-safe against each other. Distinct clients of the same
+/// Index are fully concurrent. Destroying a client with tickets still
+/// in flight is safe: the destructor drains them first (so out_ranks
+/// buffers are never written after the caller has moved on).
+///
+/// Buffer lifetimes: `queries` only needs to live for the submit() call
+/// itself (the batch is staged into messages inside submit). A non-null
+/// `out_ranks` is resized inside submit() and must then stay alive and
+/// un-resized until that ticket is waited (or the client drains /
+/// is destroyed) — the backend writes ranks into it asynchronously.
+///
+/// Each ticket is waited exactly once: wait() hands the batch's report
+/// over and retires the ticket (its scalars live on in total()), so the
+/// ledger stays O(in-flight) however long the stream runs — a client
+/// serving millions of batches retains nothing per batch. Waiting a
+/// ticket twice is a programming error and aborts with a diagnostic;
+/// capture the RunReport from the first wait if you need it later.
+class Client {
+ public:
+  /// Blocking handle for one submission's result. Backends return one
+  /// from do_submit(); synchronous backends use ImmediateCompletion.
+  /// Completions must be self-contained (safe to await even while the
+  /// derived Client is being destroyed).
+  class Completion {
+   public:
+    virtual ~Completion() = default;
+    /// Block until the submission completes; called at most once.
+    virtual RunReport await() = 0;
+  };
+
+  virtual ~Client();  // drains tickets still in flight
+
+  /// Enqueue one batch of this client's query stream. Returns without
+  /// waiting for the batch to complete (on backends with an async
+  /// pipeline; synchronous backends resolve it inline).
+  Ticket submit(std::span<const key_t> queries,
+                std::vector<rank_t>* out_ranks = nullptr);
+
+  /// Block until `ticket`'s batch completes; returns the report for
+  /// that batch only, folds it into total(), and retires the ticket
+  /// (waiting it again aborts — see the class comment).
+  RunReport wait(const Ticket& ticket);
+
+  /// Wait every outstanding ticket (in submission order); returns the
+  /// accumulated total().
+  const RunReport& drain();
+
+  /// Accumulated report over every waited batch (RunReport::merge).
+  const RunReport& total() const { return total_; }
+
+  /// Number of completed (waited) batches.
+  std::uint64_t batches() const { return batches_; }
+
+  /// Tickets submitted but not yet waited.
+  std::uint64_t in_flight() const { return in_flight_; }
+
+  /// The shared index this client streams against.
+  const Index& index() const { return *index_; }
+
+  /// Stable identifier of the backend serving this client.
+  virtual const char* backend() const = 0;
+
+ protected:
+  explicit Client(std::shared_ptr<const Index> index);
+
+ private:
+  virtual std::unique_ptr<Completion> do_submit(
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks) = 0;
+
+  struct Entry {
+    std::unique_ptr<Completion> completion;  // null once waited (settled)
+  };
+
+  // Destroyed after ~Client's drain, so completions may rely on the
+  // index machinery (worker fleet, queues) while being awaited.
+  std::shared_ptr<const Index> index_;
+  // Ticket id -> entries_[id - base_id_]. Settled entries are retired
+  // from the front as the settled prefix grows, so the ledger stays
+  // O(in-flight): out-of-order waits leave settled holes that retire
+  // once everything before them has settled.
+  std::deque<Entry> entries_;
+  std::uint64_t base_id_ = 0;   // id of entries_.front()
+  std::uint64_t next_id_ = 0;   // id the next submit() gets
+  std::uint64_t in_flight_ = 0;
+  RunReport total_;
+  std::uint64_t batches_ = 0;
+};
+
+/// Completion for backends that resolve a submission synchronously
+/// inside do_submit (sim, native): the report is ready before submit
+/// returns, await just hands it over.
+class ImmediateCompletion : public Client::Completion {
+ public:
+  explicit ImmediateCompletion(RunReport report)
+      : report_(std::move(report)) {}
+  RunReport await() override { return std::move(report_); }
+
+ private:
+  RunReport report_;
+};
+
+/// v1 compatibility: a Session is one synchronous query stream over a
+/// built index — now a thin wrapper over build + connect, with each
+/// run_batch a submit immediately followed by wait. Kept so pre-v2
+/// callers compile unchanged; new code should hold the Index and
+/// Clients directly (shared indexes, concurrent clients, pipelining).
 class Session {
  public:
   virtual ~Session() = default;
@@ -72,18 +244,22 @@ class Engine {
  public:
   virtual ~Engine() = default;
 
-  /// Build the index over `index_keys` (sorted, unique, non-empty) and
-  /// return a session that serves query batches against it.
-  virtual std::unique_ptr<Session> open(
+  /// Build the one immutable index over `index_keys` (sorted, unique,
+  /// non-empty). The returned Index is shareable: connect() as many
+  /// concurrent clients as you like; the Engine may be destroyed.
+  virtual std::shared_ptr<const Index> build(
       std::span<const key_t> index_keys) const = 0;
 
-  /// One-shot convenience: open a session, run a single batch, tear it
-  /// down. When `out_ranks` is non-null it receives the global
+  /// v1 compatibility: build + connect, wrapped as a Session.
+  std::unique_ptr<Session> open(std::span<const key_t> index_keys) const;
+
+  /// One-shot convenience: build an index, serve a single batch, tear
+  /// it down. When `out_ranks` is non-null it receives the global
   /// upper-bound rank of every query, in query order.
   ///
-  /// Setup cost (the session's key-array copy, and for
-  /// ParallelNativeEngine the worker spawn) is paid inside open(),
-  /// OUTSIDE the reported makespan: every backend's makespan now means
+  /// Setup cost (the index's key-array copy, and for
+  /// ParallelNativeEngine the worker spawn) is paid inside build(),
+  /// OUTSIDE the reported makespan: every backend's makespan means
   /// "serve this batch on a ready index", one-shot or streamed. Callers
   /// who want to charge setup wall-clock time a loop around run()
   /// themselves (bench_parallel_scaling's rebuild-per-call column does
@@ -105,12 +281,14 @@ class Engine {
 
 /// Shared ExperimentConfig validation. Every backend built from an
 /// ExperimentConfig funnels through this, so a nonsense config fails the
-/// same loud way (DICI_CHECK abort) regardless of backend.
+/// same loud way (DICI_CHECK abort naming the offending field and its
+/// value) regardless of backend.
 void validate(const ExperimentConfig& config);
 
 /// Aborts when the config requests knobs only the simulator implements
 /// (non-default flush_policy, track_latency) — silently running the
 /// default on a native backend would corrupt cross-backend comparisons.
+/// The diagnostic names the offending field and its value.
 void check_native_supported(const ExperimentConfig& config);
 
 enum class Backend { kSim, kNative, kParallelNative };

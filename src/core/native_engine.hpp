@@ -82,7 +82,7 @@ class NativeEngine : public Engine {
   explicit NativeEngine(const ExperimentConfig& config)
       : NativeEngine(native_config_from(config)) {}
 
-  std::unique_ptr<Session> open(
+  std::shared_ptr<const Index> build(
       std::span<const key_t> index_keys) const override;
   const char* name() const override { return backend_name(Backend::kNative); }
 

@@ -1,7 +1,9 @@
 #include "src/core/parallel_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -26,18 +28,28 @@ const char* search_kernel_name(SearchKernel kernel) {
 
 ParallelNativeEngine::ParallelNativeEngine(const ParallelConfig& config)
     : config_(config) {
-  DICI_CHECK(config_.num_threads >= 1);
-  DICI_CHECK(config_.batch_bytes >= sizeof(key_t));
+  DICI_CHECK_FMT(config_.num_threads >= 1,
+                 "ParallelConfig::num_threads = %u: need at least one worker",
+                 config_.num_threads);
+  DICI_CHECK_FMT(config_.batch_bytes >= sizeof(key_t),
+                 "ParallelConfig::batch_bytes = %llu: a dispatch round must "
+                 "hold at least one %zu-byte key",
+                 static_cast<unsigned long long>(config_.batch_bytes),
+                 sizeof(key_t));
 }
 
 ParallelConfig parallel_config_from(const ExperimentConfig& config) {
   validate(config);
   check_native_supported(config);
-  DICI_CHECK_MSG(config.method == Method::kC3,
-                 "ParallelNativeEngine shards sorted arrays (Method C-3)");
-  DICI_CHECK_MSG(config.num_masters == 1,
-                 "ParallelNativeEngine has one dispatcher; multi-master is "
-                 "simulator-only for now");
+  DICI_CHECK_FMT(config.method == Method::kC3,
+                 "ExperimentConfig::method = %s: ParallelNativeEngine shards "
+                 "sorted arrays (Method C-3)",
+                 method_name(config.method));
+  DICI_CHECK_FMT(config.num_masters == 1,
+                 "ExperimentConfig::num_masters = %u: ParallelNativeEngine "
+                 "maps extra masters to extra Clients, not config knobs — "
+                 "connect() one Client per master",
+                 config.num_masters);
   ParallelConfig parallel;
   parallel.num_threads = config.num_slaves();
   parallel.num_shards = config.num_slaves();
@@ -69,176 +81,260 @@ std::uint32_t clamped_shards(const ParallelConfig& config, std::size_t n) {
   return static_cast<std::uint32_t>(std::min<std::size_t>(want, n));
 }
 
-/// The steady-state session behind ParallelNativeEngine::open. Owns a
-/// copy of the key array, the range partitioner over it, and the pinned
-/// worker fleet; all of it persists across run_batch calls.
-class ParallelSession : public Session {
+/// Completion record for one submitted batch, shared between the
+/// submitting client, every work item the batch fanned out into, and
+/// the waiter. `outstanding` starts at 1 (the submitter's hold) and is
+/// incremented per enqueued item; whoever drops it to zero — the last
+/// worker, or the submitter itself for an empty batch — stamps the wall
+/// clock and signals done. Per-worker stat slots are written only by
+/// their owning worker; the acq_rel countdown plus the done-flag mutex
+/// publish every slot to the waiter.
+struct Submission {
+  explicit Submission(std::uint32_t num_workers)
+      : worker_queries(num_workers, 0), worker_busy_sec(num_workers, 0.0) {}
+
+  rank_t* out = nullptr;
+  std::vector<rank_t> sink;  ///< backs `out` when the caller passed none
+
+  std::vector<std::uint64_t> worker_queries;
+  std::vector<double> worker_busy_sec;
+
+  // Filled by the submitter before it releases its hold.
+  std::uint64_t num_queries = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
+  double dispatch_sec = 0.0;
+
+  WallTimer timer;           ///< started at submit
+  double wall_sec = 0.0;     ///< stamped by whoever completes last
+
+  std::atomic<std::uint64_t> outstanding{1};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  void finish_one() {
+    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      wall_sec = timer.elapsed_sec();
+      {
+        std::lock_guard lock(mu);
+        done = true;
+      }
+      cv.notify_all();
+    }
+  }
+
+  void await_done() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+};
+
+/// The steady-state machinery behind ParallelNativeEngine::build: the
+/// one shared key copy (in the Index base), the range partitioner over
+/// it, and the pinned worker fleet. Immutable after construction except
+/// for the internally-synchronized queues, so any number of clients may
+/// submit concurrently; work items from different clients and different
+/// in-flight batches interleave freely on the same queues.
+class ParallelIndex : public Index {
  public:
-  ParallelSession(const ParallelConfig& config,
-                  std::span<const key_t> index_keys);
-  ~ParallelSession() override;
+  ParallelIndex(const ParallelConfig& config,
+                std::span<const key_t> index_keys)
+      : Index(index_keys),
+        config_(config),
+        partitioner_(keys(), clamped_shards(config, keys().size())),
+        queues_(config.num_threads) {
+    workers_.reserve(config_.num_threads);
+    for (std::uint32_t w = 0; w < config_.num_threads; ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ~ParallelIndex() override {
+    // close() lets workers drain queued items before exiting, so even a
+    // shutdown racing in-flight work resolves every submission.
+    for (auto& queue : queues_) queue.close();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  const char* backend() const override {
+    return backend_name(Backend::kParallelNative);
+  }
+
+  const ParallelConfig& config() const { return config_; }
+
+  /// The submit path, run on the CLIENT's thread (each client plays a
+  /// master): route the batch into per-shard messages with the shared
+  /// kMasterRound loop and enqueue them. Returns the completion the
+  /// base Client waits on. Const because the queues are internally
+  /// synchronized — submitting mutates no index state.
+  std::unique_ptr<Client::Completion> submit_batch(
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks) const;
+
+ private:
+  /// A dispatched message tagged with the shard it must be resolved on
+  /// (a worker owns several shards when num_shards > num_threads) and
+  /// the submission it belongs to.
+  struct WorkItem {
+    std::uint32_t shard = 0;
+    DispatchBatch batch;
+    std::shared_ptr<Submission> sub;
+  };
+
+  class ParallelCompletion;
+
+  void worker_loop(std::uint32_t w) {
+    if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
+    while (auto item = queues_[w].pop()) {
+      WallTimer batch_timer;
+      const auto part = partitioner_.keys_of(item->shard);
+      const rank_t offset = partitioner_.start_of(item->shard);
+      const DispatchBatch& batch = item->batch;
+      Submission& sub = *item->sub;
+      for (std::size_t j = 0; j < batch.keys.size(); ++j)
+        sub.out[batch.ids[j]] =
+            offset + run_kernel(config_.kernel, part, batch.keys[j]);
+      sub.worker_queries[w] += batch.keys.size();
+      sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
+      sub.finish_one();
+    }
+  }
+
+  std::unique_ptr<Client> do_connect(
+      std::shared_ptr<const Index> self) const override;
+
+  ParallelConfig config_;
+  index::RangePartitioner partitioner_;
+  // Mutable: pushing work is logically const (the queues synchronize
+  // internally); everything else about the index is truly immutable.
+  mutable std::vector<net::BlockingQueue<WorkItem>> queues_;
+  std::vector<std::thread> workers_;
+};
+
+/// Waits one submission and assembles its RunReport. Self-contained (no
+/// back-pointer to client or index): safe to await during client
+/// destruction. The worker fleet outlives the wait because the base
+/// Client still holds the Index while draining.
+class ParallelIndex::ParallelCompletion : public Client::Completion {
+ public:
+  ParallelCompletion(std::shared_ptr<Submission> sub,
+                     const ParallelConfig& config)
+      : sub_(std::move(sub)), num_threads_(config.num_threads),
+        batch_bytes_(config.batch_bytes) {}
+
+  RunReport await() override {
+    Submission& sub = *sub_;
+    sub.await_done();
+    const std::uint32_t T = num_threads_;
+
+    // The submitting client is node 0 (the master), workers are nodes
+    // 1..T — the same master-inclusive accounting as the other
+    // backends, so num_nodes is comparable across the Engine seam.
+    RunReport report;
+    report.method = Method::kC3;
+    report.num_queries = sub.num_queries;
+    report.num_nodes = T + 1;
+    report.batch_bytes = batch_bytes_;
+    report.raw_makespan = ns_to_ps(sub.wall_sec * 1e9);
+    report.makespan = report.raw_makespan;
+    report.messages = sub.messages;
+    report.wire_bytes = sub.wire_bytes;
+    report.nodes.resize(T + 1);
+    report.nodes[0].queries = sub.num_queries;
+    report.nodes[0].busy = ns_to_ps(sub.dispatch_sec * 1e9);
+    report.nodes[0].finish = report.raw_makespan;
+    report.nodes[0].idle = report.raw_makespan > report.nodes[0].busy
+                               ? report.raw_makespan - report.nodes[0].busy
+                               : 0;
+    double idle_sum = 0.0;
+    for (std::uint32_t w = 0; w < T; ++w) {
+      NodeReport& node = report.nodes[w + 1];
+      node.queries = sub.worker_queries[w];
+      node.busy = ns_to_ps(sub.worker_busy_sec[w] * 1e9);
+      node.finish = report.raw_makespan;
+      node.idle = report.raw_makespan > node.busy
+                      ? report.raw_makespan - node.busy
+                      : 0;
+      if (sub.wall_sec > 0.0)
+        idle_sum += std::max(0.0, 1.0 - sub.worker_busy_sec[w] / sub.wall_sec);
+    }
+    report.slave_idle_fraction = idle_sum / T;
+    return report;
+  }
+
+ private:
+  std::shared_ptr<Submission> sub_;
+  std::uint32_t num_threads_;
+  std::uint64_t batch_bytes_;
+};
+
+std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
+    std::span<const key_t> queries, std::vector<rank_t>* out_ranks) const {
+  const std::uint32_t T = config_.num_threads;
+  auto sub = std::make_shared<Submission>(T);
+  if (out_ranks != nullptr) {
+    out_ranks->assign(queries.size(), 0);
+    sub->out = out_ranks->data();
+  } else {
+    sub->sink.assign(queries.size(), 0);
+    sub->out = sub->sink.data();
+  }
+  sub->num_queries = queries.size();
+
+  // wire_bytes matches the simulator's request-hop accounting exactly:
+  // key payload + per-message header. The ids are bookkeeping for the
+  // shared-memory scatter (a real cluster's reply hop would carry the
+  // ranks instead), so they are not charged as wire traffic. Each
+  // item's hold is added BEFORE its push, so the countdown can never
+  // hit zero while messages are still being enqueued.
+  sub->timer.start();
+  WallTimer dispatch_timer;
+  sub->messages = dispatch_master_rounds(
+      queries, config_.batch_bytes, partitioner_.parts(),
+      [&](key_t q) { return partitioner_.route(q); },
+      [&](std::uint32_t s, DispatchBatch&& batch) {
+        sub->wire_bytes += config_.message_header_bytes +
+                           batch.keys.size() * sizeof(key_t);
+        sub->outstanding.fetch_add(1, std::memory_order_relaxed);
+        queues_[s % T].push(WorkItem{s, std::move(batch), sub});
+      });
+  sub->dispatch_sec = dispatch_timer.elapsed_sec();
+  // Release the submitter's hold; completes immediately on zero work.
+  sub->finish_one();
+  return std::make_unique<ParallelCompletion>(std::move(sub), config_);
+}
+
+/// One master stream into the shared fleet. All interesting state lives
+/// in the base Client and the ParallelIndex; this just forwards.
+class ParallelClient : public Client {
+ public:
+  ParallelClient(std::shared_ptr<const Index> index,
+                 const ParallelIndex* parallel)
+      : Client(std::move(index)), parallel_(parallel) {}
 
   const char* backend() const override {
     return backend_name(Backend::kParallelNative);
   }
 
  private:
-  /// A dispatched message tagged with the shard it must be resolved on
-  /// (a worker owns several shards when num_shards > num_threads).
-  /// `drain` marks the end-of-batch barrier token instead of work.
-  struct WorkItem {
-    std::uint32_t shard = 0;
-    DispatchBatch batch;
-    bool drain = false;
-  };
+  std::unique_ptr<Completion> do_submit(
+      std::span<const key_t> queries,
+      std::vector<rank_t>* out_ranks) override {
+    return parallel_->submit_batch(queries, out_ranks);
+  }
 
-  RunReport do_run_batch(std::span<const key_t> queries,
-                         std::vector<rank_t>* out_ranks) override;
-  void worker_loop(std::uint32_t w);
-
-  ParallelConfig config_;
-  std::vector<key_t> keys_;
-  index::RangePartitioner partitioner_;
-
-  // Per-batch state. The dispatcher writes these before pushing any work
-  // (queue mutexes publish them to workers) and reads the per-worker
-  // stats only after the drain barrier (done_mu_ publishes them back).
-  rank_t* out_ = nullptr;
-  std::vector<std::uint64_t> worker_queries_;
-  std::vector<double> worker_busy_sec_;
-
-  std::mutex done_mu_;
-  std::condition_variable done_cv_;
-  std::uint32_t drained_ = 0;
-
-  std::vector<net::BlockingQueue<WorkItem>> queues_;
-  std::vector<std::thread> workers_;
+  const ParallelIndex* parallel_;  // the index the base class keeps alive
 };
 
-ParallelSession::ParallelSession(const ParallelConfig& config,
-                                 std::span<const key_t> index_keys)
-    : config_(config),
-      keys_(index_keys.begin(), index_keys.end()),
-      partitioner_(keys_, clamped_shards(config, keys_.size())),
-      worker_queries_(config.num_threads, 0),
-      worker_busy_sec_(config.num_threads, 0.0),
-      queues_(config.num_threads) {
-  workers_.reserve(config_.num_threads);
-  for (std::uint32_t w = 0; w < config_.num_threads; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
-}
-
-ParallelSession::~ParallelSession() {
-  for (auto& queue : queues_) queue.close();
-  for (auto& worker : workers_) worker.join();
-}
-
-void ParallelSession::worker_loop(std::uint32_t w) {
-  if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
-  while (auto item = queues_[w].pop()) {
-    if (item->drain) {
-      // All of this batch's work on this worker precedes the marker
-      // (per-queue FIFO), so acknowledging it is the batch barrier.
-      {
-        std::lock_guard lock(done_mu_);
-        ++drained_;
-      }
-      done_cv_.notify_one();
-      continue;
-    }
-    WallTimer batch_timer;
-    const auto part = partitioner_.keys_of(item->shard);
-    const rank_t offset = partitioner_.start_of(item->shard);
-    const DispatchBatch& batch = item->batch;
-    for (std::size_t j = 0; j < batch.keys.size(); ++j)
-      out_[batch.ids[j]] =
-          offset + run_kernel(config_.kernel, part, batch.keys[j]);
-    worker_queries_[w] += batch.keys.size();
-    worker_busy_sec_[w] += batch_timer.elapsed_sec();
-  }
-}
-
-RunReport ParallelSession::do_run_batch(std::span<const key_t> queries,
-                                        std::vector<rank_t>* out_ranks) {
-  const std::uint32_t T = config_.num_threads;
-  const std::uint32_t shards = partitioner_.parts();
-
-  if (out_ranks != nullptr) out_ranks->assign(queries.size(), 0);
-  std::vector<rank_t> sink(out_ranks == nullptr ? queries.size() : 0);
-  out_ = out_ranks != nullptr ? out_ranks->data() : sink.data();
-  std::fill(worker_queries_.begin(), worker_queries_.end(), 0);
-  std::fill(worker_busy_sec_.begin(), worker_busy_sec_.end(), 0.0);
-  {
-    std::lock_guard lock(done_mu_);
-    drained_ = 0;
-  }
-
-  // Dispatcher (this thread plays the master): the shared kMasterRound
-  // loop routes by delimiter search with one staging lane per shard.
-  // wire_bytes matches the simulator's request-hop accounting exactly:
-  // key payload + per-message header. The ids are bookkeeping for the
-  // shared-memory scatter (a real cluster's reply hop would carry the
-  // ranks instead), so they are not charged as wire traffic.
-  std::uint64_t wire_bytes = 0;
-  WallTimer timer;
-  WallTimer dispatch_timer;
-  std::uint64_t messages = dispatch_master_rounds(
-      queries, config_.batch_bytes, shards,
-      [&](key_t q) { return partitioner_.route(q); },
-      [&](std::uint32_t s, DispatchBatch&& batch) {
-        wire_bytes += config_.message_header_bytes +
-                      batch.keys.size() * sizeof(key_t);
-        queues_[s % T].push(WorkItem{s, std::move(batch), /*drain=*/false});
-      });
-  for (auto& queue : queues_) queue.push(WorkItem{0, {}, /*drain=*/true});
-  const double dispatch_sec = dispatch_timer.elapsed_sec();
-  {
-    std::unique_lock lock(done_mu_);
-    done_cv_.wait(lock, [&] { return drained_ == T; });
-  }
-  const double wall_sec = timer.elapsed_sec();
-  out_ = nullptr;
-
-  // The dispatcher is node 0 (the master), workers are nodes 1..T — the
-  // same master-inclusive accounting as the other backends, so
-  // num_nodes is comparable across the Engine seam.
-  RunReport report;
-  report.method = Method::kC3;
-  report.num_queries = queries.size();
-  report.num_nodes = T + 1;
-  report.batch_bytes = config_.batch_bytes;
-  report.raw_makespan = ns_to_ps(wall_sec * 1e9);
-  report.makespan = report.raw_makespan;
-  report.messages = messages;
-  report.wire_bytes = wire_bytes;
-  report.nodes.resize(T + 1);
-  report.nodes[0].queries = queries.size();
-  report.nodes[0].busy = ns_to_ps(dispatch_sec * 1e9);
-  report.nodes[0].finish = report.raw_makespan;
-  report.nodes[0].idle = report.raw_makespan > report.nodes[0].busy
-                             ? report.raw_makespan - report.nodes[0].busy
-                             : 0;
-  double idle_sum = 0.0;
-  for (std::uint32_t w = 0; w < T; ++w) {
-    NodeReport& node = report.nodes[w + 1];
-    node.queries = worker_queries_[w];
-    node.busy = ns_to_ps(worker_busy_sec_[w] * 1e9);
-    node.finish = report.raw_makespan;
-    node.idle =
-        report.raw_makespan > node.busy ? report.raw_makespan - node.busy : 0;
-    if (wall_sec > 0.0)
-      idle_sum += std::max(0.0, 1.0 - worker_busy_sec_[w] / wall_sec);
-  }
-  report.slave_idle_fraction = idle_sum / T;
-  return report;
+std::unique_ptr<Client> ParallelIndex::do_connect(
+    std::shared_ptr<const Index> self) const {
+  return std::make_unique<ParallelClient>(std::move(self), this);
 }
 
 }  // namespace
 
-std::unique_ptr<Session> ParallelNativeEngine::open(
+std::shared_ptr<const Index> ParallelNativeEngine::build(
     std::span<const key_t> index_keys) const {
-  DICI_CHECK(!index_keys.empty());
-  return std::make_unique<ParallelSession>(config_, index_keys);
+  return std::make_shared<const ParallelIndex>(config_, index_keys);
 }
 
 }  // namespace dici::core

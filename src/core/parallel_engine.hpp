@@ -3,23 +3,29 @@
 // Method C-3's architecture mapped onto one multicore host: the sorted
 // key space is sharded with index::RangePartitioner, each worker thread
 // (pinned via util/affinity) owns the shards congruent to its id, and
-// the dispatcher fans query batches out over net::BlockingQueue work
-// queues. Slaves resolve batches with the exact branchless/prefetch
-// upper_bound kernels from index/fast_search and scatter-merge results
-// by query id, so the output array is in query order without a sort —
-// each id is written exactly once by exactly one worker.
+// query batches fan out over net::BlockingQueue work queues. Slaves
+// resolve batches with the exact branchless/prefetch upper_bound
+// kernels from index/fast_search and scatter-merge results by query id,
+// so the output array is in query order without a sort — each id is
+// written exactly once by exactly one worker.
 //
-// open() is where this backend earns its session: the partitioner and
-// the pinned worker fleet are built once and stay parked on their
-// queues between run_batch calls (the paper's steady-state master/slave
-// pipeline), so per-batch cost excludes thread spawn and index build.
-// End-of-batch is a drain marker per queue — FIFO order guarantees all
-// of the batch's work precedes it — acknowledged through a counter the
-// dispatcher waits on.
+// build() is where this backend earns its keep: the partitioner and the
+// pinned worker fleet live in the immutable shared Index, built once
+// and parked on their queues (the paper's steady-state master/slave
+// pipeline). Every connected Client plays a master: submit() routes the
+// batch into per-shard messages on the calling thread and enqueues them
+// tagged with a per-submission completion record, so the one worker
+// fleet interleaves work from many clients and many in-flight batches.
+// End-of-batch is an atomic countdown of the submission's outstanding
+// work items — no barrier across clients, each ticket completes the
+// moment its own last item is resolved. This is the paper's Sec. 3.2
+// multi-master remark made literal: N clients = N masters sharing one
+// slave fleet.
 //
 // bench_parallel_scaling measures this engine's 1->N-thread speedup
-// curve the same way the paper measures its cluster scaling, plus the
-// session-reuse vs rebuild-per-call amortization table.
+// curve the same way the paper measures its cluster scaling;
+// bench_multiclient measures the clients x in-flight-depth surface the
+// v2 API opens up.
 #pragma once
 
 #include <cstdint>
@@ -39,8 +45,8 @@ enum class SearchKernel { kStdUpperBound, kBranchless, kPrefetch };
 const char* search_kernel_name(SearchKernel kernel);
 
 struct ParallelConfig {
-  /// Worker thread count. The dispatcher runs on the calling thread and
-  /// is reported as node 0 (the master), so RunReport::num_nodes is
+  /// Worker thread count. The submitting client plays the dispatcher
+  /// and is reported as node 0 (the master), so RunReport::num_nodes is
   /// num_threads + 1 — master-inclusive like every other backend.
   std::uint32_t num_threads = 4;
   /// Shard count; 0 means one shard per thread. Shard s is owned by
@@ -48,7 +54,7 @@ struct ParallelConfig {
   /// fan-out for finer-grained load balance under skew. Clamped to the
   /// index size for degenerate tiny indexes.
   std::uint32_t num_shards = 0;
-  /// Query bytes the dispatcher ingests per flush round (the mirror of
+  /// Query bytes a client ingests per flush round (the mirror of
   /// ExperimentConfig::batch_bytes and Figure 3's x-axis).
   std::uint64_t batch_bytes = 64 * KiB;
   /// Pin worker w to CPU w (best-effort, modulo available cores).
@@ -67,7 +73,7 @@ class ParallelNativeEngine : public Engine {
   /// the slave count, batch_bytes carries over. Method must be C-3.
   explicit ParallelNativeEngine(const ExperimentConfig& config);
 
-  std::unique_ptr<Session> open(
+  std::shared_ptr<const Index> build(
       std::span<const key_t> index_keys) const override;
   const char* name() const override {
     return backend_name(Backend::kParallelNative);

@@ -66,14 +66,28 @@ struct RunReport {
   std::vector<NodeReport> nodes;
 
   /// Fold a subsequent batch's report into this one with *sequential*
-  /// semantics — the session served batch after batch on the same built
-  /// index, so makespans add, counters add, and per-node accounting adds
-  /// element-wise when both reports describe the same node set (nodes is
-  /// cleared otherwise: mixing backends' node layouts has no meaning).
-  /// Session::run_batch uses this to maintain Session::total().
+  /// semantics — the stream served batch after batch on the same built
+  /// index, so makespans add and counters add. Client::wait and
+  /// Session::run_batch use this to maintain their total().
+  ///
+  /// Per-node detail: `nodes` layouts are backend-defined (the sim
+  /// reports every simulated node, ParallelNativeEngine dispatcher +
+  /// workers, NativeEngine none), so element-wise addition is only
+  /// meaningful when both reports describe the same node set. The
+  /// chosen — and defended — semantics for a size mismatch (e.g.
+  /// reports from different backends, or a backend that changed shape
+  /// mid-stream): the scalar totals above stay exact, and `nodes` is
+  /// emptied rather than concatenated or truncated, because a partial
+  /// or mixed per-node sum would silently misattribute work. Callers
+  /// needing per-node detail across a merge must keep layouts equal;
+  /// an empty `nodes` after merge is the documented "detail dropped"
+  /// signal, never UB. Merging across *methods* is a programming error
+  /// and aborts.
   void merge(const RunReport& other) {
-    DICI_CHECK_MSG(method == other.method,
-                   "merging reports from different methods");
+    DICI_CHECK_FMT(method == other.method,
+                   "RunReport::method mismatch: merging %s into %s — totals "
+                   "from different methods are not comparable",
+                   method_name(other.method), method_name(method));
     const picos_t prev_raw = raw_makespan;
     num_queries += other.num_queries;
     raw_makespan += other.raw_makespan;
@@ -90,6 +104,7 @@ struct RunReport {
                   static_cast<double>(raw_makespan)
             : 0.0;
     latency_ns.merge(other.latency_ns);
+    // Same layout: element-wise. Mismatch: drop detail (see above).
     if (nodes.size() == other.nodes.size()) {
       for (std::size_t i = 0; i < nodes.size(); ++i) {
         NodeReport& n = nodes[i];

@@ -51,31 +51,54 @@ RunReport SimCluster::run_once(std::span<const key_t> index_keys,
 
 namespace {
 
-/// The simulator's session: owns the key array; each batch is one full
-/// simulated run over it. Copies the config, so it outlives the engine.
-class SimSession : public Session {
+class SimIndex;
+
+/// The simulator's client: each submission is one full simulated run
+/// over the shared key array, resolved synchronously (virtual time, not
+/// wall time, is the product — there is nothing to pipeline). run_once
+/// is const and self-contained, so many clients may share one SimIndex
+/// from different threads.
+class SimClient : public Client {
  public:
-  SimSession(const ExperimentConfig& config, std::span<const key_t> index_keys)
-      : cluster_(config), keys_(index_keys.begin(), index_keys.end()) {}
+  SimClient(std::shared_ptr<const Index> index, const SimCluster* cluster)
+      : Client(std::move(index)), cluster_(cluster) {}
 
   const char* backend() const override { return backend_name(Backend::kSim); }
 
  private:
-  RunReport do_run_batch(std::span<const key_t> queries,
-                         std::vector<rank_t>* out_ranks) override {
-    return cluster_.run_once(keys_, queries, out_ranks);
+  std::unique_ptr<Completion> do_submit(
+      std::span<const key_t> queries,
+      std::vector<rank_t>* out_ranks) override {
+    return std::make_unique<ImmediateCompletion>(
+        cluster_->run_once(index().keys(), queries, out_ranks));
+  }
+
+  const SimCluster* cluster_;  // owned by the SimIndex
+};
+
+/// The simulator's index: the shared key array plus a config copy (so
+/// the index outlives the engine that built it).
+class SimIndex : public Index {
+ public:
+  SimIndex(const ExperimentConfig& config, std::span<const key_t> index_keys)
+      : Index(index_keys), cluster_(config) {}
+
+  const char* backend() const override { return backend_name(Backend::kSim); }
+
+ private:
+  std::unique_ptr<Client> do_connect(
+      std::shared_ptr<const Index> self) const override {
+    return std::make_unique<SimClient>(std::move(self), &cluster_);
   }
 
   SimCluster cluster_;
-  std::vector<key_t> keys_;
 };
 
 }  // namespace
 
-std::unique_ptr<Session> SimCluster::open(
+std::shared_ptr<const Index> SimCluster::build(
     std::span<const key_t> index_keys) const {
-  DICI_CHECK(!index_keys.empty());
-  return std::make_unique<SimSession>(config_, index_keys);
+  return std::make_shared<const SimIndex>(config_, index_keys);
 }
 
 namespace {

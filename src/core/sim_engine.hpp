@@ -18,12 +18,12 @@ class SimCluster : public Engine {
  public:
   explicit SimCluster(const ExperimentConfig& config);
 
-  /// Open a session over `index_keys` (sorted, unique). The simulator
-  /// rebuilds its virtual data structures per batch (simulated time, not
-  /// wall time, is the product), so the session's job is owning the key
-  /// array and accumulating the merged report; determinism is preserved
-  /// batch by batch.
-  std::unique_ptr<Session> open(
+  /// Build the shared index over `index_keys` (sorted, unique). The
+  /// simulator rebuilds its virtual data structures per submission
+  /// (simulated time, not wall time, is the product), so the index's
+  /// job is owning the one shared key array; clients resolve each
+  /// batch synchronously and determinism is preserved batch by batch.
+  std::shared_ptr<const Index> build(
       std::span<const key_t> index_keys) const override;
   const char* name() const override { return backend_name(Backend::kSim); }
 

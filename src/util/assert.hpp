@@ -5,6 +5,7 @@
 // make failures loud (message + abort) rather than UB.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +16,20 @@ namespace dici {
   std::fprintf(stderr, "DICI_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg ? msg : "");
   std::abort();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+check_failed_fmt(const char* expr, const char* file, int line, const char* fmt,
+                 ...) {
+  char msg[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  check_failed(expr, file, line, msg);
 }
 
 }  // namespace dici
@@ -29,4 +44,14 @@ namespace dici {
 #define DICI_CHECK_MSG(expr, msg)                                 \
   do {                                                            \
     if (!(expr)) ::dici::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Like DICI_CHECK_MSG but the message is a printf format string, so the
+// diagnostic can name the offending field AND its runtime value (config
+// validation relies on this: "num_nodes = 1: ..." beats a bare
+// expression). The format arguments are only evaluated on failure.
+#define DICI_CHECK_FMT(expr, ...)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::dici::check_failed_fmt(#expr, __FILE__, __LINE__, __VA_ARGS__);    \
   } while (0)

@@ -175,32 +175,57 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
     config.num_nodes = spec.num_nodes;
     config.batch_bytes = spec.batch_bytes;
 
+    const std::size_t depth = std::max<std::size_t>(1, options.in_flight);
     for (const core::Backend backend : options.backends) {
       if (backend == core::Backend::kParallelNative &&
           spec.method != core::Method::kC3)
         continue;  // that backend shards sorted arrays only
       const auto engine = core::make_engine(backend, config);
-      const auto session = engine->open(index);
+      const auto built = engine->build(index);
+      const auto client = built->connect();
 
       ScenarioCell cell;
       cell.scenario = spec.name;
       cell.distribution = spec.distribution;
-      cell.backend = engine->name();
+      cell.backend = client->backend();
       cell.verified = options.verify;
+      cell.in_flight = depth;
+
+      // Pipeline the stream: keep up to `depth` batches in flight, each
+      // with its own rank buffer; settle (wait + verify) the oldest
+      // ticket whenever its slot is needed again, and drain the tail.
+      struct Slot {
+        core::Ticket ticket;
+        std::vector<rank_t> ranks;
+        std::size_t begin = 0;
+        bool live = false;
+      };
+      std::vector<Slot> slots(depth);
+      auto settle = [&](Slot& slot) {
+        if (!slot.live) return;
+        client->wait(slot.ticket);
+        if (options.verify)
+          for (std::size_t i = 0; i < slot.ranks.size(); ++i)
+            cell.mismatches += slot.ranks[i] != expected[slot.begin + i];
+        slot.live = false;
+      };
       const std::size_t B = spec.stream_batches;
-      std::vector<rank_t> ranks;
       for (std::size_t b = 0; b < B; ++b) {
         const std::size_t begin = b * queries.size() / B;
         const std::size_t end = (b + 1) * queries.size() / B;
         const std::span<const key_t> slice(queries.data() + begin,
                                            end - begin);
-        session->run_batch(slice, options.verify ? &ranks : nullptr);
-        if (options.verify)
-          for (std::size_t i = 0; i < ranks.size(); ++i)
-            cell.mismatches += ranks[i] != expected[begin + i];
+        Slot& slot = slots[b % depth];
+        settle(slot);
+        slot.begin = begin;
+        slot.ticket =
+            client->submit(slice, options.verify ? &slot.ranks : nullptr);
+        slot.live = true;
       }
-      const core::RunReport& total = session->total();
-      cell.stream_batches = session->batches();
+      for (Slot& slot : slots) settle(slot);
+
+      const core::RunReport& total = client->total();
+      cell.stream_batches = client->batches();
       cell.num_queries = total.num_queries;
       cell.ranks_ok = cell.mismatches == 0;
       cell.seconds = total.seconds();
@@ -251,9 +276,10 @@ std::string matrix_to_json(std::span<const ScenarioCell> cells) {
     append_json_string(out, c.backend);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  ", \"stream_batches\": %" PRIu64 ", \"queries\": %" PRIu64
+                  ", \"stream_batches\": %" PRIu64 ", \"in_flight\": %" PRIu64
+                  ", \"queries\": %" PRIu64
                   ", \"verified\": %s, \"ranks_ok\": %s, \"mismatches\": %" PRIu64,
-                  c.stream_batches, c.num_queries,
+                  c.stream_batches, c.in_flight, c.num_queries,
                   c.verified ? "true" : "false", c.ranks_ok ? "true" : "false",
                   c.mismatches);
     out += buf;

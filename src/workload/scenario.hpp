@@ -4,9 +4,10 @@
 // one-off experiments, a ScenarioSpec declares a workload shape
 // (distribution, sizes, batching, method) once, a registry collects the
 // named specs, and run_scenario_matrix drives the cross product
-// scenario x backend through the streaming Session API — one built
-// index, many query batches — verifying every rank against
-// workload::reference_ranks and emitting one machine-readable summary.
+// scenario x backend through the v2 Engine API — one built index, one
+// client pipelining `in_flight` query batches through submit/wait —
+// verifying every rank against workload::reference_ranks and emitting
+// one machine-readable summary.
 // Every future backend (NUMA, remote) and every future workload plugs
 // into this matrix and is measured the same way.
 #pragma once
@@ -54,7 +55,7 @@ struct ScenarioSpec {
   Distribution distribution = Distribution::kUniform;
   std::size_t index_keys = 1u << 15;
   std::size_t num_queries = 1u << 15;
-  /// The query stream is sliced into this many Session::run_batch calls
+  /// The query stream is sliced into this many Client::submit calls
   /// (the streaming axis; >= 1).
   std::size_t stream_batches = 4;
   /// Dispatcher round size inside the engines (Figure 3's x-axis).
@@ -122,11 +123,15 @@ struct ScenarioCell {
   Distribution distribution{};
   std::string backend;
   std::uint64_t stream_batches = 0;
+  std::uint64_t in_flight = 1;  ///< submit-ahead depth the cell ran with
   std::uint64_t num_queries = 0;
   bool verified = false;      ///< ranks were checked against the reference
   bool ranks_ok = false;      ///< every rank matched (true when !verified)
   std::uint64_t mismatches = 0;
-  double seconds = 0;         ///< summed makespan (virtual time for sim)
+  /// Summed per-batch makespan (virtual time for sim). At in_flight > 1
+  /// batches overlap, so this exceeds elapsed wall time (see
+  /// MatrixOptions::in_flight).
+  double seconds = 0;
   double per_key_ns = 0;
   double throughput_qps = 0;
   std::uint64_t messages = 0;
@@ -139,10 +144,21 @@ struct MatrixOptions {
                                          core::Backend::kParallelNative};
   /// Check every rank of every batch against reference_ranks.
   bool verify = true;
+  /// Batches kept in flight per client (clamped to >= 1): each cell
+  /// submits up to this many batches ahead before waiting the oldest,
+  /// exercising the async pipeline on backends that have one. NOTE on
+  /// timing: ScenarioCell::seconds sums per-batch makespans (merge's
+  /// sequential semantics); at depth > 1 in-flight batches overlap, so
+  /// the sum exceeds elapsed wall time — depth 1 (the default) keeps
+  /// the timing honest and comparable across backends, depth > 1 is
+  /// for exercising/verifying the pipeline (bench_multiclient is the
+  /// wall-clock instrument for pipelined throughput).
+  std::size_t in_flight = 1;
 };
 
 /// Drive the cross product: for each spec, build the index and query
-/// stream once, then stream the batches through a session per backend.
+/// stream once, then for each backend connect one client and pipeline
+/// the batches through submit/wait at options.in_flight depth.
 /// kParallelNative cells are skipped for specs whose method is not C-3
 /// (that backend shards sorted arrays only). Returns one cell per
 /// (spec, backend) actually run, in spec-major order.

@@ -1,0 +1,393 @@
+// The v2 Engine seam: shared immutable indexes, multi-client sessions,
+// and the async submit/wait pipeline. The concurrency cases here are
+// what the TSan CI job races: many clients on one shared Index,
+// interleaved in-flight batches, every rank checked against
+// std::upper_bound. Plus the edge cases the contract documents:
+// zero-batch clients, empty query batches, wait-twice on a ticket, and
+// destroying a client with tickets still in flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/engine.hpp"
+#include "src/core/parallel_engine.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::core {
+namespace {
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(20260730);
+    fx.keys = workload::make_sorted_unique_keys(20000, rng);
+    fx.queries = workload::make_uniform_queries(40000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+std::shared_ptr<const Index> parallel_index(std::uint32_t threads,
+                                            std::uint32_t shards = 0) {
+  ParallelConfig cfg;
+  cfg.num_threads = threads;
+  cfg.num_shards = shards;
+  cfg.batch_bytes = 4 * KiB;
+  return ParallelNativeEngine(cfg).build(fixture().keys);
+}
+
+// --- The build -> connect -> submit/wait shape ---------------------------
+
+TEST(EngineV2, BuildConnectSubmitWait) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(4);
+  EXPECT_STREQ(index->backend(), "parallel-native");
+  EXPECT_EQ(index->size(), fx.keys.size());
+  const auto client = index->connect();
+  std::vector<rank_t> ranks;
+  const Ticket t = client->submit(fx.queries, &ranks);
+  EXPECT_EQ(client->in_flight(), 1u);
+  const RunReport report = client->wait(t);
+  EXPECT_EQ(client->in_flight(), 0u);
+  EXPECT_EQ(report.num_queries, fx.queries.size());
+  ASSERT_EQ(ranks.size(), fx.expected.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]) << "query " << i;
+  EXPECT_EQ(client->batches(), 1u);
+  EXPECT_EQ(client->total().num_queries, fx.queries.size());
+}
+
+TEST(EngineV2, IndexSharesOneKeyCopy) {
+  const auto index = parallel_index(2);
+  const key_t* stored = index->keys().data();
+  // Every client streams against the same stored array — connect() does
+  // not copy keys.
+  const auto a = index->connect();
+  const auto b = index->connect();
+  EXPECT_EQ(a->index().keys().data(), stored);
+  EXPECT_EQ(b->index().keys().data(), stored);
+}
+
+TEST(EngineV2, IndexOutlivesEngineAndEngineOutlivesNothing) {
+  const auto& fx = fixture();
+  std::shared_ptr<const Index> index;
+  {
+    ParallelConfig cfg;
+    cfg.num_threads = 2;
+    index = ParallelNativeEngine(cfg).build(fx.keys);
+  }  // engine destroyed; the index owns keys, partitioner, workers
+  const auto client = index->connect();
+  std::vector<rank_t> ranks;
+  client->wait(client->submit(std::span(fx.queries.data(), 1000), &ranks));
+  for (std::size_t i = 0; i < 1000; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+}
+
+TEST(EngineV2, EveryBackendSpeaksV2) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 4;
+  cfg.batch_bytes = 8 * KiB;
+  const std::span<const key_t> queries(fx.queries.data(), 6000);
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    const auto engine = make_engine(backend, cfg);
+    const auto index = engine->build(fx.keys);
+    EXPECT_STREQ(index->backend(), backend_name(backend));
+    const auto client = index->connect();
+    EXPECT_STREQ(client->backend(), backend_name(backend));
+    std::vector<rank_t> a, b;
+    const Ticket ta = client->submit(queries.subspan(0, 3000), &a);
+    const Ticket tb = client->submit(queries.subspan(3000, 3000), &b);
+    client->wait(ta);
+    client->wait(tb);
+    for (std::size_t i = 0; i < 3000; ++i) {
+      ASSERT_EQ(a[i], fx.expected[i]) << backend_name(backend);
+      ASSERT_EQ(b[i], fx.expected[3000 + i]) << backend_name(backend);
+    }
+    EXPECT_EQ(client->batches(), 2u);
+    EXPECT_EQ(client->total().num_queries, queries.size());
+    EXPECT_GT(client->total().makespan, 0u);
+  }
+}
+
+// --- Pipelining: many tickets in flight on one client ---------------------
+
+TEST(EngineV2, DeepPipelineRanksExact) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(4, 7);
+  const auto client = index->connect();
+  const std::size_t B = 12;  // all 12 in flight before the first wait
+  std::vector<std::vector<rank_t>> ranks(B);
+  std::vector<Ticket> tickets(B);
+  for (std::size_t b = 0; b < B; ++b) {
+    const std::size_t begin = b * fx.queries.size() / B;
+    const std::size_t end = (b + 1) * fx.queries.size() / B;
+    tickets[b] = client->submit(
+        std::span(fx.queries.data() + begin, end - begin), &ranks[b]);
+  }
+  EXPECT_EQ(client->in_flight(), B);
+  // Wait out of submission order on purpose.
+  for (std::size_t b = B; b-- > 0;) client->wait(tickets[b]);
+  EXPECT_EQ(client->in_flight(), 0u);
+  EXPECT_EQ(client->batches(), B);
+  for (std::size_t b = 0; b < B; ++b) {
+    const std::size_t begin = b * fx.queries.size() / B;
+    for (std::size_t i = 0; i < ranks[b].size(); ++i)
+      ASSERT_EQ(ranks[b][i], fx.expected[begin + i]) << "batch " << b;
+  }
+  EXPECT_EQ(client->total().num_queries, fx.queries.size());
+}
+
+TEST(EngineV2, DrainWaitsEverything) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(3);
+  const auto client = index->connect();
+  std::vector<std::vector<rank_t>> ranks(5);
+  for (std::size_t b = 0; b < 5; ++b)
+    client->submit(std::span(fx.queries.data() + 100 * b, 100), &ranks[b]);
+  const RunReport& total = client->drain();
+  EXPECT_EQ(client->in_flight(), 0u);
+  EXPECT_EQ(client->batches(), 5u);
+  EXPECT_EQ(total.num_queries, 500u);
+  for (std::size_t b = 0; b < 5; ++b)
+    for (std::size_t i = 0; i < 100; ++i)
+      ASSERT_EQ(ranks[b][i], fx.expected[100 * b + i]);
+}
+
+// --- The multi-client concurrency surface (TSan's main course) ------------
+
+TEST(EngineV2, FourClientsOneIndexInterleavedBatches) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(4, 5);
+  constexpr int kClients = 4;
+  constexpr std::size_t kBatches = 8;
+  constexpr std::size_t kDepth = 3;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> streams;
+  streams.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    streams.emplace_back([&, c] {
+      const auto client = index->connect();
+      // Stagger each client's slicing so batch boundaries interleave
+      // differently per client.
+      const std::size_t n = fx.queries.size() - static_cast<std::size_t>(c);
+      std::vector<std::vector<rank_t>> ranks(kBatches);
+      std::vector<Ticket> tickets(kBatches);
+      std::vector<std::size_t> begins(kBatches);
+      auto settle = [&](std::size_t b) {
+        client->wait(tickets[b]);
+        for (std::size_t i = 0; i < ranks[b].size(); ++i)
+          if (ranks[b][i] != fx.expected[begins[b] + i])
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+      };
+      for (std::size_t b = 0; b < kBatches; ++b) {
+        if (b >= kDepth) settle(b - kDepth);
+        begins[b] = b * n / kBatches;
+        const std::size_t end = (b + 1) * n / kBatches;
+        tickets[b] = client->submit(
+            std::span(fx.queries.data() + begins[b], end - begins[b]),
+            &ranks[b]);
+      }
+      for (std::size_t b = kBatches - kDepth; b < kBatches; ++b) settle(b);
+      EXPECT_EQ(client->batches(), kBatches);
+      EXPECT_EQ(client->total().num_queries, n);
+    });
+  }
+  for (auto& s : streams) s.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(EngineV2, ConcurrentClientsOnSyncBackendsToo) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 4;
+  for (const Backend backend : {Backend::kSim, Backend::kNative}) {
+    const auto index = make_engine(backend, cfg)->build(fx.keys);
+    std::atomic<std::uint64_t> mismatches{0};
+    std::vector<std::thread> streams;
+    for (int c = 0; c < 3; ++c)
+      streams.emplace_back([&] {
+        const auto client = index->connect();
+        std::vector<rank_t> ranks;
+        client->wait(
+            client->submit(std::span(fx.queries.data(), 2000), &ranks));
+        for (std::size_t i = 0; i < 2000; ++i)
+          if (ranks[i] != fx.expected[i])
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+      });
+    for (auto& s : streams) s.join();
+    EXPECT_EQ(mismatches.load(), 0u) << backend_name(backend);
+  }
+}
+
+// --- Edge cases the contract documents ------------------------------------
+
+TEST(EngineV2, ZeroBatchClient) {
+  const auto index = parallel_index(2);
+  const auto client = index->connect();
+  EXPECT_EQ(client->batches(), 0u);
+  EXPECT_EQ(client->in_flight(), 0u);
+  EXPECT_EQ(client->total().num_queries, 0u);
+}  // destroyed without ever submitting — must not hang or leak
+
+TEST(EngineV2, EmptyQueryBatch) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(3);
+  const auto client = index->connect();
+  std::vector<rank_t> ranks(7, 123);  // stale contents must be cleared
+  const RunReport report =
+      client->wait(client->submit(std::span<const key_t>{}, &ranks));
+  EXPECT_TRUE(ranks.empty());
+  EXPECT_EQ(report.num_queries, 0u);
+  EXPECT_EQ(report.messages, 0u);
+  // The stream keeps working after an empty batch.
+  client->wait(client->submit(std::span(fx.queries.data(), 100), &ranks));
+  for (std::size_t i = 0; i < 100; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+  EXPECT_EQ(client->batches(), 2u);
+  EXPECT_EQ(client->total().num_queries, 100u);
+}
+
+TEST(EngineV2Death, WaitTwiceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto& fx = fixture();
+  const auto index = parallel_index(2);
+  const auto client = index->connect();
+  std::vector<rank_t> ranks;
+  const Ticket t =
+      client->submit(std::span(fx.queries.data(), 500), &ranks);
+  const RunReport first = client->wait(t);
+  EXPECT_EQ(first.num_queries, 500u);
+  EXPECT_EQ(client->batches(), 1u);
+  EXPECT_EQ(client->total().num_queries, 500u);
+  // A ticket is waited exactly once — its report is handed over, the
+  // ledger retires it (O(in-flight) memory for any stream length), and
+  // a second wait is a loud programming error, not a silent re-merge.
+  EXPECT_DEATH(client->wait(t), "already waited");
+  // The stream itself is still healthy after retirement.
+  client->wait(client->submit(std::span(fx.queries.data(), 100), &ranks));
+  EXPECT_EQ(client->batches(), 2u);
+}
+
+TEST(EngineV2, DestroyClientWithTicketsInFlight) {
+  const auto& fx = fixture();
+  const auto index = parallel_index(4);
+  std::vector<std::vector<rank_t>> ranks(6);
+  {
+    const auto client = index->connect();
+    for (std::size_t b = 0; b < 6; ++b)
+      client->submit(std::span(fx.queries.data() + 500 * b, 500), &ranks[b]);
+    // No wait: the destructor must drain, so every rank buffer below is
+    // fully written before we read it.
+  }
+  for (std::size_t b = 0; b < 6; ++b) {
+    ASSERT_EQ(ranks[b].size(), 500u);
+    for (std::size_t i = 0; i < 500; ++i)
+      ASSERT_EQ(ranks[b][i], fx.expected[500 * b + i]) << "batch " << b;
+  }
+}
+
+TEST(EngineV2Death, ForeignTicketAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const auto& fx = fixture();
+  const auto index = parallel_index(2);
+  const auto a = index->connect();
+  const auto b = index->connect();
+  const Ticket t = a->submit(std::span(fx.queries.data(), 10));
+  EXPECT_DEATH(b->wait(t), "different Client");
+  EXPECT_DEATH(a->wait(Ticket{}), "different Client");
+  a->drain();
+}
+
+// --- Compat wrappers stay faithful ----------------------------------------
+
+TEST(EngineV2, CompatSessionMatchesClientRanks) {
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 3;
+  const ParallelNativeEngine engine(cfg);
+  const std::span<const key_t> queries(fx.queries.data(), 4000);
+  std::vector<rank_t> via_session;
+  const auto session = engine.open(fx.keys);
+  session->run_batch(queries, &via_session);
+  EXPECT_STREQ(session->backend(), "parallel-native");
+  std::vector<rank_t> via_client;
+  const auto client = engine.build(fx.keys)->connect();
+  client->wait(client->submit(queries, &via_client));
+  EXPECT_EQ(via_session, via_client);
+  std::vector<rank_t> via_run;
+  engine.run(fx.keys, queries, &via_run);
+  EXPECT_EQ(via_session, via_run);
+}
+
+// --- RunReport::merge defense (documented mismatch semantics) -------------
+
+TEST(RunReportMergeDefense, MismatchedNodeLayoutsDropDetailKeepScalars) {
+  RunReport a;
+  a.method = Method::kC3;
+  a.num_queries = 10;
+  a.raw_makespan = 100;
+  a.makespan = 100;
+  a.messages = 4;
+  a.wire_bytes = 256;
+  a.nodes.resize(3);
+  a.nodes[1].queries = 10;
+  RunReport b = a;
+  b.num_queries = 20;
+  b.nodes.resize(5);  // a different backend's layout
+  a.merge(b);
+  // Scalars stay exact...
+  EXPECT_EQ(a.num_queries, 30u);
+  EXPECT_EQ(a.makespan, 200);
+  EXPECT_EQ(a.messages, 8u);
+  EXPECT_EQ(a.wire_bytes, 512u);
+  // ...and per-node detail is dropped, not concatenated or truncated.
+  EXPECT_TRUE(a.nodes.empty());
+  // Once dropped it stays dropped, even against an empty layout.
+  RunReport c;
+  c.method = Method::kC3;
+  c.num_queries = 5;
+  a.merge(c);
+  EXPECT_EQ(a.num_queries, 35u);
+  EXPECT_TRUE(a.nodes.empty());
+}
+
+TEST(RunReportMergeDefense, EmptyVsNonEmptyAlsoDrops) {
+  RunReport native;  // NativeEngine reports no per-node detail
+  native.method = Method::kC3;
+  native.num_queries = 7;
+  RunReport parallel;
+  parallel.method = Method::kC3;
+  parallel.num_queries = 9;
+  parallel.nodes.resize(4);
+  native.merge(parallel);
+  EXPECT_EQ(native.num_queries, 16u);
+  EXPECT_TRUE(native.nodes.empty());
+}
+
+TEST(RunReportMergeDefenseDeath, CrossMethodMergeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RunReport a;
+  a.method = Method::kC3;
+  RunReport b;
+  b.method = Method::kA;
+  EXPECT_DEATH(a.merge(b), "method mismatch");
+}
+
+}  // namespace
+}  // namespace dici::core

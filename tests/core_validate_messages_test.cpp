@@ -1,0 +1,104 @@
+// Config-validation diagnostics: a bad ExperimentConfig must die naming
+// the offending FIELD and its VALUE, not just a bare DICI_CHECK
+// expression — the difference between a five-second fix and a debugger
+// session for whoever wired the config.
+#include <gtest/gtest.h>
+
+#include "src/arch/machine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/parallel_engine.hpp"
+#include "src/util/bytes.hpp"
+
+namespace dici::core {
+namespace {
+
+ExperimentConfig good_config() {
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 5;
+  return cfg;
+}
+
+class ValidateDeath : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(ValidateDeath, TooFewNodesNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.num_nodes = 1;
+  cfg.num_masters = 0;
+  EXPECT_DEATH(validate(cfg), "num_nodes = 1");
+}
+
+TEST_F(ValidateDeath, TinyBatchNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.batch_bytes = 2;
+  EXPECT_DEATH(validate(cfg), "batch_bytes = 2");
+}
+
+TEST_F(ValidateDeath, BufferFractionNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.buffer_fraction = 1.5;
+  EXPECT_DEATH(validate(cfg), "buffer_fraction = 1.5");
+}
+
+TEST_F(ValidateDeath, ZeroMastersNamesField) {
+  auto cfg = good_config();
+  cfg.num_masters = 0;
+  EXPECT_DEATH(validate(cfg), "num_masters = 0");
+}
+
+TEST_F(ValidateDeath, AllMastersNoSlaveNamesBothFields) {
+  auto cfg = good_config();
+  cfg.num_nodes = 3;
+  cfg.num_masters = 3;
+  EXPECT_DEATH(validate(cfg), "num_nodes = 3 with num_masters = 3");
+}
+
+TEST_F(ValidateDeath, NativeFlushPolicyNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.flush_policy = FlushPolicy::kPerSlaveThreshold;
+  EXPECT_DEATH(check_native_supported(cfg),
+               "flush_policy = per-slave-threshold");
+}
+
+TEST_F(ValidateDeath, NativeTrackLatencyNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.track_latency = true;
+  EXPECT_DEATH(check_native_supported(cfg), "track_latency = true");
+}
+
+TEST_F(ValidateDeath, ParallelWrongMethodNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.method = Method::kA;
+  EXPECT_DEATH(parallel_config_from(cfg), "method = A");
+}
+
+TEST_F(ValidateDeath, ParallelConfigKnobsNameFieldAndValue) {
+  ParallelConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_DEATH(ParallelNativeEngine{cfg}, "num_threads = 0");
+  ParallelConfig tiny;
+  tiny.batch_bytes = 1;
+  EXPECT_DEATH(ParallelNativeEngine{tiny}, "batch_bytes = 1");
+}
+
+// The messages gate configs the same way through make_engine, whatever
+// the backend.
+TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {
+  auto cfg = good_config();
+  cfg.num_nodes = 1;
+  cfg.num_masters = 0;
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    EXPECT_DEATH(make_engine(backend, cfg), "num_nodes = 1")
+        << backend_name(backend);
+  }
+}
+
+}  // namespace
+}  // namespace dici::core

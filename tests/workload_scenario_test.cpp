@@ -37,6 +37,24 @@ TEST(ScenarioMatrix, EveryCellAgreesAcrossAllBackends) {
   EXPECT_TRUE(all_cells_ok(cells));
 }
 
+TEST(ScenarioMatrix, PipelinedCellsStayRankExact) {
+  // Depth > 1 drives the async submit-ahead path of every backend
+  // through the matrix; ranks (and the batch count) must not care.
+  const ScenarioRegistry registry = default_scenarios(2048, 4000);
+  MatrixOptions options;
+  options.in_flight = 3;
+  const auto cells = run_scenario_matrix(registry, options);
+  ASSERT_EQ(cells.size(), all_distributions().size() * 3);
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell.ranks_ok)
+        << cell.scenario << " x " << cell.backend << " at depth 3: "
+        << cell.mismatches << " mismatching ranks";
+    EXPECT_EQ(cell.in_flight, 3u);
+    EXPECT_EQ(cell.stream_batches, 4u);
+    EXPECT_EQ(cell.num_queries, 4000u);
+  }
+}
+
 TEST(ScenarioMatrix, JsonHasOneObjectPerCell) {
   ScenarioRegistry registry;
   ScenarioSpec spec;
