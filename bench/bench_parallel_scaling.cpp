@@ -22,11 +22,8 @@ using namespace dici;
 namespace {
 
 core::SearchKernel kernel_from_name(const std::string& name) {
-  for (const auto kernel :
-       {core::SearchKernel::kStdUpperBound, core::SearchKernel::kBranchless,
-        core::SearchKernel::kPrefetch}) {
-    if (name == core::search_kernel_name(kernel)) return kernel;
-  }
+  core::SearchKernel kernel{};
+  if (core::parse_search_kernel(name, &kernel)) return kernel;
   std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
   std::exit(1);
 }
@@ -60,7 +57,8 @@ int main(int argc, char** argv) {
   cli.add_bytes("batch", "dispatcher round size", 64 * KiB);
   cli.add_int("maxthreads", "largest worker count to sweep", 8);
   cli.add_int("shards-per-thread", "shards per worker thread", 1);
-  cli.add_string("kernel", "std-upper-bound | branchless | prefetch",
+  cli.add_string("kernel", "search kernel for the thread sweep (see "
+                 "fast_search.hpp; the kernel table below sweeps them all)",
                  "branchless");
   cli.add_int("repeats", "timed repetitions per row (best kept)", 3);
   cli.add_int("session-batches", "largest batch count in the session-reuse "
@@ -82,7 +80,7 @@ int main(int argc, char** argv) {
   bench::print_header(
       "AB-parallel — multithreaded native backend scaling",
       "ParallelNativeEngine: sharded sorted array, pinned workers, "
-      "blocking-queue dispatch");
+      "lock-free SPSC ring dispatch");
   std::printf("  host CPUs: %d   kernel: %s   batch: %s   %zu keys, %zu "
               "queries\n\n",
               available_cpus(), core::search_kernel_name(kernel),
@@ -128,9 +126,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   TextTable k({"kernel", "1-thread sec", "max-thread sec", "speedup"});
-  for (const auto kern :
-       {core::SearchKernel::kStdUpperBound, core::SearchKernel::kBranchless,
-        core::SearchKernel::kPrefetch}) {
+  for (const auto kern : core::all_search_kernels()) {
     core::ParallelConfig cfg;
     cfg.batch_bytes = cli.get_bytes("batch");
     cfg.kernel = kern;

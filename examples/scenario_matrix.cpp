@@ -22,6 +22,19 @@ using namespace dici;
 
 namespace {
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> names;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    names.push_back(csv.substr(
+        begin, comma == std::string::npos ? comma : comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return names;
+}
+
 bool parse_backends(const std::string& csv,
                     std::vector<core::Backend>* out) {
   out->clear();
@@ -30,11 +43,7 @@ bool parse_backends(const std::string& csv,
             core::Backend::kParallelNative};
     return true;
   }
-  std::size_t begin = 0;
-  while (begin <= csv.size()) {
-    const std::size_t comma = csv.find(',', begin);
-    const std::string name =
-        csv.substr(begin, comma == std::string::npos ? comma : comma - begin);
+  for (const std::string& name : split_csv(csv)) {
     bool known = false;
     for (const core::Backend b :
          {core::Backend::kSim, core::Backend::kNative,
@@ -48,8 +57,25 @@ bool parse_backends(const std::string& csv,
       std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
       return false;
     }
-    if (comma == std::string::npos) break;
-    begin = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool parse_kernels(const std::string& csv,
+                   std::vector<core::SearchKernel>* out) {
+  out->clear();
+  if (csv == "all") {
+    out->assign(core::all_search_kernels().begin(),
+                core::all_search_kernels().end());
+    return true;
+  }
+  for (const std::string& name : split_csv(csv)) {
+    core::SearchKernel kernel{};
+    if (!core::parse_search_kernel(name, &kernel)) {
+      std::fprintf(stderr, "unknown kernel '%s'\n", name.c_str());
+      return false;
+    }
+    out->push_back(kernel);
   }
   return !out->empty();
 }
@@ -67,6 +93,8 @@ int main(int argc, char** argv) {
   cli.add_int("nodes", "cluster size (1 master + slaves)", 5);
   cli.add_string("backends", "comma list of sim|native|parallel-native, or "
                  "'all'", "all");
+  cli.add_string("kernels", "comma list of search kernels (see "
+                 "fast_search.hpp), or 'all'", "all");
   cli.add_string("json", "write the machine-readable summary here", "");
   cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
   cli.add_flag("no-verify", "skip rank verification (timing only)", false);
@@ -96,19 +124,23 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, cli.get_int("in-flight")));
   if (!parse_backends(cli.get_string("backends"), &options.backends))
     return 2;
+  if (!parse_kernels(cli.get_string("kernels"), &options.kernels))
+    return 2;
 
-  std::printf("scenario matrix: %zu scenarios x %zu backends, %zu keys, "
-              "%zu queries, %lld stream batches, %zu in flight\n\n",
-              tuned.specs().size(), options.backends.size(), keys, queries,
+  std::printf("scenario matrix: %zu scenarios x %zu backends x %zu kernels, "
+              "%zu keys, %zu queries, %lld stream batches, %zu in flight\n\n",
+              tuned.specs().size(), options.backends.size(),
+              options.kernels.size(), keys, queries,
               static_cast<long long>(cli.get_int("stream-batches")),
               options.in_flight);
 
   const auto cells = workload::run_scenario_matrix(tuned, options);
 
-  TextTable t({"scenario", "backend", "batches", "queries", "ranks", "sec",
-               "ns/key", "Mqps", "messages"});
+  TextTable t({"scenario", "backend", "kernel", "batches", "queries", "ranks",
+               "sec", "ns/key", "Mqps", "messages"});
   for (const auto& c : cells) {
-    t.add_row({c.scenario, c.backend, std::to_string(c.stream_batches),
+    t.add_row({c.scenario, c.backend, c.kernel,
+               std::to_string(c.stream_batches),
                std::to_string(c.num_queries),
                !c.verified ? "-" : (c.ranks_ok ? "ok" : "FAIL"),
                format_double(c.seconds, 4), format_double(c.per_key_ns, 1),

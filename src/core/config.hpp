@@ -4,10 +4,23 @@
 #include <cstdint>
 
 #include "src/arch/machine.hpp"
+#include "src/index/fast_search.hpp"
 #include "src/index/geometry.hpp"
 #include "src/util/bytes.hpp"
 
 namespace dici::core {
+
+// The search-kernel vocabulary lives with the kernels (index layer);
+// re-exported here because ExperimentConfig carries the choice and every
+// backend seam speaks core::SearchKernel.
+using index::KeyLayout;
+using index::SearchKernel;
+using index::all_search_kernels;
+using index::kernel_layout;
+using index::key_layout_name;
+using index::parse_search_kernel;
+using index::search_kernel_name;
+using index::search_kernel_valid;
 
 /// The five strategies of Sections 1/3.
 enum class Method {
@@ -74,6 +87,11 @@ struct ExperimentConfig {
   std::uint64_t message_header_bytes = 64;
   /// Master flush semantics for Method C (see FlushPolicy).
   FlushPolicy flush_policy = FlushPolicy::kMasterRound;
+  /// Exact upper_bound kernel the NATIVE backends' C-3 slaves probe
+  /// with (see index/fast_search.hpp for the menu). Never changes a
+  /// result, only native wall time; the simulator's cost model already
+  /// abstracts comparator behaviour, so its reports ignore it.
+  SearchKernel kernel = SearchKernel::kBranchless;
   /// Record per-query response times (arrival at the front end to result
   /// delivery) into RunReport::latency_ns. Costs memory per query.
   bool track_latency = false;

@@ -5,6 +5,14 @@
 // batch_bytes of the query stream has been ingested — plus a final
 // flush at end of stream. Keeping this in one place means NativeCluster
 // and ParallelNativeEngine cannot drift apart on batching behaviour.
+//
+// Scope note, post batch-kernel migration: this file is the ROUTING
+// side of dispatch and it is per-query by nature — each query's shard
+// is its own upper_bound over the delimiters, there is no batch shape
+// to exploit before routing has created the batches. The RESOLUTION
+// side (what a slave does with a flushed DispatchBatch) lives in
+// index/batched_search.hpp's resolve_batch, which both engines call on
+// whole messages; the old per-query run_kernel helpers died with it.
 #pragma once
 
 #include <algorithm>

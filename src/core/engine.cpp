@@ -148,6 +148,9 @@ void validate(const ExperimentConfig& config) {
       config.buffer_fraction > 0.0 && config.buffer_fraction <= 1.0,
       "ExperimentConfig::buffer_fraction = %g: must be in (0, 1]",
       config.buffer_fraction);
+  DICI_CHECK_FMT(search_kernel_valid(config.kernel),
+                 "ExperimentConfig::kernel = %d: not a SearchKernel value",
+                 static_cast<int>(config.kernel));
   if (is_distributed(config.method)) {
     DICI_CHECK_FMT(config.num_masters >= 1,
                    "ExperimentConfig::num_masters = %u: Method C needs at "
@@ -183,6 +186,7 @@ NativeConfig native_config_from(const ExperimentConfig& config) {
   native.num_nodes = config.num_nodes;
   native.batch_bytes = config.batch_bytes;
   native.buffer_fraction = config.buffer_fraction;
+  native.kernel = config.kernel;
   return native;
 }
 

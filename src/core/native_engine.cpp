@@ -4,9 +4,10 @@
 
 #include "src/core/dispatch.hpp"
 
+#include "src/index/batched_search.hpp"
 #include "src/index/buffered.hpp"
+#include "src/index/eytzinger.hpp"
 #include "src/index/partitioner.hpp"
-#include "src/index/sorted_array.hpp"
 #include "src/index/static_tree.hpp"
 #include "src/net/blocking_queue.hpp"
 #include "src/util/affinity.hpp"
@@ -113,7 +114,14 @@ NativeReport NativeCluster::run_distributed(std::span<const key_t> index_keys,
       if (config_.pin_threads) pin_current_thread(static_cast<int>(s + 1));
       const auto part = partitioner.keys_of(s);
       const rank_t offset = partitioner.start_of(s);
-      const index::SortedArrayIndex array(part);
+      // C-3 resolves whole batches through the configured search kernel;
+      // the BFS copy is laid out once, before the stream starts, when an
+      // eytzinger kernel asks for it.
+      std::unique_ptr<index::EytzingerLayout> layout;
+      if (config_.method == Method::kC3 &&
+          kernel_layout(config_.kernel) == KeyLayout::kEytzinger)
+        layout = std::make_unique<index::EytzingerLayout>(part);
+      std::vector<rank_t> local;
       // C-1/C-2 build a tree over the partition instead.
       std::unique_ptr<index::StaticTree> tree;
       index::BufferedConfig buf_cfg;
@@ -150,9 +158,13 @@ NativeReport NativeCluster::run_distributed(std::span<const key_t> index_keys,
             break;
           }
           default:
+            // One kernel call per message (the interleaved kernels keep
+            // several misses in flight), then the id scatter.
+            local.resize(batch->keys.size());
+            index::resolve_batch(config_.kernel, part, layout.get(),
+                                 batch->keys, local.data());
             for (std::size_t j = 0; j < batch->keys.size(); ++j)
-              out[batch->ids[j]] =
-                  offset + array.upper_bound_rank(batch->keys[j]);
+              out[batch->ids[j]] = offset + local[j];
             break;
         }
       }

@@ -29,6 +29,10 @@ struct NativeConfig {
   /// Cache budget for buffered methods (B: L2-ish, C-2: L1-ish).
   std::uint64_t buffered_target_bytes = 256 * KiB;
   double buffer_fraction = 0.5;
+  /// Exact upper_bound kernel the C-3 slaves resolve batches with (the
+  /// tree methods ignore it). Eytzinger kernels lay out each slave's
+  /// partition in BFS order before the stream starts.
+  SearchKernel kernel = SearchKernel::kBranchless;
 };
 
 struct NativeReport {

@@ -8,23 +8,15 @@
 #include <thread>
 
 #include "src/core/dispatch.hpp"
-#include "src/index/fast_search.hpp"
+#include "src/index/batched_search.hpp"
+#include "src/index/eytzinger.hpp"
 #include "src/index/partitioner.hpp"
-#include "src/net/blocking_queue.hpp"
+#include "src/net/spsc_ring.hpp"
 #include "src/util/affinity.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/timer.hpp"
 
 namespace dici::core {
-
-const char* search_kernel_name(SearchKernel kernel) {
-  switch (kernel) {
-    case SearchKernel::kStdUpperBound: return "std-upper-bound";
-    case SearchKernel::kBranchless: return "branchless";
-    case SearchKernel::kPrefetch: return "prefetch";
-  }
-  return "?";
-}
 
 ParallelNativeEngine::ParallelNativeEngine(const ParallelConfig& config)
     : config_(config) {
@@ -36,6 +28,18 @@ ParallelNativeEngine::ParallelNativeEngine(const ParallelConfig& config)
                  "hold at least one %zu-byte key",
                  static_cast<unsigned long long>(config_.batch_bytes),
                  sizeof(key_t));
+  DICI_CHECK_FMT(search_kernel_valid(config_.kernel),
+                 "ParallelConfig::kernel = %d: not a SearchKernel value",
+                 static_cast<int>(config_.kernel));
+  DICI_CHECK_FMT(config_.interleave_width >= 2 &&
+                     config_.interleave_width <= index::kMaxInterleave,
+                 "ParallelConfig::interleave_width = %u: the lockstep kernels "
+                 "interleave 2..%u queries",
+                 config_.interleave_width, index::kMaxInterleave);
+  DICI_CHECK_FMT(config_.ring_slots >= 1,
+                 "ParallelConfig::ring_slots = %zu: a dispatch ring needs at "
+                 "least one slot",
+                 config_.ring_slots);
 }
 
 ParallelConfig parallel_config_from(const ExperimentConfig& config) {
@@ -55,6 +59,7 @@ ParallelConfig parallel_config_from(const ExperimentConfig& config) {
   parallel.num_shards = config.num_slaves();
   parallel.batch_bytes = config.batch_bytes;
   parallel.message_header_bytes = config.message_header_bytes;
+  parallel.kernel = config.kernel;
   return parallel;
 }
 
@@ -62,18 +67,6 @@ ParallelNativeEngine::ParallelNativeEngine(const ExperimentConfig& config)
     : ParallelNativeEngine(parallel_config_from(config)) {}
 
 namespace {
-
-rank_t run_kernel(SearchKernel kernel, std::span<const key_t> keys, key_t q) {
-  switch (kernel) {
-    case SearchKernel::kBranchless:
-      return index::branchless_upper_bound(keys, q);
-    case SearchKernel::kPrefetch:
-      return index::prefetch_upper_bound(keys, q);
-    default:
-      return static_cast<rank_t>(
-          std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
-  }
-}
 
 std::uint32_t clamped_shards(const ParallelConfig& config, std::size_t n) {
   const std::uint32_t want =
@@ -132,10 +125,13 @@ struct Submission {
 
 /// The steady-state machinery behind ParallelNativeEngine::build: the
 /// one shared key copy (in the Index base), the range partitioner over
-/// it, and the pinned worker fleet. Immutable after construction except
-/// for the internally-synchronized queues, so any number of clients may
-/// submit concurrently; work items from different clients and different
-/// in-flight batches interleave freely on the same queues.
+/// it, the per-shard Eytzinger copies when the kernel wants them, and
+/// the pinned worker fleet. Each worker consumes one SpscRingHub whose
+/// channels are the connected clients: a client's submit pushes work
+/// items lock-free into its own per-worker rings, so work from many
+/// clients and many in-flight batches interleaves with no mutex on the
+/// hot path. Immutable after construction except for the rings, so any
+/// number of clients may submit concurrently.
 class ParallelIndex : public Index {
  public:
   ParallelIndex(const ParallelConfig& config,
@@ -143,16 +139,22 @@ class ParallelIndex : public Index {
       : Index(index_keys),
         config_(config),
         partitioner_(keys(), clamped_shards(config, keys().size())),
-        queues_(config.num_threads) {
+        hubs_(config.num_threads) {
+    if (kernel_layout(config_.kernel) == KeyLayout::kEytzinger) {
+      layouts_.reserve(partitioner_.parts());
+      for (std::uint32_t s = 0; s < partitioner_.parts(); ++s)
+        layouts_.emplace_back(partitioner_.keys_of(s));
+    }
     workers_.reserve(config_.num_threads);
     for (std::uint32_t w = 0; w < config_.num_threads; ++w)
       workers_.emplace_back([this, w] { worker_loop(w); });
   }
 
   ~ParallelIndex() override {
-    // close() lets workers drain queued items before exiting, so even a
-    // shutdown racing in-flight work resolves every submission.
-    for (auto& queue : queues_) queue.close();
+    // No client outlives the Index (each holds a shared_ptr to it), so
+    // every channel is already closed and drained; close() just lets
+    // the workers run their final empty scan and exit.
+    for (auto& hub : hubs_) hub.close();
     for (auto& worker : workers_) worker.join();
   }
 
@@ -162,15 +164,6 @@ class ParallelIndex : public Index {
 
   const ParallelConfig& config() const { return config_; }
 
-  /// The submit path, run on the CLIENT's thread (each client plays a
-  /// master): route the batch into per-shard messages with the shared
-  /// kMasterRound loop and enqueue them. Returns the completion the
-  /// base Client waits on. Const because the queues are internally
-  /// synchronized — submitting mutates no index state.
-  std::unique_ptr<Client::Completion> submit_batch(
-      std::span<const key_t> queries, std::vector<rank_t>* out_ranks) const;
-
- private:
   /// A dispatched message tagged with the shard it must be resolved on
   /// (a worker owns several shards when num_shards > num_threads) and
   /// the submission it belongs to.
@@ -180,22 +173,52 @@ class ParallelIndex : public Index {
     std::shared_ptr<Submission> sub;
   };
 
+  using WorkHub = net::SpscRingHub<WorkItem>;
+  using WorkChannel = WorkHub::Channel;
+
+  /// One dispatch channel per worker for a freshly connected client.
+  /// Const because the hubs are internally synchronized.
+  std::vector<std::shared_ptr<WorkChannel>> open_channels() const {
+    std::vector<std::shared_ptr<WorkChannel>> channels;
+    channels.reserve(config_.num_threads);
+    for (auto& hub : hubs_) channels.push_back(hub.open(config_.ring_slots));
+    return channels;
+  }
+
+  /// The submit path, run on the CLIENT's thread (each client plays a
+  /// master): route the batch into per-shard messages with the shared
+  /// kMasterRound loop and push them into the client's own rings.
+  /// Returns the completion the base Client waits on.
+  std::unique_ptr<Client::Completion> submit_batch(
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      std::span<const std::shared_ptr<WorkChannel>> channels) const;
+
+ private:
   class ParallelCompletion;
 
   void worker_loop(std::uint32_t w) {
     if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
-    while (auto item = queues_[w].pop()) {
+    std::vector<rank_t> local;  ///< per-message ranks before the scatter
+    WorkItem item;
+    while (hubs_[w].pop(item)) {
       WallTimer batch_timer;
-      const auto part = partitioner_.keys_of(item->shard);
-      const rank_t offset = partitioner_.start_of(item->shard);
-      const DispatchBatch& batch = item->batch;
-      Submission& sub = *item->sub;
+      const auto part = partitioner_.keys_of(item.shard);
+      const index::EytzingerLayout* layout =
+          layouts_.empty() ? nullptr : &layouts_[item.shard];
+      const rank_t offset = partitioner_.start_of(item.shard);
+      const DispatchBatch& batch = item.batch;
+      Submission& sub = *item.sub;
+      // Resolve the whole message in one kernel call (the interleaved
+      // kernels overlap the lanes' cache misses), then scatter by id.
+      local.resize(batch.keys.size());
+      index::resolve_batch(config_.kernel, part, layout, batch.keys,
+                           local.data(), config_.interleave_width);
       for (std::size_t j = 0; j < batch.keys.size(); ++j)
-        sub.out[batch.ids[j]] =
-            offset + run_kernel(config_.kernel, part, batch.keys[j]);
+        sub.out[batch.ids[j]] = offset + local[j];
       sub.worker_queries[w] += batch.keys.size();
       sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
       sub.finish_one();
+      item = WorkItem{};  // drop the submission reference before parking
     }
   }
 
@@ -204,9 +227,11 @@ class ParallelIndex : public Index {
 
   ParallelConfig config_;
   index::RangePartitioner partitioner_;
-  // Mutable: pushing work is logically const (the queues synchronize
-  // internally); everything else about the index is truly immutable.
-  mutable std::vector<net::BlockingQueue<WorkItem>> queues_;
+  /// Per-shard BFS copies; empty unless the kernel probes them.
+  std::vector<index::EytzingerLayout> layouts_;
+  // Mutable: opening channels and pushing work are logically const (the
+  // hubs synchronize internally); everything else is truly immutable.
+  mutable std::vector<WorkHub> hubs_;
   std::vector<std::thread> workers_;
 };
 
@@ -268,7 +293,8 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
 };
 
 std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
-    std::span<const key_t> queries, std::vector<rank_t>* out_ranks) const {
+    std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+    std::span<const std::shared_ptr<WorkChannel>> channels) const {
   const std::uint32_t T = config_.num_threads;
   auto sub = std::make_shared<Submission>(T);
   if (out_ranks != nullptr) {
@@ -295,7 +321,7 @@ std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
         sub->wire_bytes += config_.message_header_bytes +
                            batch.keys.size() * sizeof(key_t);
         sub->outstanding.fetch_add(1, std::memory_order_relaxed);
-        queues_[s % T].push(WorkItem{s, std::move(batch), sub});
+        channels[s % T]->push(WorkItem{s, std::move(batch), sub});
       });
   sub->dispatch_sec = dispatch_timer.elapsed_sec();
   // Release the submitter's hold; completes immediately on zero work.
@@ -303,13 +329,24 @@ std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
   return std::make_unique<ParallelCompletion>(std::move(sub), config_);
 }
 
-/// One master stream into the shared fleet. All interesting state lives
-/// in the base Client and the ParallelIndex; this just forwards.
+/// One master stream into the shared fleet: the client owns one SPSC
+/// channel per worker, so its pushes never contend with other clients.
+/// All other state lives in the base Client and the ParallelIndex.
 class ParallelClient : public Client {
  public:
   ParallelClient(std::shared_ptr<const Index> index,
                  const ParallelIndex* parallel)
-      : Client(std::move(index)), parallel_(parallel) {}
+      : Client(std::move(index)), parallel_(parallel),
+        channels_(parallel->open_channels()) {}
+
+  ~ParallelClient() override {
+    // Drain BEFORE closing the channels: in-flight items live in the
+    // rings until a worker pops them, and a closed channel is pruned
+    // from the worker's scan once empty. The base dtor's drain would
+    // run too late (after our members are gone).
+    drain();
+    for (auto& channel : channels_) channel->close();
+  }
 
   const char* backend() const override {
     return backend_name(Backend::kParallelNative);
@@ -319,10 +356,11 @@ class ParallelClient : public Client {
   std::unique_ptr<Completion> do_submit(
       std::span<const key_t> queries,
       std::vector<rank_t>* out_ranks) override {
-    return parallel_->submit_batch(queries, out_ranks);
+    return parallel_->submit_batch(queries, out_ranks, channels_);
   }
 
   const ParallelIndex* parallel_;  // the index the base class keeps alive
+  std::vector<std::shared_ptr<ParallelIndex::WorkChannel>> channels_;
 };
 
 std::unique_ptr<Client> ParallelIndex::do_connect(

@@ -3,11 +3,16 @@
 // Method C-3's architecture mapped onto one multicore host: the sorted
 // key space is sharded with index::RangePartitioner, each worker thread
 // (pinned via util/affinity) owns the shards congruent to its id, and
-// query batches fan out over net::BlockingQueue work queues. Slaves
-// resolve batches with the exact branchless/prefetch upper_bound
-// kernels from index/fast_search and scatter-merge results by query id,
-// so the output array is in query order without a sort — each id is
-// written exactly once by exactly one worker.
+// query batches fan out over per-(client, worker) lock-free SPSC rings
+// (net::SpscRingHub — one ring pair per master/slave stream, like NIC
+// queue pairs; the condvar appears only when a worker parks empty).
+// Slaves resolve whole batches through index::resolve_batch — the
+// scalar branchless/prefetch kernels, the Eytzinger-layout kernels, or
+// the interleaved batch kernels that keep W cache misses in flight per
+// round — and scatter-merge results by query id, so the output array is
+// in query order without a sort; each id is written exactly once by
+// exactly one worker. When an eytzinger kernel is configured, build()
+// lays out each shard's BFS copy once, alongside the shared sorted copy.
 //
 // build() is where this backend earns its keep: the partitioner and the
 // pinned worker fleet live in the immutable shared Index, built once
@@ -38,11 +43,9 @@
 
 namespace dici::core {
 
-/// Which exact upper_bound kernel workers run on their shard. All three
-/// return identical ranks; they differ only in speed.
-enum class SearchKernel { kStdUpperBound, kBranchless, kPrefetch };
-
-const char* search_kernel_name(SearchKernel kernel);
+// SearchKernel (and its name/parse helpers) lives in
+// index/fast_search.hpp and is re-exported by core/config.hpp: the
+// kernels belong to the index layer, the choice is a config knob.
 
 struct ParallelConfig {
   /// Worker thread count. The submitting client plays the dispatcher
@@ -60,6 +63,15 @@ struct ParallelConfig {
   /// Pin worker w to CPU w (best-effort, modulo available cores).
   bool pin_threads = true;
   SearchKernel kernel = SearchKernel::kBranchless;
+  /// Queries the interleaved (batched-*) kernels advance in lockstep —
+  /// the number of cache misses kept in flight per worker. Ignored by
+  /// the scalar kernels; must be in [2, index::kMaxInterleave].
+  std::uint32_t interleave_width = index::kDefaultInterleave;
+  /// Capacity (work items, rounded up to a power of two) of each
+  /// (client, worker) SPSC dispatch ring. A full ring back-pressures
+  /// that client's submit with a spin-yield, so deeper rings buy more
+  /// submit-ahead slack per client at ~64 B a slot.
+  std::size_t ring_slots = 256;
   /// Per-message framing charged to RunReport::wire_bytes so the field
   /// is comparable with the simulator's (request hop only: results are
   /// scattered directly in shared memory, so there is no reply hop).

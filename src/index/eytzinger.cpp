@@ -1,0 +1,35 @@
+#include "src/index/eytzinger.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace dici::index {
+
+namespace {
+
+/// Inorder walk of the implicit tree: slot k receives the next sorted
+/// element after its whole left subtree (rooted at 2k) has been filled.
+/// Recursion depth is the tree height (<= 32 for 32-bit ranks).
+void fill(std::span<const key_t> sorted, key_t* slots, rank_t* ranks,
+          std::size_t n, std::size_t k, std::size_t& next) {
+  if (k > n) return;
+  fill(sorted, slots, ranks, n, 2 * k, next);
+  slots[k] = sorted[next];
+  ranks[k] = static_cast<rank_t>(next);
+  ++next;
+  fill(sorted, slots, ranks, n, 2 * k + 1, next);
+}
+
+}  // namespace
+
+EytzingerLayout::EytzingerLayout(std::span<const key_t> sorted_keys)
+    : n_(sorted_keys.size()) {
+  slots_.reset(new (std::align_val_t{64}) key_t[n_ + 1]);
+  ranks_.resize(n_ + 1);
+  slots_[0] = 0;  // never probed; keep deterministic for tooling
+  ranks_[0] = static_cast<rank_t>(n_);  // the "all keys <= q" answer
+  std::size_t next = 0;
+  fill(sorted_keys, slots_.get(), ranks_.data(), n_, 1, next);
+  DICI_CHECK_MSG(next == n_, "eytzinger fill must place every key");
+}
+
+}  // namespace dici::index

@@ -1,0 +1,120 @@
+// Eytzinger (BFS) key layout — the cache- and prefetch-friendly twin of
+// the sorted array.
+//
+// The sorted array's binary search walks a *virtual* tree whose nodes
+// are scattered across the array: every level of the descent lands a
+// power-of-two stride away, so once the partition outgrows L2 each probe
+// is its own dependent cache miss and the line it pulled in is 15/16
+// wasted. The Eytzinger order stores that same tree breadth-first in a
+// flat array (root at slot 1, children of k at 2k and 2k+1):
+//
+//  * the hot top levels pack into a few contiguous lines that stay
+//    cache-resident across queries, and
+//  * the 16 great-great-grandchildren of node k occupy slots
+//    [16k, 16k+15] — exactly one 64-byte line of 4-byte keys when the
+//    array is 64-byte aligned — so a single prefetch issued at node k
+//    covers the next FOUR levels of the descent.
+//
+// The descent itself is branch-free: k = 2k + (e[k] <= q) per level,
+// then the trailing-one cancellation recovers the last left turn, which
+// is the upper_bound element. A parallel rank table maps the final slot
+// back to the sorted position, so every kernel here returns exactly
+// std::upper_bound's answer (duplicates included — the proof only needs
+// the inorder labeling to be sorted, not unique).
+//
+// Native-only, like fast_search.hpp: the simulator's cost model already
+// abstracts comparator behaviour, so it never builds this layout.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+/// One partition's keys rearranged in BFS order, built once alongside
+/// the sorted copy and immutable afterwards. Slot 0 is unused by the
+/// tree; its rank entry stores n so the "every element <= q" descent
+/// resolves to the past-the-end rank without a branch.
+class EytzingerLayout {
+ public:
+  /// Levels of descent needed before every search has fallen off the
+  /// tree (bit_width(n)); the lockstep batch kernel runs exactly this
+  /// many rounds per query group.
+  static constexpr std::uint32_t levels_for(std::size_t n) {
+    return static_cast<std::uint32_t>(std::bit_width(n));
+  }
+
+  EytzingerLayout() = default;
+  /// Build from sorted (not necessarily unique) keys.
+  explicit EytzingerLayout(std::span<const key_t> sorted_keys);
+
+  std::size_t size() const { return n_; }
+  std::uint32_t levels() const { return levels_for(n_); }
+
+  /// The BFS key array, 1-indexed: slots()[1] is the root, slots()[0]
+  /// is never read by a descent. 64-byte aligned so the 4-level-ahead
+  /// prefetch of slots [16k, 16k+15] is exactly one cache line.
+  const key_t* slots() const { return slots_.get(); }
+
+  /// Sorted position of the key in slot k; rank_of_slot(0) == size().
+  rank_t rank_of_slot(std::size_t k) const { return ranks_[k]; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(key_t* p) const {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+
+  std::size_t n_ = 0;
+  std::unique_ptr<key_t[], AlignedDelete> slots_;
+  // One zero entry even when default-constructed, so rank_of_slot(0) —
+  // which every descent over an empty layout resolves to — is in
+  // bounds and correctly answers n (= 0).
+  std::vector<rank_t> ranks_{0};
+};
+
+/// How many levels ahead the eytzinger kernels prefetch: 16 descendants
+/// of slot k live in slots [k<<4, (k<<4)+15] — one aligned line.
+inline constexpr unsigned kEytzingerPrefetchLevels = 4;
+
+/// First sorted position whose key is > q — exactly std::upper_bound's
+/// answer — via the branch-free BFS descent.
+inline rank_t eytzinger_upper_bound(const EytzingerLayout& layout, key_t q) {
+  const key_t* e = layout.slots();
+  const std::size_t n = layout.size();
+  std::size_t k = 1;
+  while (k <= n) k = 2 * k + (e[k] <= q);
+  // Cancel the trailing right turns: what remains is the slot of the
+  // last left turn (the smallest element > q), or 0 when there was none
+  // (every element <= q; rank_of_slot(0) holds n).
+  k >>= std::countr_one(k) + 1;
+  return layout.rank_of_slot(k);
+}
+
+/// Same descent, prefetching the one line holding all descendants four
+/// levels down. The deep levels of an out-of-L2 partition are always
+/// misses; issuing the line fetch four rounds early hides most of it.
+inline rank_t eytzinger_prefetch_upper_bound(const EytzingerLayout& layout,
+                                             key_t q) {
+  const key_t* e = layout.slots();
+  const std::size_t n = layout.size();
+  std::size_t k = 1;
+  while (k <= n) {
+#if defined(__GNUC__) || defined(__clang__)
+    // Past-the-end addresses are fine: prefetch is a hint, never a fault.
+    __builtin_prefetch(e + (k << kEytzingerPrefetchLevels), 0, 1);
+#endif
+    k = 2 * k + (e[k] <= q);
+  }
+  k >>= std::countr_one(k) + 1;
+  return layout.rank_of_slot(k);
+}
+
+}  // namespace dici::index

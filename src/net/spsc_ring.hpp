@@ -1,0 +1,253 @@
+// Bounded lock-free SPSC ring + the per-worker hub that replaces the
+// mutex BlockingQueue on ParallelNativeEngine's submit path.
+//
+// The v2 API's steady state is many clients firing small batches at one
+// pinned worker fleet. With the mutex queue every work item costs a
+// lock/unlock on the client thread and a lock/unlock + condvar wake on
+// the worker — per ITEM, in the regime where items are deliberately
+// small. The classic fix is the NIC design: one single-producer/
+// single-consumer ring per (client, worker) pair, so the hot path is
+// two relaxed/acquire-release index updates and zero syscalls.
+//
+//  * SpscRing<T>    — the primitive: Lamport ring with cached indices
+//                     (producer and consumer each mirror the other's
+//                     position locally, so steady-state push/pop touch
+//                     one shared cache line, not two).
+//  * SpscRingHub<T> — one consumer (a worker) over many rings (its
+//                     clients). Producers stay lock-free; the condvar
+//                     appears ONLY on the blocking edges — a worker with
+//                     nothing to do parks, a closing hub drains — via a
+//                     two-phase announce-then-rescan sleep so no wakeup
+//                     is ever lost.
+//
+// BlockingQueue survives for NativeCluster's one-shot runs, where a
+// whole run's items flow through the queue once and dispatch overhead
+// is noise; the hub is for the persistent fleet.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace dici::net {
+
+/// Bounded single-producer/single-consumer ring. Exactly one thread may
+/// call try_push and exactly one may call try_pop (they may be the same
+/// thread). T must be default-constructible and move-assignable; popped
+/// slots are reset to T{} so the ring never retains references.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer: false when full (the consumer has fallen behind by a
+  /// whole ring); the item is untouched and may be retried.
+  bool try_push(T& item) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (t - cached_head_ == capacity()) return false;
+    }
+    slots_[t & mask_] = std::move(item);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: false when empty.
+  bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (h == cached_tail_) return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    slots_[h & mask_] = T{};  // drop any owned references promptly
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy snapshot; exact only from the consumer side.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer indices on their own cache lines, with each
+  // side's cached mirror of the other so the fast path reads one line.
+  alignas(64) std::atomic<std::size_t> head_{0};   // next pop
+  alignas(64) std::atomic<std::size_t> tail_{0};   // next push
+  alignas(64) std::size_t cached_head_ = 0;        // producer-local
+  alignas(64) std::size_t cached_tail_ = 0;        // consumer-local
+};
+
+/// One consumer over many SPSC channels. Producers open a Channel each
+/// and push lock-free; the consumer round-robins the channels and only
+/// touches the mutex/condvar when every channel is empty (park) or the
+/// hub is closing (drain). Channel registration and teardown are the
+/// rare path and take the mutex.
+template <typename T>
+class SpscRingHub {
+ public:
+  class Channel {
+   public:
+    Channel(SpscRingHub* hub, std::size_t capacity)
+        : ring_(capacity), hub_(hub) {}
+
+    /// Producer: push one item, spinning (with yields) while the ring
+    /// is full — a full ring is never empty, so the consumer either is
+    /// awake and draining or has announced a park that after_push()'s
+    /// fence+flag check (no mutex unless it really parked) will cancel.
+    void push(T item) {
+      while (!ring_.try_push(item)) {
+        hub_->after_push();
+        std::this_thread::yield();
+      }
+      hub_->after_push();
+    }
+
+    /// Producer: no more pushes ever; the consumer prunes the channel
+    /// once it has drained. Idempotent.
+    void close() {
+      closed_.store(true, std::memory_order_release);
+      hub_->channel_event();
+    }
+
+   private:
+    friend class SpscRingHub;
+    SpscRing<T> ring_;
+    SpscRingHub* hub_;
+    std::atomic<bool> closed_{false};
+  };
+
+  /// Register a new producer channel (any thread).
+  std::shared_ptr<Channel> open(std::size_t capacity) {
+    auto channel = std::make_shared<Channel>(this, capacity);
+    {
+      std::lock_guard lock(mu_);
+      channels_.push_back(channel);
+    }
+    channel_event();
+    return channel;
+  }
+
+  /// Consumer: pop the next item from any channel (round-robin across
+  /// channels, FIFO within one). Blocks while everything is empty;
+  /// returns false only after close() once every channel is drained.
+  bool pop(T& out) {
+    for (;;) {
+      if (version_.load(std::memory_order_acquire) != snapshot_version_)
+        refresh_snapshot();
+      if (scan(out)) return true;
+      // Two-phase sleep: announce, then rescan. Pairs with the seq_cst
+      // fence in after_push() — whichever fence lands second sees the
+      // other side's write, so either the producer sees waiting_ and
+      // wakes us, or our rescan sees the pushed item.
+      waiting_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (version_.load(std::memory_order_acquire) != snapshot_version_) {
+        waiting_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      if (scan(out)) {
+        waiting_.store(false, std::memory_order_relaxed);
+        return true;
+      }
+      std::unique_lock lock(mu_);
+      if (closed_) {
+        waiting_.store(false, std::memory_order_relaxed);
+        lock.unlock();
+        refresh_snapshot();
+        return scan(out);  // final drain; false ends the consumer
+      }
+      cv_.wait(lock, [&] { return wake_pending_ || closed_; });
+      wake_pending_ = false;
+      lock.unlock();
+      waiting_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Shut the hub down: pop() drains what remains, then returns false.
+  /// Call only once producers have stopped pushing.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void after_push() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_relaxed)) wake_consumer();
+  }
+
+  void wake_consumer() {
+    {
+      std::lock_guard lock(mu_);
+      wake_pending_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  /// A channel opened or closed: invalidate the consumer's snapshot and
+  /// wake it so closed channels are pruned promptly.
+  void channel_event() {
+    version_.fetch_add(1, std::memory_order_release);
+    wake_consumer();
+  }
+
+  // --- Consumer-only state and helpers ------------------------------------
+
+  bool scan(T& out) {
+    const std::size_t count = snapshot_.size();
+    for (std::size_t step = 0; step < count; ++step) {
+      cursor_ = cursor_ + 1 < count ? cursor_ + 1 : 0;
+      if (snapshot_[cursor_]->ring_.try_pop(out)) return true;
+    }
+    return false;
+  }
+
+  void refresh_snapshot() {
+    std::lock_guard lock(mu_);
+    snapshot_version_ = version_.load(std::memory_order_acquire);
+    // Prune channels whose producer is done and whose ring is drained;
+    // the ring emptiness check is exact here (we are the consumer).
+    std::erase_if(channels_, [](const std::shared_ptr<Channel>& ch) {
+      return ch->closed_.load(std::memory_order_acquire) && ch->ring_.empty();
+    });
+    snapshot_ = channels_;
+    cursor_ = 0;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool wake_pending_ = false;
+  bool closed_ = false;
+  std::vector<std::shared_ptr<Channel>> channels_;  // guarded by mu_
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> waiting_{false};
+
+  std::vector<std::shared_ptr<Channel>> snapshot_;  // consumer-only
+  std::uint64_t snapshot_version_ = ~0ull;          // force first refresh
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace dici::net

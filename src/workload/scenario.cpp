@@ -176,10 +176,8 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
     config.batch_bytes = spec.batch_bytes;
 
     const std::size_t depth = std::max<std::size_t>(1, options.in_flight);
-    for (const core::Backend backend : options.backends) {
-      if (backend == core::Backend::kParallelNative &&
-          spec.method != core::Method::kC3)
-        continue;  // that backend shards sorted arrays only
+    auto run_cell = [&](core::Backend backend, core::SearchKernel kernel) {
+      config.kernel = kernel;
       const auto engine = core::make_engine(backend, config);
       const auto built = engine->build(index);
       const auto client = built->connect();
@@ -188,6 +186,7 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.scenario = spec.name;
       cell.distribution = spec.distribution;
       cell.backend = client->backend();
+      cell.kernel = core::search_kernel_name(kernel);
       cell.verified = options.verify;
       cell.in_flight = depth;
 
@@ -234,6 +233,13 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.messages = total.messages;
       cell.wire_bytes = total.wire_bytes;
       cells.push_back(std::move(cell));
+    };
+    for (const core::Backend backend : options.backends) {
+      if (backend == core::Backend::kParallelNative &&
+          spec.method != core::Method::kC3)
+        continue;  // that backend shards sorted arrays only
+      for (const core::SearchKernel kernel : options.kernels)
+        run_cell(backend, kernel);
     }
   }
   return cells;
@@ -274,6 +280,8 @@ std::string matrix_to_json(std::span<const ScenarioCell> cells) {
     append_json_string(out, distribution_name(c.distribution));
     out += ", \"backend\": ";
     append_json_string(out, c.backend);
+    out += ", \"kernel\": ";
+    append_json_string(out, c.kernel);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   ", \"stream_batches\": %" PRIu64 ", \"in_flight\": %" PRIu64

@@ -117,11 +117,13 @@ class ScenarioRegistry {
 ScenarioRegistry default_scenarios(std::size_t index_keys,
                                    std::size_t num_queries);
 
-/// One scenario x backend cell of the matrix run.
+/// One scenario x backend x kernel cell of the matrix run.
 struct ScenarioCell {
   std::string scenario;
   Distribution distribution{};
   std::string backend;
+  /// Search kernel the cell's config carried (search_kernel_name).
+  std::string kernel;
   std::uint64_t stream_batches = 0;
   std::uint64_t in_flight = 1;  ///< submit-ahead depth the cell ran with
   std::uint64_t num_queries = 0;
@@ -144,6 +146,11 @@ struct MatrixOptions {
                                          core::Backend::kParallelNative};
   /// Check every rank of every batch against reference_ranks.
   bool verify = true;
+  /// Search kernels swept per backend (the kernel axis). The native
+  /// backends switch their C-3 slave code per kernel; the simulator's
+  /// cost model abstracts comparator behaviour, so its kernel cells
+  /// verify that the answer is invariant, not that timing moves.
+  std::vector<core::SearchKernel> kernels = {core::SearchKernel::kBranchless};
   /// Batches kept in flight per client (clamped to >= 1): each cell
   /// submits up to this many batches ahead before waiting the oldest,
   /// exercising the async pipeline on backends that have one. NOTE on
@@ -157,11 +164,11 @@ struct MatrixOptions {
 };
 
 /// Drive the cross product: for each spec, build the index and query
-/// stream once, then for each backend connect one client and pipeline
-/// the batches through submit/wait at options.in_flight depth.
+/// stream once, then for each (backend, kernel) connect one client and
+/// pipeline the batches through submit/wait at options.in_flight depth.
 /// kParallelNative cells are skipped for specs whose method is not C-3
 /// (that backend shards sorted arrays only). Returns one cell per
-/// (spec, backend) actually run, in spec-major order.
+/// (spec, backend, kernel) actually run, in spec-major order.
 std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
                                               const MatrixOptions& options);
 

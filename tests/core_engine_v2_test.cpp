@@ -37,12 +37,14 @@ const Fixture& fixture() {
   return f;
 }
 
-std::shared_ptr<const Index> parallel_index(std::uint32_t threads,
-                                            std::uint32_t shards = 0) {
+std::shared_ptr<const Index> parallel_index(
+    std::uint32_t threads, std::uint32_t shards = 0,
+    SearchKernel kernel = SearchKernel::kBranchless) {
   ParallelConfig cfg;
   cfg.num_threads = threads;
   cfg.num_shards = shards;
   cfg.batch_bytes = 4 * KiB;
+  cfg.kernel = kernel;
   return ParallelNativeEngine(cfg).build(fixture().keys);
 }
 
@@ -207,6 +209,87 @@ TEST(EngineV2, FourClientsOneIndexInterleavedBatches) {
     });
   }
   for (auto& s : streams) s.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(EngineV2, EveryKernelMultiClientExact) {
+  // The ring-backed dispatch and the batch kernels under concurrent
+  // clients: for each kernel, 3 clients pipeline staggered batches at
+  // depth 2 against one shared index and every rank must stay exact.
+  const auto& fx = fixture();
+  for (const SearchKernel kernel : all_search_kernels()) {
+    const auto index = parallel_index(4, 5, kernel);
+    std::atomic<std::uint64_t> mismatches{0};
+    std::vector<std::thread> streams;
+    for (int c = 0; c < 3; ++c) {
+      streams.emplace_back([&, c] {
+        const auto client = index->connect();
+        const std::size_t n = 12000 - static_cast<std::size_t>(c) * 7;
+        constexpr std::size_t kBatches = 6;
+        std::vector<std::vector<rank_t>> ranks(kBatches);
+        std::vector<Ticket> tickets(kBatches);
+        std::vector<std::size_t> begins(kBatches);
+        auto settle = [&](std::size_t b) {
+          client->wait(tickets[b]);
+          for (std::size_t i = 0; i < ranks[b].size(); ++i)
+            if (ranks[b][i] != fx.expected[begins[b] + i])
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+        };
+        for (std::size_t b = 0; b < kBatches; ++b) {
+          if (b >= 2) settle(b - 2);
+          begins[b] = b * n / kBatches;
+          const std::size_t end = (b + 1) * n / kBatches;
+          tickets[b] = client->submit(
+              std::span(fx.queries.data() + begins[b], end - begins[b]),
+              &ranks[b]);
+        }
+        for (std::size_t b = kBatches - 2; b < kBatches; ++b) settle(b);
+      });
+    }
+    for (auto& s : streams) s.join();
+    EXPECT_EQ(mismatches.load(), 0u) << search_kernel_name(kernel);
+  }
+}
+
+TEST(EngineV2, ClientChurnOnRingDispatch) {
+  // Connect/destroy clients repeatedly against one live index while a
+  // long-lived client keeps streaming: exercises the dispatch hub's
+  // channel registration, close, and prune paths (the dynamic-client
+  // surface the per-worker rings have to survive).
+  const auto& fx = fixture();
+  const auto index = parallel_index(3, 4, SearchKernel::kBatchedEytzinger);
+  std::atomic<std::uint64_t> mismatches{0};
+  auto verify = [&](std::span<const rank_t> ranks, std::size_t begin) {
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i] != fx.expected[begin + i])
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+  };
+  std::thread churner([&] {
+    for (int g = 0; g < 25; ++g) {
+      const auto client = index->connect();
+      std::vector<rank_t> a, b;
+      const std::size_t begin = static_cast<std::size_t>(g) * 31;
+      const Ticket ta =
+          client->submit(std::span(fx.queries.data() + begin, 700), &a);
+      const Ticket tb =
+          client->submit(std::span(fx.queries.data() + begin + 700, 700), &b);
+      client->wait(ta);
+      client->wait(tb);
+      verify(a, begin);
+      verify(b, begin + 700);
+    }  // client destroyed with its channels closed each generation
+  });
+  {
+    const auto steady = index->connect();
+    for (int b = 0; b < 50; ++b) {
+      std::vector<rank_t> ranks;
+      const std::size_t begin = static_cast<std::size_t>(b) * 101;
+      steady->wait(
+          steady->submit(std::span(fx.queries.data() + begin, 500), &ranks));
+      verify(ranks, begin);
+    }
+  }
+  churner.join();
   EXPECT_EQ(mismatches.load(), 0u);
 }
 

@@ -87,6 +87,33 @@ TEST_F(ValidateDeath, ParallelConfigKnobsNameFieldAndValue) {
   EXPECT_DEATH(ParallelNativeEngine{tiny}, "batch_bytes = 1");
 }
 
+TEST_F(ValidateDeath, BadKernelEnumNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.kernel = static_cast<SearchKernel>(42);
+  EXPECT_DEATH(validate(cfg), "kernel = 42");
+  // The same miscast dies the same way through every backend factory.
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    EXPECT_DEATH(make_engine(backend, cfg), "kernel = 42")
+        << backend_name(backend);
+  }
+}
+
+TEST_F(ValidateDeath, ParallelKernelKnobsNameFieldAndValue) {
+  ParallelConfig bad_kernel;
+  bad_kernel.kernel = static_cast<SearchKernel>(9);
+  EXPECT_DEATH(ParallelNativeEngine{bad_kernel}, "kernel = 9");
+  ParallelConfig narrow;
+  narrow.interleave_width = 1;
+  EXPECT_DEATH(ParallelNativeEngine{narrow}, "interleave_width = 1");
+  ParallelConfig wide;
+  wide.interleave_width = 64;
+  EXPECT_DEATH(ParallelNativeEngine{wide}, "interleave_width = 64");
+  ParallelConfig no_ring;
+  no_ring.ring_slots = 0;
+  EXPECT_DEATH(ParallelNativeEngine{no_ring}, "ring_slots = 0");
+}
+
 // The messages gate configs the same way through make_engine, whatever
 // the backend.
 TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {

@@ -1,0 +1,181 @@
+// Every search kernel is an exact drop-in for std::upper_bound — the
+// invariant the whole kernel menu rests on. Swept here across all five
+// scenario distributions, a ladder of sizes, every interleave width
+// class, and the documented edge inputs (empty, size-1, all-equal keys,
+// duplicate runs, queries below/above the key range).
+#include "src/index/batched_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/index/eytzinger.hpp"
+#include "src/index/fast_search.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/scenario.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+rank_t reference(std::span<const key_t> keys, key_t q) {
+  return static_cast<rank_t>(
+      std::upper_bound(keys.begin(), keys.end(), q) - keys.begin());
+}
+
+/// Run every kernel over the whole query stream and compare each rank.
+void expect_all_kernels_agree(std::span<const key_t> sorted_keys,
+                              std::span<const key_t> queries,
+                              std::uint32_t width = kDefaultInterleave) {
+  const EytzingerLayout layout(sorted_keys);
+  std::vector<rank_t> expected(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    expected[i] = reference(sorted_keys, queries[i]);
+  std::vector<rank_t> out(queries.size());
+  for (const SearchKernel kernel : all_search_kernels()) {
+    std::fill(out.begin(), out.end(), rank_t{0xDEADBEEF});
+    resolve_batch(kernel, sorted_keys, &layout, queries, out.data(), width);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      ASSERT_EQ(out[i], expected[i])
+          << search_kernel_name(kernel) << " at query " << i << " (q="
+          << queries[i] << ", n=" << sorted_keys.size() << ", W=" << width
+          << ")";
+  }
+}
+
+// --- The five scenario distributions x a size ladder ----------------------
+
+class KernelDistributions
+    : public ::testing::TestWithParam<workload::Distribution> {};
+
+TEST_P(KernelDistributions, AllKernelsMatchStdUpperBound) {
+  for (const std::size_t n : {std::size_t{1023}, std::size_t{4096},
+                              std::size_t{65536}}) {
+    workload::ScenarioSpec spec;
+    spec.name = "equiv";
+    spec.distribution = GetParam();
+    spec.index_keys = n;
+    spec.num_queries = 6000;
+    const auto index = workload::make_scenario_index(spec);
+    const auto queries = workload::make_scenario_queries(spec, index);
+    expect_all_kernels_agree(index, queries);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, KernelDistributions,
+    ::testing::ValuesIn(workload::all_distributions().begin(),
+                        workload::all_distributions().end()),
+    [](const auto& info) {
+      std::string name = workload::distribution_name(info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// --- Edge inputs the contract documents -----------------------------------
+
+TEST(KernelEquivalence, EmptyIndex) {
+  const std::vector<key_t> queries{0, 1, 7, 0xFFFFFFFFu};
+  expect_all_kernels_agree({}, queries);
+}
+
+TEST(KernelEquivalence, SingleKey) {
+  const std::vector<key_t> keys{10};
+  const std::vector<key_t> queries{0, 9, 10, 11, 0xFFFFFFFFu};
+  expect_all_kernels_agree(keys, queries);
+}
+
+TEST(KernelEquivalence, AllEqualKeys) {
+  const std::vector<key_t> keys(37, 7);  // duplicates everywhere
+  const std::vector<key_t> queries{0, 6, 7, 8, 0xFFFFFFFFu};
+  expect_all_kernels_agree(keys, queries);
+}
+
+TEST(KernelEquivalence, DuplicateRuns) {
+  std::vector<key_t> keys{1, 2, 2, 2, 3, 5, 5, 8, 8, 8, 8, 9};
+  std::vector<key_t> queries;
+  for (key_t q = 0; q <= 10; ++q) queries.push_back(q);
+  expect_all_kernels_agree(keys, queries);
+}
+
+TEST(KernelEquivalence, QueriesBelowAndAboveTheRange) {
+  Rng rng(77);
+  // Keys confined to the middle of the space, so below/above both exist.
+  std::vector<key_t> keys;
+  for (int i = 0; i < 1000; ++i)
+    keys.push_back(static_cast<key_t>((1u << 20) + rng.below(1u << 20)));
+  std::sort(keys.begin(), keys.end());
+  const std::vector<key_t> queries{0, 1, (1u << 20) - 1, (1u << 21) + 1,
+                                   0xFFFFFFFEu, 0xFFFFFFFFu};
+  expect_all_kernels_agree(keys, queries);
+}
+
+TEST(KernelEquivalence, ExtremeKeyValues) {
+  const std::vector<key_t> keys{0, 1, 0xFFFFFFFEu, 0xFFFFFFFFu};
+  const std::vector<key_t> queries{0, 1, 2, 0xFFFFFFFEu, 0xFFFFFFFFu};
+  expect_all_kernels_agree(keys, queries);
+}
+
+// --- Interleave widths, including ragged tails ----------------------------
+
+TEST(KernelEquivalence, EveryInterleaveWidthClass) {
+  Rng rng(123);
+  const auto keys = workload::make_sorted_unique_keys(10000, rng);
+  // 1005 queries: never a multiple of any width, so the tail group is
+  // always ragged (m < W) — the lane-clamp path.
+  const auto queries = workload::make_uniform_queries(1005, rng);
+  for (const std::uint32_t width : {2u, 3u, 8u, 16u, kMaxInterleave})
+    expect_all_kernels_agree(keys, queries, width);
+}
+
+// --- Eytzinger layout invariants ------------------------------------------
+
+TEST(EytzingerLayout, IsAPermutationWithExactRanks) {
+  Rng rng(5);
+  const auto keys = workload::make_sorted_unique_keys(1000, rng);
+  const EytzingerLayout layout(keys);
+  ASSERT_EQ(layout.size(), keys.size());
+  // Every slot holds the sorted element its rank entry names, and the
+  // ranks 0..n-1 each appear exactly once.
+  std::vector<bool> seen(keys.size(), false);
+  for (std::size_t k = 1; k <= layout.size(); ++k) {
+    const rank_t r = layout.rank_of_slot(k);
+    ASSERT_LT(r, keys.size());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+    EXPECT_EQ(layout.slots()[k], keys[r]);
+  }
+  // Slot 0 resolves the "every key <= q" descent to the end rank.
+  EXPECT_EQ(layout.rank_of_slot(0), keys.size());
+  // The BFS array is 64-byte aligned so the 4-level prefetch is one line.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(layout.slots()) % 64, 0u);
+}
+
+TEST(EytzingerLayout, LevelsMatchBitWidth) {
+  EXPECT_EQ(EytzingerLayout::levels_for(0), 0u);
+  EXPECT_EQ(EytzingerLayout::levels_for(1), 1u);
+  EXPECT_EQ(EytzingerLayout::levels_for(2), 2u);
+  EXPECT_EQ(EytzingerLayout::levels_for(7), 3u);
+  EXPECT_EQ(EytzingerLayout::levels_for(8), 4u);
+}
+
+// --- Exhaustive small-n sweep: every size x every query -------------------
+
+TEST(KernelEquivalence, ExhaustiveSmallSizes) {
+  Rng rng(9);
+  for (std::size_t n = 0; n <= 33; ++n) {
+    std::vector<key_t> keys;
+    key_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next += 1 + static_cast<key_t>(rng.below(3));  // sorted, some gaps
+      keys.push_back(next);
+    }
+    std::vector<key_t> queries;
+    for (key_t q = 0; q <= next + 2; ++q) queries.push_back(q);
+    expect_all_kernels_agree(keys, queries, 4);
+  }
+}
+
+}  // namespace
+}  // namespace dici::index

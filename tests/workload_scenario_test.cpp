@@ -37,6 +37,45 @@ TEST(ScenarioMatrix, EveryCellAgreesAcrossAllBackends) {
   EXPECT_TRUE(all_cells_ok(cells));
 }
 
+TEST(ScenarioMatrix, KernelAxisEveryCellRankExact) {
+  // The full distribution x backend x kernel cross product: the native
+  // backends actually switch their C-3 probe code per kernel (sorted
+  // scalar, eytzinger, interleaved batch), the sim verifies invariance.
+  const ScenarioRegistry registry = default_scenarios(1024, 2000);
+  MatrixOptions options;
+  options.kernels.assign(core::all_search_kernels().begin(),
+                         core::all_search_kernels().end());
+  const auto cells = run_scenario_matrix(registry, options);
+  ASSERT_EQ(cells.size(),
+            all_distributions().size() * 3 * core::all_search_kernels().size());
+  std::set<std::string> kernels_seen;
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell.ranks_ok)
+        << cell.scenario << " x " << cell.backend << " x " << cell.kernel
+        << ": " << cell.mismatches << " mismatching ranks";
+    kernels_seen.insert(cell.kernel);
+  }
+  EXPECT_EQ(kernels_seen.size(), core::all_search_kernels().size());
+  EXPECT_TRUE(all_cells_ok(cells));
+}
+
+TEST(ScenarioMatrix, DefaultKernelAxisIsBranchless) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.index_keys = 128;
+  spec.num_queries = 200;
+  spec.stream_batches = 2;
+  registry.add(spec);
+  MatrixOptions options;
+  options.backends = {core::Backend::kParallelNative};
+  const auto cells = run_scenario_matrix(registry, options);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].kernel, "branchless");
+  const std::string json = matrix_to_json(cells);
+  EXPECT_NE(json.find("\"kernel\": \"branchless\""), std::string::npos);
+}
+
 TEST(ScenarioMatrix, PipelinedCellsStayRankExact) {
   // Depth > 1 drives the async submit-ahead path of every backend
   // through the matrix; ranks (and the batch count) must not care.
