@@ -80,6 +80,24 @@ bool parse_kernels(const std::string& csv,
   return !out->empty();
 }
 
+bool parse_placements(const std::string& csv,
+                      std::vector<core::Placement>* out) {
+  out->clear();
+  if (csv == "all") {
+    out->assign(core::all_placements().begin(), core::all_placements().end());
+    return true;
+  }
+  for (const std::string& name : split_csv(csv)) {
+    core::Placement placement{};
+    if (!core::parse_placement(name, &placement)) {
+      std::fprintf(stderr, "unknown placement '%s'\n", name.c_str());
+      return false;
+    }
+    out->push_back(placement);
+  }
+  return !out->empty();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +113,11 @@ int main(int argc, char** argv) {
                  "'all'", "all");
   cli.add_string("kernels", "comma list of search kernels (see "
                  "fast_search.hpp), or 'all'", "all");
+  cli.add_string("placements", "comma list of "
+                 "interleave|node-local|replicate, or 'all' (parallel-native "
+                 "sweeps them; other backends run the first)", "all");
+  cli.add_int("numa-nodes", "force a simulated NUMA topology with this many "
+              "nodes (0 = discover the host)", 0);
   cli.add_string("json", "write the machine-readable summary here", "");
   cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
   cli.add_flag("no-verify", "skip rank verification (timing only)", false);
@@ -126,20 +149,25 @@ int main(int argc, char** argv) {
     return 2;
   if (!parse_kernels(cli.get_string("kernels"), &options.kernels))
     return 2;
+  if (!parse_placements(cli.get_string("placements"), &options.placements))
+    return 2;
+  options.numa_nodes = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, cli.get_int("numa-nodes")));
 
-  std::printf("scenario matrix: %zu scenarios x %zu backends x %zu kernels, "
-              "%zu keys, %zu queries, %lld stream batches, %zu in flight\n\n",
+  std::printf("scenario matrix: %zu scenarios x %zu backends x %zu kernels "
+              "x %zu placements, %zu keys, %zu queries, %lld stream batches, "
+              "%zu in flight, numa-nodes %u\n\n",
               tuned.specs().size(), options.backends.size(),
-              options.kernels.size(), keys, queries,
-              static_cast<long long>(cli.get_int("stream-batches")),
-              options.in_flight);
+              options.kernels.size(), options.placements.size(), keys,
+              queries, static_cast<long long>(cli.get_int("stream-batches")),
+              options.in_flight, options.numa_nodes);
 
   const auto cells = workload::run_scenario_matrix(tuned, options);
 
-  TextTable t({"scenario", "backend", "kernel", "batches", "queries", "ranks",
-               "sec", "ns/key", "Mqps", "messages"});
+  TextTable t({"scenario", "backend", "kernel", "placement", "batches",
+               "queries", "ranks", "sec", "ns/key", "Mqps", "messages"});
   for (const auto& c : cells) {
-    t.add_row({c.scenario, c.backend, c.kernel,
+    t.add_row({c.scenario, c.backend, c.kernel, c.placement,
                std::to_string(c.stream_batches),
                std::to_string(c.num_queries),
                !c.verified ? "-" : (c.ranks_ok ? "ok" : "FAIL"),

@@ -12,6 +12,9 @@ void MachineSpec::validate() const {
   DICI_CHECK(l1.size_bytes <= l2.size_bytes);
   DICI_CHECK(tlb_entries > 0);
   DICI_CHECK((page_bytes & (page_bytes - 1)) == 0);
+  // 0 = discover; a simulated node count past any real machine is a
+  // config typo, not a topology.
+  DICI_CHECK(numa_nodes <= 1024);
   DICI_CHECK(comp_cost_node_ns >= 0.0);
   DICI_CHECK(mem_seq_bw_mbs > 0.0);
   DICI_CHECK(net_bw_mbs > 0.0);

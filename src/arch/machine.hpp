@@ -24,6 +24,13 @@ struct MachineSpec {
 
   std::uint32_t tlb_entries = 0;   ///< data TLB entries (fully associative).
   std::uint32_t page_bytes = 4096; ///< virtual memory page size.
+  /// NUMA nodes the NATIVE backends should lay memory out for: 0 (the
+  /// default) discovers the host's real node map, N > 0 forces a
+  /// simulated N-node topology (arch/topology.hpp) so placement and
+  /// same-node-first stealing run — and are tested — on single-node
+  /// machines. The simulator's cost model ignores it (its cluster nodes
+  /// are whole machines, not sockets).
+  std::uint32_t numa_nodes = 0;
   double tlb_miss_penalty_ns = 0;  ///< page-walk cost on TLB miss.
 
   double comp_cost_node_ns = 0;    ///< compare/branch cost per line-sized

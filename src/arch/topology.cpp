@@ -1,0 +1,142 @@
+#include "src/arch/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "src/util/affinity.hpp"
+#include "src/util/assert.hpp"
+
+namespace dici::arch {
+
+std::uint32_t Topology::node_of_cpu(int os_cpu) const {
+  for (std::size_t node = 0; node < node_cpus.size(); ++node)
+    for (const int cpu : node_cpus[node])
+      if (cpu == os_cpu) return static_cast<std::uint32_t>(node);
+  return 0;
+}
+
+std::size_t Topology::total_cpus() const {
+  std::size_t total = 0;
+  for (const auto& cpus : node_cpus) total += cpus.size();
+  return total;
+}
+
+void Topology::validate() const {
+  DICI_CHECK_MSG(!node_cpus.empty(), "a topology needs at least one node");
+  for (const auto& cpus : node_cpus)
+    DICI_CHECK_MSG(!cpus.empty(), "every topology node needs at least one CPU");
+}
+
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. Returns false on
+/// anything unparseable, so a malformed file degrades to the one-node
+/// fallback instead of a half-read map.
+bool parse_cpulist(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  const char* p = text.c_str();
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p || lo < 0) return false;
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtol(p, &end, 10);
+      if (end == p || hi < lo) return false;
+      p = end;
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) out->push_back(static_cast<int>(cpu));
+    if (*p == ',') ++p;
+  }
+  return !out->empty();
+}
+
+bool read_small_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  *out = buf;
+  return n > 0;
+}
+
+Topology single_node_fallback(const std::vector<int>& allowed) {
+  Topology topo;
+  topo.node_cpus.push_back(allowed);
+  if (topo.node_cpus[0].empty()) topo.node_cpus[0].push_back(0);
+  return topo;
+}
+
+}  // namespace
+
+Topology discover_topology() {
+  const std::vector<int> allowed = allowed_cpus();
+#if defined(__linux__)
+  Topology topo;
+  const std::set<int> allowed_set(allowed.begin(), allowed.end());
+  // Dense re-numbering: sysfs node ids can have holes (offlined nodes),
+  // and a node whose every CPU is outside the allowed mask contributes
+  // nothing this process could use, so both are skipped. A run of
+  // missing ids is tolerated (ids need not be contiguous); a long miss
+  // streak ends the scan.
+  int miss_streak = 0;
+  for (int sys_node = 0; sys_node < 1024 && miss_streak < 64; ++sys_node) {
+    std::string text;
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(sys_node) + "/cpulist";
+    if (!read_small_file(path, &text)) {
+      ++miss_streak;
+      continue;
+    }
+    miss_streak = 0;
+    std::vector<int> cpus;
+    if (!parse_cpulist(text, &cpus)) continue;
+    std::vector<int> kept;
+    for (const int cpu : cpus)
+      if (allowed_set.count(cpu)) kept.push_back(cpu);
+    if (!kept.empty()) topo.node_cpus.push_back(std::move(kept));
+  }
+  if (topo.node_cpus.empty()) return single_node_fallback(allowed);
+  topo.validate();
+  return topo;
+#else
+  return single_node_fallback(allowed);
+#endif
+}
+
+Topology simulated_topology(std::uint32_t nodes) {
+  DICI_CHECK_MSG(nodes >= 1, "a simulated topology needs at least one node");
+  std::vector<int> allowed = allowed_cpus();
+  if (allowed.empty()) allowed.push_back(0);
+  Topology topo;
+  topo.simulated = true;
+  topo.node_cpus.resize(nodes);
+  for (std::size_t i = 0; i < allowed.size(); ++i)
+    topo.node_cpus[i % nodes].push_back(allowed[i]);
+  // Fewer allowed CPUs than nodes: the tail nodes share CPUs round-robin
+  // so every node stays pinnable (the map is about placement structure,
+  // not extra parallelism).
+  for (std::size_t node = 0; node < topo.node_cpus.size(); ++node)
+    if (topo.node_cpus[node].empty())
+      topo.node_cpus[node].push_back(allowed[node % allowed.size()]);
+  topo.validate();
+  return topo;
+}
+
+Topology make_topology(std::uint32_t numa_nodes) {
+  return numa_nodes == 0 ? discover_topology() : simulated_topology(numa_nodes);
+}
+
+bool pin_current_thread_to_node(const Topology& topology, std::uint32_t node) {
+  if (node >= topology.nodes()) return false;
+  return pin_current_thread_to_cpus(topology.cpus_of(node));
+}
+
+}  // namespace dici::arch

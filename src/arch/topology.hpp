@@ -1,0 +1,78 @@
+// NUMA topology — the node <-> core map the placement-aware backends
+// plan against.
+//
+// The paper prices every probe by where the data lives relative to the
+// CPU that touches it (Table 2 / Sec. 4.1); on a multi-socket host the
+// same distinction reappears INSIDE one box as local vs remote DRAM.
+// A Topology answers the two questions placement needs: which memory
+// node does each worker run on, and which cores share that node — so
+// ParallelNativeEngine can first-touch a shard's key copies on the node
+// of the workers that own it and prefer same-node victims when
+// stealing.
+//
+// Two sources, one shape:
+//  * discover_topology() reads the host map (Linux sysfs), intersected
+//    with the *allowed* CPU mask (util/affinity) so a taskset/cgroup
+//    restriction shrinks the map instead of inventing unpinnable cores.
+//  * simulated_topology(nodes) splits the allowed CPUs into `nodes`
+//    groups. This is how MachineSpec::numa_nodes forces a multi-node
+//    layout on a single-node box: placement, per-node builds, and the
+//    same-node-first steal policy all execute for real — only the
+//    remote-DRAM penalty is missing — so single-node CI covers every
+//    placement path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dici::arch {
+
+/// The node <-> core map. Node ids are dense 0..nodes()-1; each node
+/// lists the allowed OS CPU ids that belong to it. Every node holds at
+/// least one CPU (on hosts with fewer allowed CPUs than simulated
+/// nodes, nodes share CPUs — the map stays usable, only the parallelism
+/// is fictional).
+struct Topology {
+  std::vector<std::vector<int>> node_cpus;
+  bool simulated = false;  ///< true when not read from the OS
+
+  std::uint32_t nodes() const {
+    return static_cast<std::uint32_t>(node_cpus.size());
+  }
+
+  /// The cores of one node — the pin set for node-scoped pinning.
+  const std::vector<int>& cpus_of(std::uint32_t node) const {
+    return node_cpus[node];
+  }
+
+  /// Node that owns `os_cpu`; 0 when the CPU is not in the map (a
+  /// conservative default, never out of range).
+  std::uint32_t node_of_cpu(int os_cpu) const;
+
+  /// Total mapped CPUs (sum over nodes; counts a shared CPU once per
+  /// node it appears in).
+  std::size_t total_cpus() const;
+
+  void validate() const;
+};
+
+/// Read the host's node map (Linux: /sys/devices/system/node), keeping
+/// only CPUs in the allowed mask. Hosts without NUMA information (or
+/// non-Linux platforms) yield one node holding every allowed CPU.
+Topology discover_topology();
+
+/// Deterministically split the allowed CPUs into `nodes` groups
+/// (round-robin, so consecutive workers land on different nodes the
+/// same way consecutive shards do). `nodes` >= 1.
+Topology simulated_topology(std::uint32_t nodes);
+
+/// The one entry point configs use: 0 = discover the host, N > 0 =
+/// simulate N nodes.
+Topology make_topology(std::uint32_t numa_nodes);
+
+/// Node-scoped pinning: restrict the calling thread to any core of
+/// `node`. Best-effort like every affinity call; false when the node's
+/// cores are all outside the allowed mask or the platform cannot pin.
+bool pin_current_thread_to_node(const Topology& topology, std::uint32_t node);
+
+}  // namespace dici::arch

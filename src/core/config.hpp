@@ -6,6 +6,7 @@
 #include "src/arch/machine.hpp"
 #include "src/index/fast_search.hpp"
 #include "src/index/geometry.hpp"
+#include "src/index/placement.hpp"
 #include "src/util/bytes.hpp"
 
 namespace dici::core {
@@ -21,6 +22,15 @@ using index::key_layout_name;
 using index::parse_search_kernel;
 using index::search_kernel_name;
 using index::search_kernel_valid;
+
+// Likewise the shard-placement vocabulary (index layer): where each
+// shard's key copies live relative to the NUMA node of the workers that
+// probe them.
+using index::Placement;
+using index::all_placements;
+using index::parse_placement;
+using index::placement_name;
+using index::placement_valid;
 
 /// The five strategies of Sections 1/3.
 enum class Method {
@@ -92,6 +102,12 @@ struct ExperimentConfig {
   /// result, only native wall time; the simulator's cost model already
   /// abstracts comparator behaviour, so its reports ignore it.
   SearchKernel kernel = SearchKernel::kBranchless;
+  /// Where ParallelNativeEngine lays each shard's key copies relative
+  /// to the NUMA node of the workers probing them (index/placement.hpp
+  /// for the menu; machine.numa_nodes picks real vs simulated
+  /// topology). Like `kernel`, it never changes a result — only native
+  /// wall time — and the other backends ignore it.
+  Placement placement = Placement::kInterleave;
   /// Record per-query response times (arrival at the front end to result
   /// delivery) into RunReport::latency_ns. Costs memory per query.
   bool track_latency = false;

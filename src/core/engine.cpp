@@ -151,6 +151,9 @@ void validate(const ExperimentConfig& config) {
   DICI_CHECK_FMT(search_kernel_valid(config.kernel),
                  "ExperimentConfig::kernel = %d: not a SearchKernel value",
                  static_cast<int>(config.kernel));
+  DICI_CHECK_FMT(placement_valid(config.placement),
+                 "ExperimentConfig::placement = %d: not a Placement value",
+                 static_cast<int>(config.placement));
   if (is_distributed(config.method)) {
     DICI_CHECK_FMT(config.num_masters >= 1,
                    "ExperimentConfig::num_masters = %u: Method C needs at "

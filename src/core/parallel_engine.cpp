@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <latch>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "src/arch/topology.hpp"
 #include "src/core/dispatch.hpp"
 #include "src/index/batched_search.hpp"
 #include "src/index/eytzinger.hpp"
 #include "src/index/partitioner.hpp"
+#include "src/index/placement.hpp"
 #include "src/net/spsc_ring.hpp"
 #include "src/util/affinity.hpp"
 #include "src/util/assert.hpp"
@@ -40,6 +44,17 @@ ParallelNativeEngine::ParallelNativeEngine(const ParallelConfig& config)
                  "ParallelConfig::ring_slots = %zu: a dispatch ring needs at "
                  "least one slot",
                  config_.ring_slots);
+  DICI_CHECK_FMT(placement_valid(config_.placement),
+                 "ParallelConfig::placement = %d: not a Placement value",
+                 static_cast<int>(config_.placement));
+  DICI_CHECK_FMT(config_.numa_nodes <= 1024,
+                 "ParallelConfig::numa_nodes = %u: 0 discovers the host, "
+                 "1..1024 simulate",
+                 config_.numa_nodes);
+  DICI_CHECK_FMT(config_.steal_threshold >= 1,
+                 "ParallelConfig::steal_threshold = %u: a cross-node steal "
+                 "needs a backlog of at least one batch",
+                 config_.steal_threshold);
 }
 
 ParallelConfig parallel_config_from(const ExperimentConfig& config) {
@@ -60,6 +75,8 @@ ParallelConfig parallel_config_from(const ExperimentConfig& config) {
   parallel.batch_bytes = config.batch_bytes;
   parallel.message_header_bytes = config.message_header_bytes;
   parallel.kernel = config.kernel;
+  parallel.placement = config.placement;
+  parallel.numa_nodes = config.machine.numa_nodes;
   return parallel;
 }
 
@@ -74,14 +91,24 @@ std::uint32_t clamped_shards(const ParallelConfig& config, std::size_t n) {
   return static_cast<std::uint32_t>(std::min<std::size_t>(want, n));
 }
 
+/// How long an idle worker parks before re-checking its steal targets.
+/// Producers only wake a worker's OWN hub, so a stealing-enabled worker
+/// naps instead of sleeping. The nap starts short — a backlog on the
+/// hot shard's worker is noticed within a dispatch round — and doubles
+/// per fruitless sweep up to the cap, so a built-but-idle fleet decays
+/// to a handful of wakeups per second per worker instead of spinning at
+/// 2 kHz forever; any popped or stolen item resets it.
+constexpr std::chrono::microseconds kStealRecheckNap{500};
+constexpr std::chrono::microseconds kStealRecheckNapCap{32 * 1024};
+
 /// Completion record for one submitted batch, shared between the
 /// submitting client, every work item the batch fanned out into, and
 /// the waiter. `outstanding` starts at 1 (the submitter's hold) and is
 /// incremented per enqueued item; whoever drops it to zero — the last
 /// worker, or the submitter itself for an empty batch — stamps the wall
 /// clock and signals done. Per-worker stat slots are written only by
-/// their owning worker; the acq_rel countdown plus the done-flag mutex
-/// publish every slot to the waiter.
+/// the worker that RESOLVED the item (owner or thief); the acq_rel
+/// countdown plus the done-flag mutex publish every slot to the waiter.
 struct Submission {
   explicit Submission(std::uint32_t num_workers)
       : worker_queries(num_workers, 0), worker_busy_sec(num_workers, 0.0) {}
@@ -91,6 +118,8 @@ struct Submission {
 
   std::vector<std::uint64_t> worker_queries;
   std::vector<double> worker_busy_sec;
+  /// Items resolved by a worker other than the shard's owner.
+  std::atomic<std::uint64_t> stolen{0};
 
   // Filled by the submitter before it releases its hold.
   std::uint64_t num_queries = 0;
@@ -125,29 +154,59 @@ struct Submission {
 
 /// The steady-state machinery behind ParallelNativeEngine::build: the
 /// one shared key copy (in the Index base), the range partitioner over
-/// it, the per-shard Eytzinger copies when the kernel wants them, and
-/// the pinned worker fleet. Each worker consumes one SpscRingHub whose
-/// channels are the connected clients: a client's submit pushes work
-/// items lock-free into its own per-worker rings, so work from many
-/// clients and many in-flight batches interleaves with no mutex on the
-/// hot path. Immutable after construction except for the rings, so any
-/// number of clients may submit concurrently.
+/// it, the placement-mode key copies (index::PlacedShards — per-shard
+/// node-local copies or per-node replicas, first-touched by the pinned
+/// workers that probe them), and the worker fleet itself, laid out over
+/// the NUMA topology (arch::make_topology — the host map, or the
+/// simulated split MachineSpec::numa_nodes forces). Worker w runs on
+/// node w % nodes and owns the shards congruent to its id, so
+/// consecutive shards alternate nodes the same way consecutive workers
+/// do.
+///
+/// Each worker consumes one SpscRingHub whose channels are the
+/// connected clients; a worker whose own rings run dry STEALS whole
+/// work items — same-node victims first, cross-node only from victims
+/// whose backlog clears the configured threshold — so a skewed stream
+/// no longer serializes on the hot shard's owner. Immutable after the
+/// build barrier except for the rings, so any number of clients may
+/// submit concurrently.
 class ParallelIndex : public Index {
  public:
   ParallelIndex(const ParallelConfig& config,
                 std::span<const key_t> index_keys)
       : Index(index_keys),
         config_(config),
+        topology_(arch::make_topology(config.numa_nodes)),
         partitioner_(keys(), clamped_shards(config, keys().size())),
-        hubs_(config.num_threads) {
-    if (kernel_layout(config_.kernel) == KeyLayout::kEytzinger) {
-      layouts_.reserve(partitioner_.parts());
-      for (std::uint32_t s = 0; s < partitioner_.parts(); ++s)
-        layouts_.emplace_back(partitioner_.keys_of(s));
+        placed_(config.placement,
+                kernel_layout(config.kernel) == KeyLayout::kEytzinger,
+                partitioner_, topology_.nodes()),
+        hubs_(config.num_threads),
+        built_(config.num_threads) {
+    const std::uint32_t T = config_.num_threads;
+    const std::uint32_t N = topology_.nodes();
+    worker_node_.resize(T);
+    worker_rank_on_node_.resize(T);
+    std::vector<std::uint32_t> per_node(N, 0);
+    for (std::uint32_t w = 0; w < T; ++w) {
+      worker_node_[w] = w % N;
+      worker_rank_on_node_[w] = per_node[w % N]++;
     }
-    workers_.reserve(config_.num_threads);
-    for (std::uint32_t w = 0; w < config_.num_threads; ++w)
+    workers_on_node_ = std::move(per_node);
+    // Replica storage is reserved up front (touches no data pages — the
+    // workers' first-touch copies place them) so build_share needs no
+    // cross-worker ordering. Nodes without a worker are skipped: no
+    // thread will ever probe their replica (workers read only their own
+    // node's), so allocating one would be pure rent.
+    for (std::uint32_t node = 0; node < N; ++node)
+      if (workers_on_node_[node] > 0) placed_.allocate_replica(node);
+    workers_.reserve(T);
+    for (std::uint32_t w = 0; w < T; ++w)
       workers_.emplace_back([this, w] { worker_loop(w); });
+    // The build barrier: build() returns a fully placed, ready index,
+    // and every worker's copies are published to every other worker
+    // (and to submitting clients) through this join point.
+    built_.wait();
   }
 
   ~ParallelIndex() override {
@@ -163,6 +222,7 @@ class ParallelIndex : public Index {
   }
 
   const ParallelConfig& config() const { return config_; }
+  const arch::Topology& topology() const { return topology_; }
 
   /// A dispatched message tagged with the shard it must be resolved on
   /// (a worker owns several shards when num_shards > num_threads) and
@@ -196,29 +256,102 @@ class ParallelIndex : public Index {
  private:
   class ParallelCompletion;
 
+  void pin_worker(std::uint32_t w) {
+    const std::uint32_t node = worker_node_[w];
+    const auto& cpus = topology_.cpus_of(node);
+    // One specific core of the worker's node, spreading the node's
+    // workers across its cores; fall back to node-scoped, then to the
+    // plain allowed-mask pin — pinning stays best-effort everywhere.
+    const int cpu = cpus[worker_rank_on_node_[w] % cpus.size()];
+    if (pin_current_thread_to_os_cpu(cpu)) return;
+    if (arch::pin_current_thread_to_node(topology_, node)) return;
+    pin_current_thread(static_cast<int>(w));
+  }
+
+  void resolve(std::uint32_t w, std::uint32_t node, WorkItem& item) {
+    WallTimer batch_timer;
+    const auto part = placed_.sorted_of(node, item.shard);
+    const index::EytzingerLayout* layout = placed_.layout_of(node, item.shard);
+    const rank_t offset = partitioner_.start_of(item.shard);
+    const DispatchBatch& batch = item.batch;
+    Submission& sub = *item.sub;
+    // Resolve the whole message in one kernel call (the interleaved
+    // kernels overlap the lanes' cache misses), then scatter by id.
+    scratch_.resize(batch.keys.size());
+    index::resolve_batch(config_.kernel, part, layout, batch.keys,
+                         scratch_.data(), config_.interleave_width);
+    for (std::size_t j = 0; j < batch.keys.size(); ++j)
+      sub.out[batch.ids[j]] = offset + scratch_[j];
+    sub.worker_queries[w] += batch.keys.size();
+    sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
+    if (item.shard % config_.num_threads != w)
+      sub.stolen.fetch_add(1, std::memory_order_relaxed);
+    sub.finish_one();
+    item = WorkItem{};  // drop the submission reference before parking
+  }
+
+  /// One pass over the other workers' hubs: same-node victims first
+  /// (their shard copies are local under kNodeLocal), then cross-node
+  /// victims whose backlog clears the imbalance threshold — a remote
+  /// steal must be worth the remote-DRAM probes it will cause.
+  bool steal_work(std::uint32_t w, std::uint32_t node, WorkItem& item) {
+    const std::uint32_t T = config_.num_threads;
+    for (std::uint32_t offset = 1; offset < T; ++offset) {
+      const std::uint32_t v = (w + offset) % T;
+      if (worker_node_[v] != node) continue;
+      // pending() pre-filter: don't take (and contend on) an idle
+      // victim's consumer lock for an empty scan — a stale-low read is
+      // self-healed by the next sweep.
+      if (hubs_[v].pending() == 0) continue;
+      if (hubs_[v].try_steal(item)) return true;
+    }
+    for (std::uint32_t offset = 1; offset < T; ++offset) {
+      const std::uint32_t v = (w + offset) % T;
+      if (worker_node_[v] == node) continue;
+      if (hubs_[v].pending() < config_.steal_threshold) continue;
+      if (hubs_[v].try_steal(item)) return true;
+    }
+    return false;
+  }
+
   void worker_loop(std::uint32_t w) {
-    if (config_.pin_threads) pin_current_thread(static_cast<int>(w));
-    std::vector<rank_t> local;  ///< per-message ranks before the scatter
+    const std::uint32_t node = worker_node_[w];
+    if (config_.pin_threads) pin_worker(w);
+    // First-touch build of this worker's share of the placement copies,
+    // ON the pinned thread — this is what puts a shard's pages on its
+    // owner's node. The latch then publishes every share fleet-wide.
+    placed_.build_share(node, w, config_.num_threads,
+                        worker_rank_on_node_[w],
+                        workers_on_node_[node]);
+    built_.count_down();
     WorkItem item;
-    while (hubs_[w].pop(item)) {
-      WallTimer batch_timer;
-      const auto part = partitioner_.keys_of(item.shard);
-      const index::EytzingerLayout* layout =
-          layouts_.empty() ? nullptr : &layouts_[item.shard];
-      const rank_t offset = partitioner_.start_of(item.shard);
-      const DispatchBatch& batch = item.batch;
-      Submission& sub = *item.sub;
-      // Resolve the whole message in one kernel call (the interleaved
-      // kernels overlap the lanes' cache misses), then scatter by id.
-      local.resize(batch.keys.size());
-      index::resolve_batch(config_.kernel, part, layout, batch.keys,
-                           local.data(), config_.interleave_width);
-      for (std::size_t j = 0; j < batch.keys.size(); ++j)
-        sub.out[batch.ids[j]] = offset + local[j];
-      sub.worker_queries[w] += batch.keys.size();
-      sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
-      sub.finish_one();
-      item = WorkItem{};  // drop the submission reference before parking
+    std::chrono::microseconds nap = kStealRecheckNap;
+    for (;;) {
+      if (hubs_[w].try_pop(item)) {
+        resolve(w, node, item);
+        nap = kStealRecheckNap;
+        continue;
+      }
+      if (config_.work_stealing && steal_work(w, node, item)) {
+        resolve(w, node, item);
+        nap = kStealRecheckNap;
+        continue;
+      }
+      // Park on the own hub. With stealing on, nap-and-recheck instead
+      // of sleeping: pushes to a VICTIM's hub don't wake this worker,
+      // so the nap bounds how long a backlog can sit unstolen — backing
+      // off while every sweep comes up empty.
+      const auto result = hubs_[w].wait_pop(
+          item, config_.work_stealing ? std::chrono::nanoseconds(nap)
+                                      : WorkHub::kWaitForever);
+      if (result == WorkHub::PopResult::kClosed) return;
+      if (result == WorkHub::PopResult::kItem) {
+        resolve(w, node, item);
+        nap = kStealRecheckNap;
+        continue;
+      }
+      // kTimeout: loop around to the steal pass, napping longer.
+      nap = std::min(nap * 2, kStealRecheckNapCap);
     }
   }
 
@@ -226,14 +359,23 @@ class ParallelIndex : public Index {
       std::shared_ptr<const Index> self) const override;
 
   ParallelConfig config_;
+  arch::Topology topology_;
   index::RangePartitioner partitioner_;
-  /// Per-shard BFS copies; empty unless the kernel probes them.
-  std::vector<index::EytzingerLayout> layouts_;
+  index::PlacedShards placed_;
+  std::vector<std::uint32_t> worker_node_;          ///< worker -> node
+  std::vector<std::uint32_t> worker_rank_on_node_;  ///< rank among node peers
+  std::vector<std::uint32_t> workers_on_node_;      ///< node -> worker count
   // Mutable: opening channels and pushing work are logically const (the
   // hubs synchronize internally); everything else is truly immutable.
   mutable std::vector<WorkHub> hubs_;
+  std::latch built_;
   std::vector<std::thread> workers_;
+  /// Per-worker scratch for one message's local ranks before the
+  /// scatter. thread_local so thieves and owners never share it.
+  static thread_local std::vector<rank_t> scratch_;
 };
+
+thread_local std::vector<rank_t> ParallelIndex::scratch_;
 
 /// Waits one submission and assembles its RunReport. Self-contained (no
 /// back-pointer to client or index): safe to await during client
@@ -263,6 +405,7 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
     report.makespan = report.raw_makespan;
     report.messages = sub.messages;
     report.wire_bytes = sub.wire_bytes;
+    report.stolen_messages = sub.stolen.load(std::memory_order_relaxed);
     report.nodes.resize(T + 1);
     report.nodes[0].queries = sub.num_queries;
     report.nodes[0].busy = ns_to_ps(sub.dispatch_sec * 1e9);
@@ -343,7 +486,11 @@ class ParallelClient : public Client {
     // Drain BEFORE closing the channels: in-flight items live in the
     // rings until a worker pops them, and a closed channel is pruned
     // from the worker's scan once empty. The base dtor's drain would
-    // run too late (after our members are gone).
+    // run too late (after our members are gone). Note the hubs' own
+    // guarantee: a pruned channel stays alive (shared_ptr) until every
+    // scanning worker drops its snapshot, so destroying this client
+    // while OTHER clients keep the fleet busy never frees a ring a
+    // worker is mid-pop on.
     drain();
     for (auto& channel : channels_) channel->close();
   }

@@ -2,10 +2,17 @@
 //
 // Method C-3's architecture mapped onto one multicore host: the sorted
 // key space is sharded with index::RangePartitioner, each worker thread
-// (pinned via util/affinity) owns the shards congruent to its id, and
+// (pinned to a core of its NUMA node — arch::Topology, real or
+// simulated via numa_nodes) owns the shards congruent to its id, and
 // query batches fan out over per-(client, worker) lock-free SPSC rings
 // (net::SpscRingHub — one ring pair per master/slave stream, like NIC
 // queue pairs; the condvar appears only when a worker parks empty).
+// Shard key copies are placed per ParallelConfig::placement
+// (index::PlacedShards): first-touched on the owner's node, or fully
+// replicated per node so every probe is local. Idle workers steal whole
+// batches — same-node victims first, cross-node only past
+// steal_threshold backlog — so skewed streams don't serialize on the
+// hot shard's worker.
 // Slaves resolve whole batches through index::resolve_batch — the
 // scalar branchless/prefetch kernels, the Eytzinger-layout kernels, or
 // the interleaved batch kernels that keep W cache misses in flight per
@@ -60,7 +67,8 @@ struct ParallelConfig {
   /// Query bytes a client ingests per flush round (the mirror of
   /// ExperimentConfig::batch_bytes and Figure 3's x-axis).
   std::uint64_t batch_bytes = 64 * KiB;
-  /// Pin worker w to CPU w (best-effort, modulo available cores).
+  /// Pin worker w to a core of its NUMA node (best-effort; targets come
+  /// from the allowed cpuset, never the raw online count).
   bool pin_threads = true;
   SearchKernel kernel = SearchKernel::kBranchless;
   /// Queries the interleaved (batched-*) kernels advance in lockstep —
@@ -76,6 +84,25 @@ struct ParallelConfig {
   /// is comparable with the simulator's (request hop only: results are
   /// scattered directly in shared memory, so there is no reply hop).
   std::uint64_t message_header_bytes = 64;
+  /// Where shard key copies live relative to the NUMA nodes of the
+  /// workers probing them (index/placement.hpp). kInterleave is the
+  /// pre-placement baseline; kNodeLocal first-touches each shard on its
+  /// owner's node; kReplicate keeps a full per-node copy so even stolen
+  /// batches probe local memory.
+  Placement placement = Placement::kInterleave;
+  /// NUMA node map: 0 discovers the host topology, N > 0 forces a
+  /// simulated N-node split of the allowed CPUs (how single-node
+  /// machines and CI exercise every placement path for real).
+  std::uint32_t numa_nodes = 0;
+  /// Bounded work stealing: a worker whose own rings are empty takes
+  /// whole dispatch batches from same-node victims first, cross-node
+  /// only from victims with at least steal_threshold batches pending —
+  /// so skewed streams stop serializing on the hot shard's worker, but
+  /// an almost-balanced fleet doesn't churn batches across sockets.
+  bool work_stealing = true;
+  /// Minimum victim backlog (pending batches) before a CROSS-NODE steal
+  /// is worth the remote-memory price; same-node steals ignore it.
+  std::uint32_t steal_threshold = 2;
 };
 
 class ParallelNativeEngine : public Engine {

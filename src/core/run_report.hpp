@@ -55,6 +55,10 @@ struct RunReport {
   double slave_idle_fraction = 0.0;
   std::uint64_t messages = 0;
   std::uint64_t wire_bytes = 0;
+  /// Messages resolved by a worker other than the shard's owner —
+  /// ParallelNativeEngine's work stealing (0 elsewhere, and 0 there
+  /// when stealing is off or the load never skews).
+  std::uint64_t stolen_messages = 0;
 
   /// Per-query response time in ns (read by the dispatcher -> result
   /// delivered), populated when ExperimentConfig::track_latency is set.
@@ -94,6 +98,7 @@ struct RunReport {
     makespan += other.makespan;
     messages += other.messages;
     wire_bytes += other.wire_bytes;
+    stolen_messages += other.stolen_messages;
     // Idle fraction is a rate, not a counter: weight each batch's value
     // by the wall (raw) time over which it was observed.
     slave_idle_fraction =

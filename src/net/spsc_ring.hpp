@@ -13,12 +13,35 @@
 //                     (producer and consumer each mirror the other's
 //                     position locally, so steady-state push/pop touch
 //                     one shared cache line, not two).
-//  * SpscRingHub<T> — one consumer (a worker) over many rings (its
-//                     clients). Producers stay lock-free; the condvar
-//                     appears ONLY on the blocking edges — a worker with
-//                     nothing to do parks, a closing hub drains — via a
-//                     two-phase announce-then-rescan sleep so no wakeup
-//                     is ever lost.
+//  * SpscRingHub<T> — one OWNING consumer (a worker) over many rings
+//                     (its clients), plus a cold-path THIEF entry
+//                     (try_steal) other workers use to take whole items
+//                     when their own hubs run dry. Producers stay
+//                     lock-free; the condvar appears ONLY on the
+//                     blocking edges — a worker with nothing to do
+//                     parks, a closing hub drains.
+//
+// Park/wake correctness: the hub uses an EVENTCOUNT — producers bump a
+// generation counter (under the park mutex) whenever they wake, and a
+// parking consumer captures the generation BEFORE its final empty
+// re-scan, then sleeps on "generation changed". A wake that lands
+// anywhere between the capture and the wait flips the generation, so
+// the wait predicate is already true and the sleep is skipped. The
+// previous protocol parked on a single wake_pending flag armed only
+// while `waiting_` was visibly set; a producer whose fence-and-flag
+// check raced the consumer between its final empty re-scan and the
+// wait could conclude "not waiting" while the consumer concluded
+// "nothing pushed" — each side passing its check before the other's
+// write landed — and the push then sat in the ring until the next
+// unrelated wake. The generation ticket closes that window by
+// construction (net_spsc_ring_test races both protocols' shapes).
+//
+// Stealing and the single-consumer contract: a ring still has exactly
+// one consumer AT A TIME. All consumer-side state (ring read cursors,
+// the channel snapshot) is guarded by a spinlock the owner takes
+// uncontended on its fast path and a thief only try-acquires — a busy
+// owner means there is nothing worth stealing anyway. Thieves never
+// park and never consume wakes.
 //
 // BlockingQueue survives for NativeCluster's one-shot runs, where a
 // whole run's items flow through the queue once and dispatch overhead
@@ -26,6 +49,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <memory>
@@ -38,9 +62,10 @@
 namespace dici::net {
 
 /// Bounded single-producer/single-consumer ring. Exactly one thread may
-/// call try_push and exactly one may call try_pop (they may be the same
-/// thread). T must be default-constructible and move-assignable; popped
-/// slots are reset to T{} so the ring never retains references.
+/// call try_push and — at any moment — exactly one may call try_pop
+/// (the hub serializes owner and thief). T must be
+/// default-constructible and move-assignable; popped slots are reset to
+/// T{} so the ring never retains references.
 template <typename T>
 class SpscRing {
  public:
@@ -97,10 +122,10 @@ class SpscRing {
   alignas(64) std::size_t cached_tail_ = 0;        // consumer-local
 };
 
-/// One consumer over many SPSC channels. Producers open a Channel each
-/// and push lock-free; the consumer round-robins the channels and only
-/// touches the mutex/condvar when every channel is empty (park) or the
-/// hub is closing (drain). Channel registration and teardown are the
+/// One owning consumer (plus opportunistic thieves) over many SPSC
+/// channels. Producers open a Channel each and push lock-free; the
+/// owner round-robins the channels and parks on the eventcount only
+/// when everything is empty. Channel registration and teardown are the
 /// rare path and take the mutex.
 template <typename T>
 class SpscRingHub {
@@ -112,13 +137,13 @@ class SpscRingHub {
 
     /// Producer: push one item, spinning (with yields) while the ring
     /// is full — a full ring is never empty, so the consumer either is
-    /// awake and draining or has announced a park that after_push()'s
-    /// fence+flag check (no mutex unless it really parked) will cancel.
+    /// awake and draining or is about to re-scan before parking.
     void push(T item) {
       while (!ring_.try_push(item)) {
         hub_->after_push();
         std::this_thread::yield();
       }
+      hub_->pending_.fetch_add(1, std::memory_order_relaxed);
       hub_->after_push();
     }
 
@@ -136,6 +161,12 @@ class SpscRingHub {
     std::atomic<bool> closed_{false};
   };
 
+  /// Block (timeout) outcomes of wait_pop.
+  enum class PopResult { kItem, kTimeout, kClosed };
+
+  /// wait_pop's "no timeout" sentinel.
+  static constexpr std::chrono::nanoseconds kWaitForever{-1};
+
   /// Register a new producer channel (any thread).
   std::shared_ptr<Channel> open(std::size_t capacity) {
     auto channel = std::make_shared<Channel>(this, capacity);
@@ -147,48 +178,90 @@ class SpscRingHub {
     return channel;
   }
 
-  /// Consumer: pop the next item from any channel (round-robin across
-  /// channels, FIFO within one). Blocks while everything is empty;
-  /// returns false only after close() once every channel is drained.
-  bool pop(T& out) {
+  /// Owner: pop the next item from any channel (round-robin across
+  /// channels, FIFO within one) without blocking.
+  bool try_pop(T& out) {
+    lock_consumer();
+    const bool got = locked_scan(out);
+    unlock_consumer();
+    return got;
+  }
+
+  /// Thief (any non-owner thread): try to take one item. Gives up
+  /// immediately when the consumer side is busy — a draining owner
+  /// means there is nothing worth stealing. Never blocks, never parks.
+  bool try_steal(T& out) {
+    if (consumer_lock_.exchange(true, std::memory_order_acquire))
+      return false;
+    const bool got = locked_scan(out);
+    unlock_consumer();
+    return got;
+  }
+
+  /// Owner: pop, parking on the eventcount while every channel is
+  /// empty. kTimeout is only possible with a non-negative timeout;
+  /// kClosed means close() was called and everything is drained.
+  PopResult wait_pop(T& out,
+                     std::chrono::nanoseconds timeout = kWaitForever) {
     for (;;) {
-      if (version_.load(std::memory_order_acquire) != snapshot_version_)
-        refresh_snapshot();
-      if (scan(out)) return true;
-      // Two-phase sleep: announce, then rescan. Pairs with the seq_cst
-      // fence in after_push() — whichever fence lands second sees the
-      // other side's write, so either the producer sees waiting_ and
-      // wakes us, or our rescan sees the pushed item.
+      if (try_pop(out)) return PopResult::kItem;
+      // Eventcount protocol: capture the generation ticket, announce,
+      // then make the FINAL empty re-scan. Any producer wake after the
+      // capture bumps the generation, so the wait predicate below is
+      // already satisfied and we never sleep across a push — whichever
+      // side's seq_cst fence lands second sees the other's write, and
+      // the ticket covers the remaining announce-to-wait window.
+      const std::uint64_t ticket = epoch_.load(std::memory_order_acquire);
       waiting_.store(true, std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      if (version_.load(std::memory_order_acquire) != snapshot_version_) {
+      if (try_pop(out)) {
         waiting_.store(false, std::memory_order_relaxed);
-        continue;
-      }
-      if (scan(out)) {
-        waiting_.store(false, std::memory_order_relaxed);
-        return true;
+        return PopResult::kItem;
       }
       std::unique_lock lock(mu_);
       if (closed_) {
         waiting_.store(false, std::memory_order_relaxed);
         lock.unlock();
-        refresh_snapshot();
-        return scan(out);  // final drain; false ends the consumer
+        // Final drain: anything still buffered comes out, then the hub
+        // stays ended.
+        return try_pop(out) ? PopResult::kItem : PopResult::kClosed;
       }
-      cv_.wait(lock, [&] { return wake_pending_ || closed_; });
-      wake_pending_ = false;
+      const auto pred = [&] {
+        return epoch_.load(std::memory_order_relaxed) != ticket || closed_;
+      };
+      bool woke = true;
+      if (timeout < std::chrono::nanoseconds::zero()) {
+        cv_.wait(lock, pred);
+      } else {
+        woke = cv_.wait_for(lock, timeout, pred);
+      }
       lock.unlock();
       waiting_.store(false, std::memory_order_relaxed);
+      if (!woke) return PopResult::kTimeout;
     }
   }
 
-  /// Shut the hub down: pop() drains what remains, then returns false.
-  /// Call only once producers have stopped pushing.
+  /// Owner: blocking pop. Returns false only after close() once every
+  /// channel is drained.
+  bool pop(T& out) { return wait_pop(out) == PopResult::kItem; }
+
+  /// Approximate items buffered across all channels (pushed, not yet
+  /// popped or stolen). Relaxed counter — a pop can even be counted
+  /// before its push lands, so the value is clamped at 0; momentary
+  /// staleness is fine for its consumers (steal-imbalance checks,
+  /// stats).
+  std::size_t pending() const {
+    const std::ptrdiff_t n = pending_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
+
+  /// Shut the hub down: pop()/wait_pop() drain what remains, then
+  /// return ended. Call only once producers have stopped pushing.
   void close() {
     {
       std::lock_guard lock(mu_);
       closed_ = true;
+      epoch_.fetch_add(1, std::memory_order_relaxed);
     }
     cv_.notify_all();
   }
@@ -200,9 +273,12 @@ class SpscRingHub {
   }
 
   void wake_consumer() {
+    // The generation bump happens under the park mutex, so a parking
+    // consumer either sees the new generation in its predicate or is
+    // not yet inside wait() — either way the wake cannot be lost.
     {
       std::lock_guard lock(mu_);
-      wake_pending_ = true;
+      epoch_.fetch_add(1, std::memory_order_relaxed);
     }
     cv_.notify_one();
   }
@@ -214,13 +290,30 @@ class SpscRingHub {
     wake_consumer();
   }
 
-  // --- Consumer-only state and helpers ------------------------------------
+  // --- Consumer-side state and helpers (owner or one thief at a time,
+  // --- serialized by consumer_lock_) --------------------------------------
 
-  bool scan(T& out) {
+  void lock_consumer() {
+    // Uncontended on the owner's fast path; a thief holds it only for
+    // one scan, so spinning with yields is cheaper than a futex.
+    while (consumer_lock_.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+
+  void unlock_consumer() {
+    consumer_lock_.store(false, std::memory_order_release);
+  }
+
+  bool locked_scan(T& out) {
+    if (version_.load(std::memory_order_acquire) != snapshot_version_)
+      refresh_snapshot();
     const std::size_t count = snapshot_.size();
     for (std::size_t step = 0; step < count; ++step) {
       cursor_ = cursor_ + 1 < count ? cursor_ + 1 : 0;
-      if (snapshot_[cursor_]->ring_.try_pop(out)) return true;
+      if (snapshot_[cursor_]->ring_.try_pop(out)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
     }
     return false;
   }
@@ -229,7 +322,10 @@ class SpscRingHub {
     std::lock_guard lock(mu_);
     snapshot_version_ = version_.load(std::memory_order_acquire);
     // Prune channels whose producer is done and whose ring is drained;
-    // the ring emptiness check is exact here (we are the consumer).
+    // the ring emptiness check is exact here (we hold the consumer
+    // lock). snapshot_ keeps a shared_ptr to every channel it scans, so
+    // a producer destroying its handle mid-scan never frees a ring
+    // under us.
     std::erase_if(channels_, [](const std::shared_ptr<Channel>& ch) {
       return ch->closed_.load(std::memory_order_acquire) && ch->ring_.empty();
     });
@@ -239,13 +335,17 @@ class SpscRingHub {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  bool wake_pending_ = false;
   bool closed_ = false;
   std::vector<std::shared_ptr<Channel>> channels_;  // guarded by mu_
   std::atomic<std::uint64_t> version_{0};
+  /// Eventcount generation: bumped (under mu_) by every wake.
+  std::atomic<std::uint64_t> epoch_{0};
   std::atomic<bool> waiting_{false};
+  std::atomic<std::ptrdiff_t> pending_{0};
 
-  std::vector<std::shared_ptr<Channel>> snapshot_;  // consumer-only
+  /// Serializes the consumer side between the owner and thieves.
+  std::atomic<bool> consumer_lock_{false};
+  std::vector<std::shared_ptr<Channel>> snapshot_;  // consumer-lock guarded
   std::uint64_t snapshot_version_ = ~0ull;          // force first refresh
   std::size_t cursor_ = 0;
 };

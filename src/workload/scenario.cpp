@@ -172,12 +172,15 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
     core::ExperimentConfig config;
     config.method = spec.method;
     config.machine = arch::pentium3_cluster();
+    config.machine.numa_nodes = options.numa_nodes;
     config.num_nodes = spec.num_nodes;
     config.batch_bytes = spec.batch_bytes;
 
     const std::size_t depth = std::max<std::size_t>(1, options.in_flight);
-    auto run_cell = [&](core::Backend backend, core::SearchKernel kernel) {
+    auto run_cell = [&](core::Backend backend, core::SearchKernel kernel,
+                        core::Placement placement) {
       config.kernel = kernel;
+      config.placement = placement;
       const auto engine = core::make_engine(backend, config);
       const auto built = engine->build(index);
       const auto client = built->connect();
@@ -187,6 +190,7 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.distribution = spec.distribution;
       cell.backend = client->backend();
       cell.kernel = core::search_kernel_name(kernel);
+      cell.placement = core::placement_name(placement);
       cell.verified = options.verify;
       cell.in_flight = depth;
 
@@ -234,12 +238,21 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.wire_bytes = total.wire_bytes;
       cells.push_back(std::move(cell));
     };
+    DICI_CHECK_MSG(!options.placements.empty(),
+                   "MatrixOptions::placements must name at least one mode");
     for (const core::Backend backend : options.backends) {
       if (backend == core::Backend::kParallelNative &&
           spec.method != core::Method::kC3)
         continue;  // that backend shards sorted arrays only
+      // Only parallel-native lays shards out per node; sweeping the
+      // placement axis on the other backends would duplicate cells.
+      const std::size_t placements =
+          backend == core::Backend::kParallelNative
+              ? options.placements.size()
+              : 1;
       for (const core::SearchKernel kernel : options.kernels)
-        run_cell(backend, kernel);
+        for (std::size_t p = 0; p < placements; ++p)
+          run_cell(backend, kernel, options.placements[p]);
     }
   }
   return cells;
@@ -282,6 +295,8 @@ std::string matrix_to_json(std::span<const ScenarioCell> cells) {
     append_json_string(out, c.backend);
     out += ", \"kernel\": ";
     append_json_string(out, c.kernel);
+    out += ", \"placement\": ";
+    append_json_string(out, c.placement);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   ", \"stream_batches\": %" PRIu64 ", \"in_flight\": %" PRIu64

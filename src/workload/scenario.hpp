@@ -117,13 +117,17 @@ class ScenarioRegistry {
 ScenarioRegistry default_scenarios(std::size_t index_keys,
                                    std::size_t num_queries);
 
-/// One scenario x backend x kernel cell of the matrix run.
+/// One scenario x backend x kernel x placement cell of the matrix run.
 struct ScenarioCell {
   std::string scenario;
   Distribution distribution{};
   std::string backend;
   /// Search kernel the cell's config carried (search_kernel_name).
   std::string kernel;
+  /// Shard placement the cell's config carried (placement_name). Only
+  /// the parallel-native backend acts on it; other backends run one
+  /// cell at the first requested placement.
+  std::string placement;
   std::uint64_t stream_batches = 0;
   std::uint64_t in_flight = 1;  ///< submit-ahead depth the cell ran with
   std::uint64_t num_queries = 0;
@@ -151,6 +155,17 @@ struct MatrixOptions {
   /// cost model abstracts comparator behaviour, so its kernel cells
   /// verify that the answer is invariant, not that timing moves.
   std::vector<core::SearchKernel> kernels = {core::SearchKernel::kBranchless};
+  /// Shard placements swept per kernel (the placement axis). Only
+  /// parallel-native lays shards out per NUMA node, so the other
+  /// backends run one cell (at the first placement) instead of
+  /// duplicating identical runs; every parallel-native placement cell
+  /// is rank-verified like any other, pinning the "placement moves
+  /// bytes, never answers" invariant.
+  std::vector<core::Placement> placements = {core::Placement::kInterleave};
+  /// Forced NUMA node count for the native engines' topology (0 =
+  /// discover the host). CI sets this > 1 so single-node runners still
+  /// execute every placement and same-node-first stealing path.
+  std::uint32_t numa_nodes = 0;
   /// Batches kept in flight per client (clamped to >= 1): each cell
   /// submits up to this many batches ahead before waiting the oldest,
   /// exercising the async pipeline on backends that have one. NOTE on
@@ -164,11 +179,13 @@ struct MatrixOptions {
 };
 
 /// Drive the cross product: for each spec, build the index and query
-/// stream once, then for each (backend, kernel) connect one client and
-/// pipeline the batches through submit/wait at options.in_flight depth.
-/// kParallelNative cells are skipped for specs whose method is not C-3
-/// (that backend shards sorted arrays only). Returns one cell per
-/// (spec, backend, kernel) actually run, in spec-major order.
+/// stream once, then for each (backend, kernel, placement) connect one
+/// client and pipeline the batches through submit/wait at
+/// options.in_flight depth. kParallelNative cells are skipped for specs
+/// whose method is not C-3 (that backend shards sorted arrays only);
+/// non-parallel backends run the first placement only. Returns one cell
+/// per (spec, backend, kernel, placement) actually run, in spec-major
+/// order.
 std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
                                               const MatrixOptions& options);
 

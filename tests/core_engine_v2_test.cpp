@@ -293,6 +293,57 @@ TEST(EngineV2, ClientChurnOnRingDispatch) {
   EXPECT_EQ(mismatches.load(), 0u);
 }
 
+TEST(EngineV2, DestroyClientsUnderLoadWhileOthersStream) {
+  // The drain-then-close teardown raced against live traffic: churner
+  // threads destroy clients WITH tickets still in flight (the dtor must
+  // drain them) while other clients keep every worker's scan loop hot —
+  // so channel close and prune happen exactly while workers are
+  // mid-pop on sibling channels, and (with stealing on) while thieves
+  // scan the victim hubs. A channel freed under a worker's scan is a
+  // use-after-free this test exists to catch (ASan/TSan jobs race it).
+  const auto& fx = fixture();
+  const auto index = parallel_index(4, 6, SearchKernel::kBatchedEytzinger);
+  std::atomic<std::uint64_t> mismatches{0};
+  auto verify = [&](std::span<const rank_t> ranks, std::size_t begin) {
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      if (ranks[i] != fx.expected[begin + i])
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+  };
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&, t] {
+      for (int g = 0; g < 15; ++g) {
+        const std::size_t begin =
+            static_cast<std::size_t>(t) * 997 + static_cast<std::size_t>(g) * 13;
+        std::vector<std::vector<rank_t>> ranks(4);
+        {
+          const auto client = index->connect();
+          for (std::size_t b = 0; b < ranks.size(); ++b)
+            client->submit(
+                std::span(fx.queries.data() + begin + b * 400, 400),
+                &ranks[b]);
+          // NO wait: destruction drains the in-flight tickets, then
+          // closes channels a worker may be scanning right now.
+        }
+        for (std::size_t b = 0; b < ranks.size(); ++b)
+          verify(ranks[b], begin + b * 400);
+      }
+    });
+  }
+  {
+    const auto steady = index->connect();
+    std::vector<rank_t> ranks;
+    for (int b = 0; b < 120; ++b) {
+      const std::size_t begin = static_cast<std::size_t>(b) * 211;
+      steady->wait(
+          steady->submit(std::span(fx.queries.data() + begin, 600), &ranks));
+      verify(ranks, begin);
+    }
+  }
+  for (auto& t : churners) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
 TEST(EngineV2, ConcurrentClientsOnSyncBackendsToo) {
   const auto& fx = fixture();
   ExperimentConfig cfg;

@@ -81,6 +81,103 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// --- Placement x topology x stealing: the NUMA surface --------------------
+
+using PlacementCombo = std::tuple<Placement, SearchKernel, bool, std::uint32_t>;
+
+class PlacementCombos : public ::testing::TestWithParam<PlacementCombo> {};
+
+TEST_P(PlacementCombos, SkewedStreamStaysRankExact) {
+  // A heavily skewed stream (90% of queries inside one shard's range)
+  // on a simulated multi-node topology: placement moves the copies,
+  // stealing moves the work, and neither may move a single rank.
+  const auto& [placement, kernel, stealing, numa_nodes] = GetParam();
+  const auto& fx = fixture();
+  std::vector<key_t> queries(fx.queries.begin(), fx.queries.begin() + 30000);
+  const key_t hot = fx.keys[fx.keys.size() / 3];
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    if (i % 10 != 0) queries[i] = hot + static_cast<key_t>(i % 64);
+  const auto expected = workload::reference_ranks(fx.keys, queries);
+
+  ParallelConfig cfg;
+  cfg.num_threads = 4;
+  cfg.num_shards = 6;
+  cfg.batch_bytes = 4 * KiB;
+  cfg.kernel = kernel;
+  cfg.placement = placement;
+  cfg.numa_nodes = numa_nodes;
+  cfg.work_stealing = stealing;
+  std::vector<rank_t> ranks;
+  const RunReport report =
+      ParallelNativeEngine(cfg).run(fx.keys, queries, &ranks);
+  ASSERT_EQ(ranks.size(), expected.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], expected[i]) << "query index " << i;
+  // Work conservation holds whoever resolved each message.
+  const std::uint64_t processed = std::accumulate(
+      report.nodes.begin() + 1, report.nodes.end(), std::uint64_t{0},
+      [](std::uint64_t acc, const NodeReport& n) { return acc + n.queries; });
+  EXPECT_EQ(processed, queries.size());
+  // Stealing off is a hard guarantee of zero steals; on, it is
+  // opportunistic (scheduling-dependent), so only the off side asserts.
+  if (!stealing) EXPECT_EQ(report.stolen_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlacementTopologySteal, PlacementCombos,
+    ::testing::Combine(::testing::Values(Placement::kInterleave,
+                                         Placement::kNodeLocal,
+                                         Placement::kReplicate),
+                       ::testing::Values(SearchKernel::kBranchless,
+                                         SearchKernel::kBatchedEytzinger),
+                       ::testing::Bool(),       // work stealing
+                       ::testing::Values(1u, 3u)),  // simulated node count
+    [](const auto& info) {
+      std::string name;
+      for (const char* c = placement_name(std::get<0>(info.param));
+           *c != '\0'; ++c)
+        if (*c != '-') name += *c;
+      name += std::get<1>(info.param) == SearchKernel::kBranchless
+                  ? "_branchless"
+                  : "_beytz";
+      name += std::get<2>(info.param) ? "_steal" : "_nosteal";
+      name += "_n" + std::to_string(std::get<3>(info.param));
+      return name;
+    });
+
+TEST(ParallelPlacement, DiscoveredTopologyAlsoWorks) {
+  // numa_nodes = 0 takes the host-discovery path (whatever this machine
+  // is); placement must stay rank-exact on it too.
+  const auto& fx = fixture();
+  for (const Placement placement : all_placements()) {
+    ParallelConfig cfg;
+    cfg.num_threads = 3;
+    cfg.placement = placement;
+    cfg.numa_nodes = 0;
+    cfg.kernel = SearchKernel::kBatchedEytzinger;
+    std::vector<rank_t> ranks;
+    ParallelNativeEngine(cfg).run(
+        fx.keys, std::span(fx.queries.data(), 8000), &ranks);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      ASSERT_EQ(ranks[i], fx.expected[i]) << placement_name(placement);
+  }
+}
+
+TEST(ParallelPlacement, MoreSimulatedNodesThanThreads) {
+  // Degenerate map: 8 simulated nodes, 2 workers — most nodes own no
+  // worker; replicas for them are never probed and never built wrong.
+  const auto& fx = fixture();
+  ParallelConfig cfg;
+  cfg.num_threads = 2;
+  cfg.numa_nodes = 8;
+  cfg.placement = Placement::kReplicate;
+  std::vector<rank_t> ranks;
+  ParallelNativeEngine(cfg).run(fx.keys,
+                                std::span(fx.queries.data(), 5000), &ranks);
+  for (std::size_t i = 0; i < 5000; ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]);
+}
+
 TEST(ParallelNativeEngine, EmptyQuerySet) {
   const auto& fx = fixture();
   ParallelConfig cfg;
@@ -315,10 +412,14 @@ TEST(EngineSeam, ParallelConfigMapsSlaves) {
   cfg.machine = arch::pentium3_cluster();
   cfg.num_nodes = 11;
   cfg.num_masters = 1;
+  cfg.placement = Placement::kReplicate;
+  cfg.machine.numa_nodes = 2;
   const ParallelConfig parallel = parallel_config_from(cfg);
   EXPECT_EQ(parallel.num_threads, 10u);
   EXPECT_EQ(parallel.num_shards, 10u);
   EXPECT_EQ(parallel.batch_bytes, cfg.batch_bytes);
+  EXPECT_EQ(parallel.placement, Placement::kReplicate);
+  EXPECT_EQ(parallel.numa_nodes, 2u);
 }
 
 }  // namespace

@@ -114,6 +114,29 @@ TEST_F(ValidateDeath, ParallelKernelKnobsNameFieldAndValue) {
   EXPECT_DEATH(ParallelNativeEngine{no_ring}, "ring_slots = 0");
 }
 
+TEST_F(ValidateDeath, BadPlacementEnumNamesFieldAndValue) {
+  auto cfg = good_config();
+  cfg.placement = static_cast<Placement>(17);
+  EXPECT_DEATH(validate(cfg), "placement = 17");
+  for (const Backend backend :
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+    EXPECT_DEATH(make_engine(backend, cfg), "placement = 17")
+        << backend_name(backend);
+  }
+}
+
+TEST_F(ValidateDeath, ParallelNumaKnobsNameFieldAndValue) {
+  ParallelConfig bad_placement;
+  bad_placement.placement = static_cast<Placement>(8);
+  EXPECT_DEATH(ParallelNativeEngine{bad_placement}, "placement = 8");
+  ParallelConfig too_many_nodes;
+  too_many_nodes.numa_nodes = 5000;
+  EXPECT_DEATH(ParallelNativeEngine{too_many_nodes}, "numa_nodes = 5000");
+  ParallelConfig no_threshold;
+  no_threshold.steal_threshold = 0;
+  EXPECT_DEATH(ParallelNativeEngine{no_threshold}, "steal_threshold = 0");
+}
+
 // The messages gate configs the same way through make_engine, whatever
 // the backend.
 TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {

@@ -12,6 +12,8 @@
 
 #include "src/index/eytzinger.hpp"
 #include "src/index/fast_search.hpp"
+#include "src/index/partitioner.hpp"
+#include "src/index/placement.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/scenario.hpp"
 #include "src/workload/workload.hpp"
@@ -158,6 +160,107 @@ TEST(EytzingerLayout, LevelsMatchBitWidth) {
   EXPECT_EQ(EytzingerLayout::levels_for(2), 2u);
   EXPECT_EQ(EytzingerLayout::levels_for(7), 3u);
   EXPECT_EQ(EytzingerLayout::levels_for(8), 4u);
+}
+
+// --- Placement views: every (mode, node, shard) view is still exact -------
+
+/// Partition `keys`, build every placement's copies, and check that
+/// resolve_batch through each (node, shard) view agrees with the global
+/// std::upper_bound rank on every query routed to that shard — the
+/// engine's probe path, placement included, in miniature.
+void expect_all_placements_agree(std::span<const key_t> keys,
+                                 std::span<const key_t> queries,
+                                 std::uint32_t parts, std::uint32_t nodes) {
+  const RangePartitioner partitioner(keys, parts);
+  for (const Placement placement : all_placements()) {
+    PlacedShards placed(placement, /*build_eytzinger=*/true, partitioner,
+                        nodes);
+    placed.build_all();
+    for (std::uint32_t node = 0; node < nodes; ++node) {
+      for (std::uint32_t s = 0; s < partitioner.parts(); ++s) {
+        // Every view must be byte-identical to the partition slice...
+        const auto view = placed.sorted_of(node, s);
+        const auto slice = partitioner.keys_of(s);
+        ASSERT_EQ(view.size(), slice.size());
+        EXPECT_TRUE(std::equal(view.begin(), view.end(), slice.begin()))
+            << placement_name(placement) << " node " << node << " shard "
+            << s;
+        // ...and every kernel through it must give the global rank.
+        std::vector<key_t> routed;
+        for (const key_t q : queries)
+          if (partitioner.route(q) == s) routed.push_back(q);
+        std::vector<rank_t> out(routed.size());
+        for (const SearchKernel kernel : all_search_kernels()) {
+          std::fill(out.begin(), out.end(), rank_t{0xDEADBEEF});
+          resolve_batch(kernel, view, placed.layout_of(node, s), routed,
+                        out.data(), 4);
+          for (std::size_t i = 0; i < routed.size(); ++i)
+            ASSERT_EQ(partitioner.start_of(s) + out[i],
+                      reference(keys, routed[i]))
+                << placement_name(placement) << " node " << node << " shard "
+                << s << " kernel " << search_kernel_name(kernel) << " q="
+                << routed[i];
+        }
+      }
+    }
+  }
+}
+
+TEST(PlacementEquivalence, SkewedPartitionsAcrossNodes) {
+  // Keys bunched into a narrow band, so partitioning is as skewed as
+  // the range cut allows and most queries route to the band's shards.
+  Rng rng(314);
+  std::vector<key_t> keys;
+  for (int i = 0; i < 3000; ++i)
+    keys.push_back(static_cast<key_t>((1u << 24) + rng.below(1u << 16)));
+  std::sort(keys.begin(), keys.end());
+  std::vector<key_t> queries{0, 0xFFFFFFFFu};
+  for (int i = 0; i < 2000; ++i)
+    queries.push_back(static_cast<key_t>((1u << 24) + rng.below(1u << 17)));
+  expect_all_placements_agree(keys, queries, /*parts=*/7, /*nodes=*/3);
+}
+
+TEST(PlacementEquivalence, SizeOnePartitions) {
+  // parts == keys: every shard holds exactly one key — the smallest
+  // non-empty partition a skewed cut can produce.
+  const std::vector<key_t> keys{5, 10, 20, 40};
+  std::vector<key_t> queries;
+  for (key_t q = 0; q <= 45; ++q) queries.push_back(q);
+  expect_all_placements_agree(keys, queries, /*parts=*/4, /*nodes=*/2);
+}
+
+TEST(PlacementEquivalence, AllDuplicateKeys) {
+  // Every key equal: delimiters collapse, route() sends every matching
+  // query to the last shard, and each shard's Eytzinger copy is an
+  // all-equal run — the duplicate edge of the upper_bound contract.
+  const std::vector<key_t> keys(23, 7);
+  const std::vector<key_t> queries{0, 6, 7, 8, 0xFFFFFFFFu};
+  expect_all_placements_agree(keys, queries, /*parts=*/5, /*nodes=*/3);
+}
+
+TEST(PlacementEquivalence, EmptyShardView) {
+  // An empty slice through every placement view (the degenerate shard a
+  // skewed partitioner could hand a worker): resolve_batch over the
+  // empty span must answer rank 0 for everything, layouts included.
+  const std::vector<key_t> keys{1, 2, 3};
+  const RangePartitioner partitioner(keys, 3);
+  for (const Placement placement : all_placements()) {
+    PlacedShards placed(placement, true, partitioner, 2);
+    placed.build_all();
+    for (std::uint32_t node = 0; node < 2; ++node) {
+      const auto view = placed.sorted_of(node, 1);
+      const std::span<const key_t> empty = view.subspan(0, 0);
+      const EytzingerLayout empty_layout(empty);
+      const std::vector<key_t> queries{0, 2, 0xFFFFFFFFu};
+      std::vector<rank_t> out(queries.size(), 99);
+      for (const SearchKernel kernel : all_search_kernels()) {
+        resolve_batch(kernel, empty, &empty_layout, queries, out.data(), 2);
+        for (const rank_t r : out)
+          EXPECT_EQ(r, 0u) << placement_name(placement) << " "
+                           << search_kernel_name(kernel);
+      }
+    }
+  }
 }
 
 // --- Exhaustive small-n sweep: every size x every query -------------------

@@ -211,6 +211,159 @@ TEST(SpscRingHub, ChannelChurnPrunesAndKeepsDelivering) {
   consumer.join();
 }
 
+TEST(SpscRingHub, ParkWakePingPongNeverLosesAWakeup) {
+  // The lost-wakeup repro for the eventcount protocol: every iteration
+  // forces a full park/wake cycle — the producer refuses to push item
+  // i+1 until the consumer proves it popped item i, so the consumer is
+  // parked (or inside the announce/rescan/wait window) for every single
+  // push. Under the old flag-based protocol a push racing the window
+  // between the consumer's final empty re-scan and its wait() could
+  // leave the item in the ring with no wake pending — this test then
+  // hangs (and trips the ctest timeout); with the generation ticket it
+  // must complete. TSan races the fence pairing.
+  SpscRingHub<int> hub;
+  auto channel = hub.open(4);
+  constexpr int kRounds = 20000;
+  std::atomic<int> popped{0};
+  std::thread consumer([&] {
+    int out = 0;
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(hub.pop(out));
+      ASSERT_EQ(out, i);
+      popped.store(i + 1, std::memory_order_release);
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    channel->push(i);
+    while (popped.load(std::memory_order_acquire) <= i)
+      std::this_thread::yield();
+  }
+  consumer.join();
+  channel->close();
+  hub.close();
+}
+
+TEST(SpscRingHub, WaitPopTimesOutThenDelivers) {
+  SpscRingHub<int> hub;
+  auto channel = hub.open(4);
+  int out = 0;
+  using Result = SpscRingHub<int>::PopResult;
+  // Nothing pushed: the timed park expires instead of blocking forever
+  // (the nap-and-recheck edge the stealing workers rely on).
+  EXPECT_EQ(hub.wait_pop(out, std::chrono::milliseconds(5)),
+            Result::kTimeout);
+  channel->push(42);
+  EXPECT_EQ(hub.wait_pop(out, std::chrono::milliseconds(100)),
+            Result::kItem);
+  EXPECT_EQ(out, 42);
+  channel->push(43);  // buffered before close: drained, then ended
+  channel->close();
+  hub.close();
+  EXPECT_EQ(hub.wait_pop(out, std::chrono::milliseconds(100)),
+            Result::kItem);
+  EXPECT_EQ(out, 43);
+  EXPECT_EQ(hub.wait_pop(out, std::chrono::milliseconds(5)),
+            Result::kClosed);
+}
+
+TEST(SpscRingHub, PendingTracksBufferedItems) {
+  SpscRingHub<int> hub;
+  auto channel = hub.open(8);
+  EXPECT_EQ(hub.pending(), 0u);
+  channel->push(1);
+  channel->push(2);
+  channel->push(3);
+  EXPECT_EQ(hub.pending(), 3u);
+  int out = 0;
+  ASSERT_TRUE(hub.try_pop(out));
+  EXPECT_EQ(hub.pending(), 2u);
+  ASSERT_TRUE(hub.try_steal(out));
+  EXPECT_EQ(hub.pending(), 1u);
+  channel->close();
+  hub.close();
+  ASSERT_TRUE(hub.pop(out));
+  EXPECT_EQ(hub.pending(), 0u);
+}
+
+TEST(SpscRingHub, StealTakesFifoAndInterleavesWithOwner) {
+  SpscRingHub<int> hub;
+  auto channel = hub.open(16);
+  for (int i = 0; i < 6; ++i) channel->push(i);
+  // Owner pops and a thief steals from the same channel: both consume
+  // from the head (one consumer AT A TIME), so the combined sequence is
+  // still the push order with nothing lost or duplicated.
+  int out = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(hub.try_pop(out));
+    } else {
+      ASSERT_TRUE(hub.try_steal(out));
+    }
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(hub.try_steal(out));  // empty: steal fails cleanly
+  channel->close();
+  hub.close();
+}
+
+TEST(SpscRingHub, ConcurrentOwnerAndThievesConserveItems) {
+  // The stealing surface the engine's idle workers exercise: one owner
+  // draining normally, two thieves grabbing what they can, several
+  // producers. Every item must be consumed exactly ONCE — no loss, no
+  // duplication — whoever wins it. (Per-producer FIFO of the combined
+  // consumption sequence is pinned by the single-threaded interleave
+  // test above; here consumers record their takes after releasing the
+  // consumer lock, so arrival order is not checkable.)
+  constexpr int kProducers = 3;
+  constexpr int kItems = 30000;
+  SpscRingHub<Tagged> hub;
+  std::vector<std::shared_ptr<SpscRingHub<Tagged>::Channel>> channels;
+  for (int p = 0; p < kProducers; ++p) channels.push_back(hub.open(32));
+
+  std::atomic<long> consumed{0};
+  std::vector<std::atomic<char>> seen(
+      static_cast<std::size_t>(kProducers) * kItems);
+  auto take = [&](const Tagged& item) {
+    const std::size_t slot =
+        static_cast<std::size_t>(item.producer) * kItems + item.seq;
+    ASSERT_EQ(seen[slot].exchange(1), 0)
+        << "item consumed twice: producer " << item.producer << " seq "
+        << item.seq;
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 2; ++t)
+    thieves.emplace_back([&] {
+      Tagged item;
+      while (!done.load(std::memory_order_acquire)) {
+        if (hub.try_steal(item)) take(item);
+        else std::this_thread::yield();
+      }
+    });
+  std::thread owner([&] {
+    Tagged item;
+    while (hub.pop(item)) take(item);
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kItems; ++i) channels[p]->push({p, i});
+    });
+  for (auto& t : producers) t.join();
+  while (consumed.load(std::memory_order_relaxed) <
+         static_cast<long>(kProducers) * kItems)
+    std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  for (auto& channel : channels) channel->close();
+  hub.close();
+  owner.join();
+  EXPECT_EQ(consumed.load(), static_cast<long>(kProducers) * kItems);
+}
+
 TEST(SpscRingHub, FullRingBackpressuresWithoutLoss) {
   // A 2-slot ring forces the producer through the spin-retry path while
   // the consumer drains slowly; every item must still arrive in order.

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 #include "src/util/affinity.hpp"
 #include "src/util/timer.hpp"
@@ -9,6 +14,65 @@ namespace dici {
 namespace {
 
 TEST(Affinity, ReportsAtLeastOneCpu) { EXPECT_GE(available_cpus(), 1); }
+
+TEST(Affinity, AllowedCpusAreSortedUniqueAndCountMatches) {
+  const std::vector<int> cpus = allowed_cpus();
+  ASSERT_FALSE(cpus.empty());
+  EXPECT_TRUE(std::is_sorted(cpus.begin(), cpus.end()));
+  EXPECT_EQ(std::adjacent_find(cpus.begin(), cpus.end()), cpus.end());
+  // available_cpus IS the allowed count — the restricted-cpuset bug was
+  // precisely reporting the online count instead.
+  EXPECT_EQ(available_cpus(), static_cast<int>(cpus.size()));
+}
+
+TEST(Affinity, PinTargetWrapsWithinTheGivenMask) {
+  // The pure policy: targets come from the allowed list, wrap modulo
+  // its size, and never invent ids outside it — exactly what a
+  // taskset/container cpuset requires.
+  const std::vector<int> mask{3, 5, 9};
+  EXPECT_EQ(pin_target(mask, 0), 3);
+  EXPECT_EQ(pin_target(mask, 1), 5);
+  EXPECT_EQ(pin_target(mask, 2), 9);
+  EXPECT_EQ(pin_target(mask, 3), 3);   // wrap
+  EXPECT_EQ(pin_target(mask, 302), 9); // large ids stay inside the mask
+  EXPECT_EQ(pin_target({}, 7), -1);    // empty mask fails cleanly
+}
+
+#if defined(__linux__)
+TEST(Affinity, RestrictedThreadPinsInsideItsOwnMask) {
+  // Simulate a taskset/cgroup restriction: confine one thread to the
+  // first allowed CPU, then ask for pin targets far past it. Every
+  // target must resolve inside the restricted mask — on an unrestricted
+  // multi-CPU host the old hardware_concurrency-based code would have
+  // aimed at CPU (big % online) instead.
+  const int only = allowed_cpus().front();
+  std::thread t([&] {
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(static_cast<unsigned>(only), &one);
+    ASSERT_EQ(sched_setaffinity(0, sizeof one, &one), 0);
+    const std::vector<int> restricted = allowed_cpus();
+    ASSERT_EQ(restricted, std::vector<int>{only});
+    EXPECT_EQ(available_cpus(), 1);
+    // Any slot — including ones past the machine's CPU count — pins to
+    // the one allowed CPU and succeeds.
+    EXPECT_TRUE(pin_current_thread(0));
+    EXPECT_TRUE(pin_current_thread(1 << 20));
+    cpu_set_t now;
+    CPU_ZERO(&now);
+    ASSERT_EQ(sched_getaffinity(0, sizeof now, &now), 0);
+    EXPECT_TRUE(CPU_ISSET(static_cast<unsigned>(only), &now));
+    EXPECT_EQ(CPU_COUNT(&now), 1);
+    // Pinning to a CPU outside the restricted mask fails instead of
+    // silently widening it.
+    bool widened = false;
+    for (const int cpu : {only + 1, only + 7})
+      widened = widened || pin_current_thread_to_os_cpu(cpu);
+    EXPECT_FALSE(widened);
+  });
+  t.join();
+}
+#endif
 
 TEST(Affinity, PinningIsBestEffortAndWrapsAround) {
   // Pinning must succeed (Linux) or degrade gracefully; out-of-range ids

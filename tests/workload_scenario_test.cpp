@@ -59,6 +59,50 @@ TEST(ScenarioMatrix, KernelAxisEveryCellRankExact) {
   EXPECT_TRUE(all_cells_ok(cells));
 }
 
+TEST(ScenarioMatrix, PlacementAxisEveryCellRankExact) {
+  // The placement axis on a simulated 2-node topology: parallel-native
+  // sweeps all three modes (interleave / node-local / replicate), the
+  // other backends run one cell each — and every cell's ranks must be
+  // bit-identical to the reference whatever the placement, which is the
+  // matrix smoke's placement-invariance gate.
+  const ScenarioRegistry registry = default_scenarios(2048, 4000);
+  MatrixOptions options;
+  options.placements.assign(core::all_placements().begin(),
+                            core::all_placements().end());
+  options.numa_nodes = 2;
+  const auto cells = run_scenario_matrix(registry, options);
+  // 5 distributions x (sim + native + 3 parallel-native placements).
+  ASSERT_EQ(cells.size(), all_distributions().size() * 5);
+  std::set<std::string> parallel_placements;
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(cell.ranks_ok)
+        << cell.scenario << " x " << cell.backend << " x " << cell.placement
+        << ": " << cell.mismatches << " mismatching ranks";
+    EXPECT_FALSE(cell.placement.empty());
+    if (cell.backend == "parallel-native")
+      parallel_placements.insert(cell.placement);
+  }
+  EXPECT_EQ(parallel_placements.size(), core::all_placements().size());
+  const std::string json = matrix_to_json(cells);
+  EXPECT_NE(json.find("\"placement\": \"node-local\""), std::string::npos);
+  EXPECT_NE(json.find("\"placement\": \"replicate\""), std::string::npos);
+}
+
+TEST(ScenarioMatrix, DefaultPlacementAxisIsInterleave) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.index_keys = 128;
+  spec.num_queries = 200;
+  spec.stream_batches = 2;
+  registry.add(spec);
+  MatrixOptions options;
+  options.backends = {core::Backend::kParallelNative};
+  const auto cells = run_scenario_matrix(registry, options);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].placement, "interleave");
+}
+
 TEST(ScenarioMatrix, DefaultKernelAxisIsBranchless) {
   ScenarioRegistry registry;
   ScenarioSpec spec;
