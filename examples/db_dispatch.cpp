@@ -9,6 +9,12 @@
 // reaches its peak throughput at much smaller batches than the buffered
 // replicated tree (64 KB vs 256 KB), i.e. it satisfies BOTH constraints.
 //
+// The batch-fill latency below is ANALYTICAL (keys-per-batch divided by
+// the arrival rate). examples/open_loop_serving.cpp is this trade-off
+// measured for real: open-loop arrivals, the AdaptiveBatcher's
+// size-or-deadline rounds, and wall-clock percentiles from each query's
+// arrival instant.
+//
 //   $ ./example_db_dispatch
 #include <cstdio>
 

@@ -1,0 +1,100 @@
+// AdaptiveBatcher — size-or-deadline batching for the serving layer.
+//
+// examples/db_dispatch.cpp computes batch-fill latency analytically (a
+// query waits keys_per_batch / arrival_rate for its round to flush);
+// this class is that trade-off promoted to a real mechanism. Arriving
+// queries accumulate until EITHER the batch is full (max_keys — the
+// throughput side: big rounds amortize dispatch) OR the oldest query
+// has waited max_delay_ns (the tail-latency side: under a trickle, no
+// query is held hostage to a batch that will never fill). Under load
+// the size trigger fires and the deadline is never consulted; under a
+// trickle the deadline bounds the batching contribution to response
+// time at max_delay_ns, whatever the arrival rate does.
+//
+// The batcher is a pure data structure: the caller passes `now_ns` into
+// every time-dependent call, so tests drive the boundary cases
+// (exactly-full vs one-short, deadline-minus-one vs deadline) with a
+// synthetic clock and no sleeps. take() returns, alongside the keys,
+// each query's already-accrued wait — exactly the queued_ns span
+// Client::submit accepts, so end-to-end latency = batcher wait (known
+// here) + submit-to-resolve (measured by the engine), with no
+// percentile arithmetic on the caller's side.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::core {
+
+class AdaptiveBatcher {
+ public:
+  struct Batch {
+    std::vector<key_t> keys;
+    /// Per-key wait already accrued at flush time (flush now - arrival),
+    /// parallel to `keys` — pass straight to Client::submit's queued_ns.
+    std::vector<double> queued_ns;
+  };
+
+  /// Flush when `max_keys` have accumulated or the oldest pending query
+  /// is `max_delay_ns` old, whichever comes first.
+  AdaptiveBatcher(std::size_t max_keys, double max_delay_ns)
+      : max_keys_(max_keys), max_delay_ns_(max_delay_ns) {
+    DICI_CHECK_FMT(max_keys > 0, "max_keys = %zu must be > 0", max_keys);
+    DICI_CHECK_FMT(max_delay_ns >= 0, "max_delay_ns = %.3f must be >= 0",
+                   max_delay_ns);
+  }
+
+  /// Queue one query that arrived at `arrival_ns` (caller's clock;
+  /// nondecreasing across calls).
+  void push(key_t key, double arrival_ns) {
+    pending_.keys.push_back(key);
+    arrivals_.push_back(arrival_ns);
+  }
+
+  std::size_t size() const { return pending_.keys.size(); }
+  bool empty() const { return pending_.keys.empty(); }
+
+  /// True when the pending batch should be submitted: full, or the
+  /// oldest query's age has reached the deadline. An empty batcher
+  /// never flushes.
+  bool should_flush(double now_ns) const {
+    if (pending_.keys.empty()) return false;
+    if (pending_.keys.size() >= max_keys_) return true;
+    return now_ns - arrivals_.front() >= max_delay_ns_;
+  }
+
+  /// When the batcher is non-empty and the size trigger has not fired,
+  /// the time at which the deadline trigger will: poll loops sleep
+  /// until min(next arrival, next_deadline_ns()).
+  double next_deadline_ns() const {
+    DICI_CHECK(!arrivals_.empty());
+    return arrivals_.front() + max_delay_ns_;
+  }
+
+  /// Flush: return the pending keys with each query's accrued wait
+  /// (now - arrival) and reset. Callable whether or not should_flush
+  /// says so (the serving loop force-flushes at end of stream).
+  Batch take(double now_ns) {
+    pending_.queued_ns.reserve(arrivals_.size());
+    for (const double arrival : arrivals_)
+      pending_.queued_ns.push_back(now_ns - arrival);
+    arrivals_.clear();
+    return std::exchange(pending_, Batch{});
+  }
+
+  std::size_t max_keys() const { return max_keys_; }
+  double max_delay_ns() const { return max_delay_ns_; }
+
+ private:
+  std::size_t max_keys_;
+  double max_delay_ns_;
+  Batch pending_;
+  std::vector<double> arrivals_;
+};
+
+}  // namespace dici::core

@@ -132,6 +132,11 @@ class Client {
     virtual ~Completion() = default;
     /// Block until the submission completes; called at most once.
     virtual RunReport await() = 0;
+    /// Non-blocking: has the submission completed (await would return
+    /// without blocking)? Synchronous backends are always ready; the
+    /// open-loop serving layer polls this to stamp completions without
+    /// stalling the arrival clock.
+    virtual bool ready() const { return true; }
   };
 
   virtual ~Client();  // drains tickets still in flight
@@ -139,8 +144,22 @@ class Client {
   /// Enqueue one batch of this client's query stream. Returns without
   /// waiting for the batch to complete (on backends with an async
   /// pipeline; synchronous backends resolve it inline).
+  ///
+  /// `queued_ns`, when non-empty, must have one entry per query: the
+  /// wall-clock wait (ns) the query had ALREADY accrued before this
+  /// submit — an adaptive batcher's queue time. Backends that measure
+  /// wall-clock latency (native, parallel-native) add it to each
+  /// query's measured submit->resolve time so RunReport::latency_ns is
+  /// the full arrival->resolve response time; the simulator ignores it
+  /// (its arrival process lives in virtual time). Only read during the
+  /// submit call itself — the span need not outlive it.
   Ticket submit(std::span<const key_t> queries,
-                std::vector<rank_t>* out_ranks = nullptr);
+                std::vector<rank_t>* out_ranks = nullptr,
+                std::span<const double> queued_ns = {});
+
+  /// Non-blocking: would wait(ticket) return without blocking? Aborts
+  /// on foreign or already-waited tickets exactly like wait().
+  bool ready(const Ticket& ticket) const;
 
   /// Block until `ticket`'s batch completes; returns the report for
   /// that batch only, folds it into total(), and retires the ticket
@@ -171,7 +190,8 @@ class Client {
 
  private:
   virtual std::unique_ptr<Completion> do_submit(
-      std::span<const key_t> queries, std::vector<rank_t>* out_ranks) = 0;
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      std::span<const double> queued_ns) = 0;
 
   struct Entry {
     std::unique_ptr<Completion> completion;  // null once waited (settled)
@@ -286,9 +306,12 @@ class Engine {
 void validate(const ExperimentConfig& config);
 
 /// Aborts when the config requests knobs only the simulator implements
-/// (non-default flush_policy, track_latency) — silently running the
-/// default on a native backend would corrupt cross-backend comparisons.
-/// The diagnostic names the offending field and its value.
+/// (currently: non-default flush_policy) — silently running the default
+/// on a native backend would corrupt cross-backend comparisons. The
+/// diagnostic names the offending field and its value. track_latency is
+/// NOT such a knob any more: every backend fills
+/// RunReport::latency_ns — the simulator in virtual time, the native
+/// backends in measured wall time.
 void check_native_supported(const ExperimentConfig& config);
 
 enum class Backend { kSim, kNative, kParallelNative };

@@ -33,6 +33,11 @@ struct NativeConfig {
   /// tree methods ignore it). Eytzinger kernels lay out each slave's
   /// partition in BFS order before the stream starts.
   SearchKernel kernel = SearchKernel::kBranchless;
+  /// Fill RunReport::latency_ns with measured wall-clock response times.
+  /// This backend resolves a submission synchronously, so every query in
+  /// it is charged the whole batch's wall time (batch granularity); see
+  /// the v2 adapter in engine.cpp.
+  bool track_latency = false;
 };
 
 struct NativeReport {

@@ -77,6 +77,7 @@ ParallelConfig parallel_config_from(const ExperimentConfig& config) {
   parallel.kernel = config.kernel;
   parallel.placement = config.placement;
   parallel.numa_nodes = config.machine.numa_nodes;
+  parallel.track_latency = config.track_latency;
   return parallel;
 }
 
@@ -110,14 +111,27 @@ constexpr std::chrono::microseconds kStealRecheckNapCap{32 * 1024};
 /// the worker that RESOLVED the item (owner or thief); the acq_rel
 /// countdown plus the done-flag mutex publish every slot to the waiter.
 struct Submission {
-  explicit Submission(std::uint32_t num_workers)
-      : worker_queries(num_workers, 0), worker_busy_sec(num_workers, 0.0) {}
+  explicit Submission(std::uint32_t num_workers, bool track_latency_)
+      : track_latency(track_latency_),
+        worker_queries(num_workers, 0),
+        worker_busy_sec(num_workers, 0.0),
+        worker_latency(track_latency_ ? num_workers : 0) {}
 
   rank_t* out = nullptr;
   std::vector<rank_t> sink;  ///< backs `out` when the caller passed none
 
+  /// Wall-clock per-query latency collection for this submission. The
+  /// submit stamp is `timer` below; each resolving worker stamps its
+  /// message's completion and folds (completion - submit + queued_ns)
+  /// into ITS slot of worker_latency — owner or thief, the slot is the
+  /// resolver's, so no two threads ever share one Summary. queued_ns is
+  /// copied before the first push and read-only afterwards.
+  bool track_latency = false;
+  std::vector<double> queued_ns;  ///< per query id; empty = no prior wait
+
   std::vector<std::uint64_t> worker_queries;
   std::vector<double> worker_busy_sec;
+  std::vector<Summary> worker_latency;
   /// Items resolved by a worker other than the shard's owner.
   std::atomic<std::uint64_t> stolen{0};
 
@@ -142,6 +156,7 @@ struct Submission {
         std::lock_guard lock(mu);
         done = true;
       }
+      done_flag.store(true, std::memory_order_release);
       cv.notify_all();
     }
   }
@@ -150,6 +165,11 @@ struct Submission {
     std::unique_lock lock(mu);
     cv.wait(lock, [&] { return done; });
   }
+
+  /// Lock-free poll for Completion::ready(): true only after wall_sec
+  /// and every per-worker stat slot are published (release above pairs
+  /// with the poller's acquire).
+  std::atomic<bool> done_flag{false};
 };
 
 /// The steady-state machinery behind ParallelNativeEngine::build: the
@@ -251,6 +271,7 @@ class ParallelIndex : public Index {
   /// Returns the completion the base Client waits on.
   std::unique_ptr<Client::Completion> submit_batch(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      std::span<const double> queued_ns,
       std::span<const std::shared_ptr<WorkChannel>> channels) const;
 
  private:
@@ -284,6 +305,17 @@ class ParallelIndex : public Index {
       sub.out[batch.ids[j]] = offset + scratch_[j];
     sub.worker_queries[w] += batch.keys.size();
     sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
+    if (sub.track_latency) {
+      // One completion stamp for the whole resolved message (its
+      // queries' answers all exist now), read against the submit stamp.
+      const double resolved_ns = sub.timer.elapsed_ns();
+      if (sub.queued_ns.empty()) {
+        sub.worker_latency[w].add_n(resolved_ns, batch.keys.size());
+      } else {
+        for (const std::uint32_t id : batch.ids)
+          sub.worker_latency[w].add(resolved_ns + sub.queued_ns[id]);
+      }
+    }
     if (item.shard % config_.num_threads != w)
       sub.stolen.fetch_add(1, std::memory_order_relaxed);
     sub.finish_one();
@@ -388,6 +420,10 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
       : sub_(std::move(sub)), num_threads_(config.num_threads),
         batch_bytes_(config.batch_bytes) {}
 
+  bool ready() const override {
+    return sub_->done_flag.load(std::memory_order_acquire);
+  }
+
   RunReport await() override {
     Submission& sub = *sub_;
     sub.await_done();
@@ -426,6 +462,10 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
         idle_sum += std::max(0.0, 1.0 - sub.worker_busy_sec[w] / sub.wall_sec);
     }
     report.slave_idle_fraction = idle_sum / T;
+    // Per-worker latency slots fold into the one per-batch histogram;
+    // Client::wait's RunReport::merge then folds batches into the
+    // client's running total — bounded memory at every level.
+    for (Summary& s : sub.worker_latency) report.latency_ns.merge(s);
     return report;
   }
 
@@ -437,9 +477,10 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
 
 std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
     std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+    std::span<const double> queued_ns,
     std::span<const std::shared_ptr<WorkChannel>> channels) const {
   const std::uint32_t T = config_.num_threads;
-  auto sub = std::make_shared<Submission>(T);
+  auto sub = std::make_shared<Submission>(T, config_.track_latency);
   if (out_ranks != nullptr) {
     out_ranks->assign(queries.size(), 0);
     sub->out = out_ranks->data();
@@ -448,6 +489,10 @@ std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
     sub->out = sub->sink.data();
   }
   sub->num_queries = queries.size();
+  // Copied BEFORE the first push: workers index it by query id the
+  // moment an item lands, and the caller's span dies with submit().
+  if (config_.track_latency && !queued_ns.empty())
+    sub->queued_ns.assign(queued_ns.begin(), queued_ns.end());
 
   // wire_bytes matches the simulator's request-hop accounting exactly:
   // key payload + per-message header. The ids are bookkeeping for the
@@ -501,9 +546,9 @@ class ParallelClient : public Client {
 
  private:
   std::unique_ptr<Completion> do_submit(
-      std::span<const key_t> queries,
-      std::vector<rank_t>* out_ranks) override {
-    return parallel_->submit_batch(queries, out_ranks, channels_);
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      std::span<const double> queued_ns) override {
+    return parallel_->submit_batch(queries, out_ranks, queued_ns, channels_);
   }
 
   const ParallelIndex* parallel_;  // the index the base class keeps alive

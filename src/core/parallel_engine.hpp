@@ -103,6 +103,16 @@ struct ParallelConfig {
   /// Minimum victim backlog (pending batches) before a CROSS-NODE steal
   /// is worth the remote-memory price; same-node steals ignore it.
   std::uint32_t steal_threshold = 2;
+  /// Record measured wall-clock response times into
+  /// RunReport::latency_ns: the submitting client stamps steady_clock
+  /// at submit, the worker that resolves each dispatched message stamps
+  /// its completion, and every query in the message is charged the
+  /// difference (plus any pre-submit batcher wait the caller declared
+  /// via submit()'s queued_ns). Per-worker Summary slots in the
+  /// submission's countdown record keep the hot path contention-free;
+  /// memory stays bounded however many queries stream (log-bucketed
+  /// histogram past Summary::kExactCap).
+  bool track_latency = false;
 };
 
 class ParallelNativeEngine : public Engine {

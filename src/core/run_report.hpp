@@ -65,6 +65,15 @@ struct RunReport {
   /// This is what the paper's "response time" axis means: how long a
   /// query waits on batching before its answer exists (Sec. 4.1's
   /// Method-A-responds-fastest observation falls out of it).
+  ///
+  /// Clock domain is per backend: the simulator records VIRTUAL time
+  /// from its cost model; the native backends record measured WALL time
+  /// from Client::submit (plus any pre-submit queue wait the caller
+  /// declared via submit()'s queued_ns) to the completion stamp of the
+  /// message that resolved the query. Memory is bounded regardless of
+  /// query count: Summary degrades from exact samples to a log-bucketed
+  /// histogram past Summary::kExactCap, so million-query sessions pay
+  /// ~48 KB, not O(n).
   Summary latency_ns;
 
   std::vector<NodeReport> nodes;
@@ -100,14 +109,17 @@ struct RunReport {
     wire_bytes += other.wire_bytes;
     stolen_messages += other.stolen_messages;
     // Idle fraction is a rate, not a counter: weight each batch's value
-    // by the wall (raw) time over which it was observed.
-    slave_idle_fraction =
-        raw_makespan > 0
-            ? (slave_idle_fraction * static_cast<double>(prev_raw) +
-               other.slave_idle_fraction *
-                   static_cast<double>(other.raw_makespan)) /
-                  static_cast<double>(raw_makespan)
-            : 0.0;
+    // by the wall (raw) time over which it was observed. When both
+    // makespans are zero there is no observation time to reweight over,
+    // so the previously accumulated value is PRESERVED — zeroing it
+    // would let an empty-batch merge erase real idle measurements.
+    if (raw_makespan > 0) {
+      slave_idle_fraction =
+          (slave_idle_fraction * static_cast<double>(prev_raw) +
+           other.slave_idle_fraction *
+               static_cast<double>(other.raw_makespan)) /
+          static_cast<double>(raw_makespan);
+    }
     latency_ns.merge(other.latency_ns);
     // Same layout: element-wise. Mismatch: drop detail (see above).
     if (nodes.size() == other.nodes.size()) {

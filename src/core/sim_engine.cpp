@@ -67,8 +67,11 @@ class SimClient : public Client {
 
  private:
   std::unique_ptr<Completion> do_submit(
-      std::span<const key_t> queries,
-      std::vector<rank_t>* out_ranks) override {
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      std::span<const double> /*queued_ns*/) override {
+    // queued_ns (real pre-submit wall-clock wait) is ignored: the
+    // simulator's latency axis is VIRTUAL time from its cost model, and
+    // mixing measured wall nanoseconds into it would corrupt the model.
     return std::make_unique<ImmediateCompletion>(
         cluster_->run_once(index().keys(), queries, out_ranks));
   }

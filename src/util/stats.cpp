@@ -21,21 +21,128 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::add_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Chan's combine of (n_, mean_, m2_) with n identical samples (whose
+  // own m2 is zero).
+  const double delta = x - mean_;
+  const double total = static_cast<double>(n_) + static_cast<double>(n);
+  m2_ += delta * delta * static_cast<double>(n_) * static_cast<double>(n) /
+         total;
+  mean_ += delta * static_cast<double>(n) / total;
+  sum_ += x * static_cast<double>(n);
+  n_ += n;
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(n_) + static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
 double OnlineStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
-void Summary::add_all(const std::vector<double>& xs) {
-  samples_.insert(samples_.end(), xs.begin(), xs.end());
+// --- Summary ---------------------------------------------------------------
+
+std::size_t Summary::bucket_of(double x) {
+  if (!(x > 0.0)) return 0;  // <= 0 (and NaN) clamp into the lowest bucket
+  int exp = 0;
+  const double frac = std::frexp(x, &exp);  // frac in [0.5, 1)
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBuckets - 1;
+  const int sub = std::min(
+      kSubBuckets - 1,
+      static_cast<int>((frac - 0.5) * 2.0 * static_cast<double>(kSubBuckets)));
+  return (static_cast<std::size_t>(exp - kMinExp) << kSubBits) |
+         static_cast<std::size_t>(sub);
+}
+
+double Summary::bucket_lo(std::size_t bucket) {
+  const int exp = kMinExp + static_cast<int>(bucket >> kSubBits);
+  const double frac =
+      0.5 + static_cast<double>(bucket & (kSubBuckets - 1)) /
+                static_cast<double>(2 * kSubBuckets);
+  return std::ldexp(frac, exp);
+}
+
+void Summary::spill() {
+  hist_.assign(kBuckets, 0);
+  for (const double x : samples_) ++hist_[bucket_of(x)];
+  samples_.clear();
+  samples_.shrink_to_fit();
   sorted_ = false;
 }
 
+void Summary::bump(double x, std::uint64_t n) { hist_[bucket_of(x)] += n; }
+
+void Summary::add(double x) {
+  moments_.add(x);
+  if (exact()) {
+    if (samples_.size() < kExactCap) {
+      samples_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    spill();
+  }
+  bump(x, 1);
+}
+
+void Summary::add_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  moments_.add_n(x, n);
+  if (exact()) {
+    if (samples_.size() + n <= kExactCap) {
+      samples_.insert(samples_.end(), static_cast<std::size_t>(n), x);
+      sorted_ = false;
+      return;
+    }
+    spill();
+  }
+  bump(x, n);
+}
+
+void Summary::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
 void Summary::merge(const Summary& other) {
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
-  sorted_ = false;
+  if (other.count() == 0) return;
+  moments_.merge(other.moments_);
+  if (exact() && other.exact() &&
+      samples_.size() + other.samples_.size() <= kExactCap) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    return;
+  }
+  if (exact()) spill();
+  if (other.exact()) {
+    for (const double x : other.samples_) bump(x, 1);
+  } else {
+    for (std::size_t b = 0; b < kBuckets; ++b) hist_[b] += other.hist_[b];
+  }
 }
 
 void Summary::ensure_sorted() const {
@@ -45,42 +152,40 @@ void Summary::ensure_sorted() const {
   }
 }
 
-double Summary::mean() const {
-  if (samples_.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : samples_) s += x;
-  return s / static_cast<double>(samples_.size());
-}
-
-double Summary::stddev() const {
-  const std::size_t n = samples_.size();
-  if (n < 2) return 0.0;
-  const double m = mean();
-  double acc = 0.0;
-  for (double x : samples_) acc += (x - m) * (x - m);
-  return std::sqrt(acc / static_cast<double>(n - 1));
-}
-
-double Summary::min() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.front();
-}
-
-double Summary::max() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.back();
-}
-
 double Summary::percentile(double p) const {
   DICI_CHECK(p >= 0.0 && p <= 100.0);
-  if (samples_.empty()) return 0.0;
-  ensure_sorted();
-  if (samples_.size() == 1) return samples_[0];
-  const double pos = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  const std::uint64_t n = moments_.count();
+  if (n == 0) return 0.0;
+  if (exact()) {
+    // The original sorted-vector interpolation, bit-for-bit.
+    ensure_sorted();
+    if (samples_.size() == 1) return samples_[0];
+    const double pos = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+  // Histogram estimate: walk the cumulative counts to the bucket holding
+  // the target rank, interpolate linearly inside it, and clamp into the
+  // exact [min, max] envelope so the tails never overshoot reality.
+  const double rank = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t c = hist_[b];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      const double within =
+          std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(c),
+                     0.0, 1.0);
+      const double lo = bucket_lo(b);
+      const double hi = bucket_lo(b + 1);
+      return std::clamp(lo + (hi - lo) * within, moments_.min(),
+                        moments_.max());
+    }
+    cum += c;
+  }
+  return moments_.max();
 }
 
 }  // namespace dici

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dici {
@@ -10,6 +11,10 @@ namespace dici {
 class OnlineStats {
  public:
   void add(double x);
+  /// Add `n` copies of `x` in O(1) (Chan's parallel-combine formula).
+  void add_n(double x, std::uint64_t n);
+  /// Fold another accumulator in (exact parallel Welford combine).
+  void merge(const OnlineStats& other);
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
@@ -29,28 +34,82 @@ class OnlineStats {
   double sum_ = 0.0;
 };
 
-/// Full-sample summary supporting percentiles (stores its input).
+/// Sample summary supporting percentiles in BOUNDED memory.
+///
+/// Small sample sets (up to kExactCap) are stored verbatim and every
+/// statistic — including percentile() — is exact, bit-for-bit what the
+/// old sorted-vector implementation returned. Past the cap the samples
+/// spill into a log-bucketed histogram (64 sub-buckets per power of
+/// two, HDR-histogram style) and stay there: memory is then a fixed
+/// ~48 KB however many samples arrive, and percentile() is approximate
+/// with relative error bounded by kRelativeError (~1.6%). count, mean,
+/// stddev, min, max remain exact in both modes (Welford accumulators).
+///
+/// This is what lets RunReport::latency_ns hold per-query response
+/// times for sessions serving millions — or billions — of queries:
+/// long-lived native Clients merge a batch histogram per wait() without
+/// the old store-every-sample O(n) growth.
+///
+/// Histogram mode assumes non-negative samples (it holds latencies);
+/// values <= 0 clamp into the lowest bucket, and every percentile is
+/// clamped into the exact [min, max] envelope.
 class Summary {
  public:
-  void add(double x) { samples_.push_back(x); }
+  /// Samples at or below this count are kept exact (32 KB worst case).
+  static constexpr std::size_t kExactCap = 4096;
+  /// Upper bound on percentile() relative error once spilled: one part
+  /// in kSubBuckets at the low edge of an octave.
+  static constexpr double kRelativeError = 1.0 / 64;
+
+  void add(double x);
+  /// Add `n` copies of `x` (Method B charges a whole batch the same
+  /// wait; the parallel engine charges a whole resolved message one
+  /// completion stamp). O(1) once spilled.
+  void add_n(double x, std::uint64_t n);
   void add_all(const std::vector<double>& xs);
   /// Fold another summary's samples into this one (RunReport::merge uses
-  /// this to accumulate per-batch latency distributions across a session).
+  /// this to accumulate per-batch latency distributions across a
+  /// session, and per-worker distributions across a submission). Two
+  /// exact summaries that fit under the cap merge exactly; anything
+  /// larger merges histogram-to-histogram without resampling.
   void merge(const Summary& other);
 
-  std::size_t count() const { return samples_.size(); }
-  double mean() const;
-  double stddev() const;
-  double min() const;
-  double max() const;
-  /// Linear-interpolated percentile, p in [0,100].
+  std::size_t count() const { return moments_.count(); }
+  double mean() const { return moments_.mean(); }
+  double stddev() const { return moments_.stddev(); }
+  double min() const { return moments_.min(); }
+  double max() const { return moments_.max(); }
+  /// Linear-interpolated percentile, p in [0,100]. Exact below
+  /// kExactCap samples; within kRelativeError after the spill.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// True while every sample is stored verbatim (percentile() exact).
+  bool exact() const { return hist_.empty(); }
+
  private:
-  // Sorted lazily on demand.
+  // Log-bucket geometry: 64 linear sub-buckets per power of two over
+  // exponents [kMinExp, kMaxExp] — for ns-scale latencies that spans
+  // 2^-32 ns to 2^63 ns, far beyond anything a run can produce.
+  static constexpr int kSubBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 63;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp + 1) << kSubBits;
+
+  static std::size_t bucket_of(double x);
+  static double bucket_lo(std::size_t bucket);
+
+  void spill();  // move samples_ into hist_ and switch modes
+  void bump(double x, std::uint64_t n);
+
+  OnlineStats moments_;  // exact count/mean/stddev/min/max in both modes
+  // Exact mode: the samples, sorted lazily on demand.
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+  // Histogram mode: per-bucket counts; non-empty iff spilled.
+  std::vector<std::uint64_t> hist_;
   void ensure_sorted() const;
 };
 

@@ -1,0 +1,122 @@
+#include "src/workload/open_loop.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace dici::workload {
+namespace {
+
+/// Exponential draw with the given mean, via inverse-CDF on uniform01.
+/// -log1p(-u) instead of -log(u): u in [0, 1) makes log(0) reachable but
+/// log1p(-u) never sees its singularity, so no draw is ever infinite.
+double exp_draw(Rng& rng, double mean) {
+  return -std::log1p(-rng.uniform01()) * mean;
+}
+
+std::vector<double> poisson_schedule(const OpenLoopSpec& spec) {
+  const double mean_gap_ns = 1e9 / spec.offered_qps;
+  Rng rng(spec.seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(spec.num_queries);
+  double t = 0;
+  for (std::size_t i = 0; i < spec.num_queries; ++i) {
+    t += exp_draw(rng, mean_gap_ns);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::vector<double> bursty_schedule(const OpenLoopSpec& spec) {
+  // Two-state MMPP. With k = burst_factor and f = burst_fraction, the
+  // long-run rate is quiet_rate * (1 + f*(k-1)); solve for quiet_rate so
+  // the average lands exactly on offered_qps, then the burst phase runs
+  // k x hotter. Phase lengths are exponential with means chosen so the
+  // long-run time fraction in burst is f.
+  const double f = spec.burst_fraction;
+  const double k = spec.burst_factor;
+  const double avg_rate_ns = spec.offered_qps * 1e-9;  // arrivals per ns
+  const double quiet_rate = avg_rate_ns / (1.0 + f * (k - 1.0));
+  const double burst_rate = k * quiet_rate;
+  const double quiet_mean_ns = spec.burst_mean_ns * (1.0 - f) / f;
+
+  Rng rng(spec.seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(spec.num_queries);
+  double t = 0;
+  bool in_burst = rng.uniform01() < f;  // start in steady state
+  double phase_end = exp_draw(rng, in_burst ? spec.burst_mean_ns
+                                            : quiet_mean_ns);
+  while (arrivals.size() < spec.num_queries) {
+    const double gap =
+        exp_draw(rng, 1.0 / (in_burst ? burst_rate : quiet_rate));
+    if (t + gap <= phase_end) {
+      t += gap;
+      arrivals.push_back(t);
+    } else {
+      // The draw straddles the phase switch: jump to the boundary and
+      // redraw at the new rate. Exponentials are memoryless, so
+      // discarding the partial gap keeps the process exact.
+      t = phase_end;
+      in_burst = !in_burst;
+      phase_end =
+          t + exp_draw(rng, in_burst ? spec.burst_mean_ns : quiet_mean_ns);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+std::span<const ArrivalProcess> all_arrival_processes() {
+  static constexpr std::array<ArrivalProcess, 3> kAll = {
+      ArrivalProcess::kClosed, ArrivalProcess::kPoisson,
+      ArrivalProcess::kBursty};
+  return kAll;
+}
+
+const char* arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kClosed:
+      return "closed";
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  DICI_CHECK_FMT(false, "arrival process = %d is not a valid enum value",
+                 static_cast<int>(process));
+  return "";
+}
+
+bool parse_arrival_process(const std::string& name, ArrivalProcess* out) {
+  for (const ArrivalProcess process : all_arrival_processes()) {
+    if (name == arrival_process_name(process)) {
+      *out = process;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> make_arrival_schedule_ns(const OpenLoopSpec& spec) {
+  DICI_CHECK_MSG(spec.process != ArrivalProcess::kClosed,
+                 "process = closed has no arrival schedule "
+                 "(closed-loop drives submit/wait directly)");
+  DICI_CHECK_FMT(spec.offered_qps > 0, "offered_qps = %.3f must be > 0",
+                 spec.offered_qps);
+  if (spec.process == ArrivalProcess::kPoisson) return poisson_schedule(spec);
+  DICI_CHECK_FMT(spec.burst_factor > 1,
+                 "burst_factor = %.3f must be > 1 (1 degenerates to Poisson)",
+                 spec.burst_factor);
+  DICI_CHECK_FMT(spec.burst_fraction > 0 && spec.burst_fraction < 1,
+                 "burst_fraction = %.3f must be in (0, 1)",
+                 spec.burst_fraction);
+  DICI_CHECK_FMT(spec.burst_mean_ns > 0, "burst_mean_ns = %.3f must be > 0",
+                 spec.burst_mean_ns);
+  return bursty_schedule(spec);
+}
+
+}  // namespace dici::workload

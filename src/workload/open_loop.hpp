@@ -1,0 +1,72 @@
+// Open-loop arrival schedules: real traffic arrives on its own clock.
+//
+// Every bench before this layer was CLOSED-loop — submit a batch, wait,
+// submit the next — so the system never queues and tail latency is
+// invisible. An open-loop workload fixes the offered load instead: a
+// schedule of arrival instants is drawn up front (deterministically,
+// from a seed) and replayed against the engine regardless of how fast
+// it answers. When the engine falls behind, queries queue and p99
+// explodes — exactly the knee the serving layer's latency-vs-load curve
+// (bench_response_time) measures.
+//
+// Two processes cover the classic shapes:
+//   - Poisson: independent exponential inter-arrivals at the offered
+//     rate; the memoryless baseline of every queueing model.
+//   - Bursty: a two-state Markov-modulated Poisson process (MMPP) that
+//     alternates exponential-length ON (burst) and OFF (quiet) phases;
+//     rates are chosen so the long-run average stays at the offered
+//     load while bursts run burst_factor x hotter — the self-similar
+//     flash-crowd shape that stresses an adaptive batcher's deadline
+//     path far harder than Poisson does.
+//
+// Schedules are plain sorted offsets (ns since the replay epoch), so
+// tests can assert determinism (same spec => byte-identical schedule)
+// and shape without any clock in the loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dici::workload {
+
+enum class ArrivalProcess {
+  kClosed,   ///< no schedule: the classic submit-wait loop (no queueing)
+  kPoisson,  ///< exponential inter-arrivals at offered_qps
+  kBursty,   ///< two-state MMPP: ON at burst_factor x the base rate
+};
+
+std::span<const ArrivalProcess> all_arrival_processes();
+
+const char* arrival_process_name(ArrivalProcess process);
+
+/// Parse "closed" | "poisson" | "bursty"; returns false on anything else.
+bool parse_arrival_process(const std::string& name, ArrivalProcess* out);
+
+struct OpenLoopSpec {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Long-run average arrival rate (queries per second of wall time).
+  double offered_qps = 100'000.0;
+  /// Schedule length (one arrival per query).
+  std::size_t num_queries = 1u << 16;
+  std::uint64_t seed = 20050502;
+
+  // Bursty (MMPP) knobs, ignored by Poisson.
+  /// Burst-phase rate as a multiple of the quiet-phase rate (> 1).
+  double burst_factor = 8.0;
+  /// Long-run fraction of time spent in the burst phase, in (0, 1).
+  double burst_fraction = 0.1;
+  /// Mean burst-phase duration in ns (exponential); the quiet phase's
+  /// mean follows from burst_fraction.
+  double burst_mean_ns = 2e6;
+};
+
+/// The schedule: num_queries nondecreasing arrival offsets in ns from
+/// the replay epoch. Deterministic for a given spec (same seed =>
+/// byte-identical schedule). Aborts (DICI_CHECK) on kClosed, a
+/// non-positive rate, or nonsense burst knobs — a closed-loop spec has
+/// no schedule to draw.
+std::vector<double> make_arrival_schedule_ns(const OpenLoopSpec& spec);
+
+}  // namespace dici::workload

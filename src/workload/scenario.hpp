@@ -20,6 +20,7 @@
 #include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/types.hpp"
+#include "src/workload/open_loop.hpp"
 
 namespace dici::workload {
 
@@ -69,6 +70,16 @@ struct ScenarioSpec {
   std::size_t zipf_buckets = 0;  ///< 0 = one bucket per slave
   double hot_fraction = 0.9;     ///< share of queries inside the hot window
   double hot_width = 1.0 / 64;   ///< hot window width as key-space fraction
+
+  // Open-loop serving knobs (open_loop.hpp / serving.hpp). kClosed (the
+  // default) is the classic submit-wait matrix; a spec with kPoisson or
+  // kBursty declares WHEN its queries arrive too, and is replayed by
+  // workload::run_open_loop at offered_qps (serving_config_from turns
+  // the spec into a ServingConfig). run_scenario_matrix stays
+  // closed-loop either way — the arrival axis belongs to
+  // bench_response_time's latency-vs-load sweep.
+  ArrivalProcess arrival = ArrivalProcess::kClosed;
+  double offered_qps = 0;  ///< long-run arrival rate when open loop
 };
 
 /// The spec's index: `index_keys` sorted unique draws from Rng(seed).

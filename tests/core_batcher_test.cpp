@@ -1,0 +1,87 @@
+// AdaptiveBatcher: the size-or-deadline boundaries, driven by a
+// synthetic clock — no sleeps, every edge case exact.
+#include "src/core/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dici::core {
+namespace {
+
+TEST(AdaptiveBatcher, EmptyNeverFlushes) {
+  AdaptiveBatcher b(4, 100.0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.should_flush(0.0));
+  EXPECT_FALSE(b.should_flush(1e18));  // far past any deadline
+}
+
+TEST(AdaptiveBatcher, SizeTriggerExactlyAtCapacity) {
+  AdaptiveBatcher b(4, 1e9);  // deadline far away: size is the trigger
+  for (key_t k = 0; k < 3; ++k) {
+    b.push(k, 0.0);
+    EXPECT_FALSE(b.should_flush(1.0)) << "at " << b.size() << " keys";
+  }
+  b.push(3, 0.0);  // exactly max_keys
+  EXPECT_TRUE(b.should_flush(1.0));
+}
+
+TEST(AdaptiveBatcher, DeadlineTriggerExactlyAtMaxDelay) {
+  AdaptiveBatcher b(1000, 100.0);
+  b.push(7, 50.0);  // oldest arrival at t = 50
+  EXPECT_FALSE(b.should_flush(149.999));  // age just under max_delay
+  EXPECT_TRUE(b.should_flush(150.0));     // age == max_delay: flush
+  EXPECT_TRUE(b.should_flush(151.0));
+}
+
+TEST(AdaptiveBatcher, DeadlineIsTheOldestQuerys) {
+  AdaptiveBatcher b(1000, 100.0);
+  b.push(1, 10.0);
+  b.push(2, 90.0);  // younger; must not extend the deadline
+  EXPECT_DOUBLE_EQ(b.next_deadline_ns(), 110.0);
+  EXPECT_FALSE(b.should_flush(109.0));
+  EXPECT_TRUE(b.should_flush(110.0));
+}
+
+TEST(AdaptiveBatcher, TakeReportsPerQueryAccruedWait) {
+  AdaptiveBatcher b(8, 100.0);
+  b.push(11, 10.0);
+  b.push(22, 40.0);
+  b.push(33, 40.0);
+  const auto batch = b.take(110.0);
+  ASSERT_EQ(batch.keys.size(), 3u);
+  EXPECT_EQ(batch.keys[0], 11u);
+  ASSERT_EQ(batch.queued_ns.size(), 3u);
+  EXPECT_DOUBLE_EQ(batch.queued_ns[0], 100.0);  // waited since t=10
+  EXPECT_DOUBLE_EQ(batch.queued_ns[1], 70.0);
+  EXPECT_DOUBLE_EQ(batch.queued_ns[2], 70.0);
+  // take() resets: the next round starts empty with a fresh deadline.
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.should_flush(1e18));
+  b.push(44, 200.0);
+  EXPECT_DOUBLE_EQ(b.next_deadline_ns(), 300.0);
+}
+
+TEST(AdaptiveBatcher, SizeBeatsDeadlineUnderLoad) {
+  // Under load the size trigger fires long before the deadline — the
+  // throughput side of the trade-off.
+  AdaptiveBatcher b(2, 1000.0);
+  b.push(1, 0.0);
+  b.push(2, 0.5);
+  EXPECT_TRUE(b.should_flush(1.0));  // full at t=1, deadline was t=1000
+}
+
+TEST(AdaptiveBatcher, ZeroDelayDegeneratesToImmediateFlush) {
+  // max_delay_ns = 0: every pending query is already due — the
+  // batcher-less Method-A-style configuration.
+  AdaptiveBatcher b(1000, 0.0);
+  b.push(5, 42.0);
+  EXPECT_TRUE(b.should_flush(42.0));
+}
+
+TEST(AdaptiveBatcherDeath, RejectsNonsenseKnobs) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(AdaptiveBatcher(0, 10.0), "max_keys = 0");
+  EXPECT_DEATH(AdaptiveBatcher(4, -1.0), "max_delay_ns = -1");
+}
+
+}  // namespace
+}  // namespace dici::core

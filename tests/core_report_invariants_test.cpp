@@ -96,6 +96,39 @@ INSTANTIATE_TEST_SUITE_P(
       return n + "_" + std::to_string(info.param.batch / 1024) + "KB";
     });
 
+// Regression: merging a zero-makespan report (e.g. an empty batch)
+// used to reset the accumulated slave_idle_fraction to 0 when the
+// accumulator's own makespan was also zero. The rate must be PRESERVED
+// when there is no new observation time to reweight it over.
+TEST(ReportInvariants, MergePreservesIdleFractionAtZeroMakespan) {
+  RunReport acc;
+  acc.method = Method::kC3;
+  acc.slave_idle_fraction = 0.25;  // accumulated earlier, raw_makespan == 0
+
+  RunReport empty;
+  empty.method = Method::kC3;  // zero queries, zero makespan
+  acc.merge(empty);
+  EXPECT_DOUBLE_EQ(acc.slave_idle_fraction, 0.25);
+
+  // With observation time on both sides the fraction time-weights.
+  RunReport a, b;
+  a.method = b.method = Method::kC3;
+  a.raw_makespan = 100;
+  a.slave_idle_fraction = 0.5;
+  b.raw_makespan = 300;
+  b.slave_idle_fraction = 0.1;
+  a.merge(b);
+  EXPECT_NEAR(a.slave_idle_fraction, (0.5 * 100 + 0.1 * 300) / 400, 1e-12);
+
+  // And a zero-makespan merge into a timed accumulator is a no-op on
+  // the rate, not a dilution.
+  RunReport still_empty;
+  still_empty.method = Method::kC3;
+  const double before = a.slave_idle_fraction;
+  a.merge(still_empty);
+  EXPECT_DOUBLE_EQ(a.slave_idle_fraction, before);
+}
+
 TEST(ReportInvariants, BusyPlusIdleBoundsFinishOnSlaves) {
   const auto& fx = fixture();
   ExperimentConfig cfg;

@@ -6,6 +6,7 @@
 
 #include "src/arch/machine.hpp"
 #include "src/core/engine.hpp"
+#include "src/core/native_engine.hpp"
 #include "src/core/parallel_engine.hpp"
 #include "src/util/bytes.hpp"
 
@@ -66,10 +67,17 @@ TEST_F(ValidateDeath, NativeFlushPolicyNamesFieldAndValue) {
                "flush_policy = per-slave-threshold");
 }
 
-TEST_F(ValidateDeath, NativeTrackLatencyNamesFieldAndValue) {
-  auto cfg = good_config();
+TEST(ValidateAccepts, TrackLatencyOnEveryNativeBackend) {
+  // Once simulator-only (check_native_supported aborted on it),
+  // track_latency is now a first-class knob on every backend: the
+  // native engines fill RunReport::latency_ns with measured wall time.
+  ExperimentConfig cfg;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 4;
   cfg.track_latency = true;
-  EXPECT_DEATH(check_native_supported(cfg), "track_latency = true");
+  check_native_supported(cfg);  // must not abort
+  EXPECT_TRUE(native_config_from(cfg).track_latency);
+  EXPECT_TRUE(parallel_config_from(cfg).track_latency);
 }
 
 TEST_F(ValidateDeath, ParallelWrongMethodNamesFieldAndValue) {

@@ -2,10 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "src/util/rng.hpp"
 
 namespace dici {
 namespace {
+
+/// The pre-histogram Summary::percentile, verbatim: sorted vector,
+/// linear interpolation between neighbouring ranks. The equivalence
+/// tests below hold the new implementation to this reference.
+double reference_percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
 
 TEST(OnlineStats, Empty) {
   OnlineStats s;
@@ -86,6 +103,177 @@ TEST(Summary, EmptyIsZero) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats left, right, all;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 100 - 20;
+    (i < 400 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), all.stddev(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, AddNMatchesRepeatedAdd) {
+  OnlineStats batched, looped;
+  batched.add(3.0);
+  batched.add_n(7.5, 5);
+  batched.add_n(1.25, 3);
+  looped.add(3.0);
+  for (int i = 0; i < 5; ++i) looped.add(7.5);
+  for (int i = 0; i < 3; ++i) looped.add(1.25);
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_NEAR(batched.mean(), looped.mean(), 1e-12);
+  EXPECT_NEAR(batched.variance(), looped.variance(), 1e-9);
+  EXPECT_EQ(batched.min(), looped.min());
+  EXPECT_EQ(batched.max(), looped.max());
+}
+
+// --- The bounded-histogram regime (past Summary::kExactCap) ---------------
+
+TEST(Summary, StaysExactUpToCap) {
+  Summary s;
+  for (std::size_t i = 0; i < Summary::kExactCap; ++i)
+    s.add(static_cast<double>(i));
+  EXPECT_TRUE(s.exact());
+  s.add(1.0);
+  EXPECT_FALSE(s.exact());  // one past the cap spills to the histogram
+}
+
+// The satellite's equivalence test: percentiles from the histogram mode
+// must agree with the old store-every-sample implementation to within
+// the documented bucket resolution.
+TEST(Summary, HistogramPercentilesMatchSortedVectorReference) {
+  Rng rng(42);
+  Summary s;
+  std::vector<double> xs;
+  // 3 decades of latency-shaped values, far past the exact cap.
+  for (int i = 0; i < 50000; ++i) {
+    const double x = 100.0 * std::pow(1000.0, rng.uniform01());
+    xs.push_back(x);
+    s.add(x);
+  }
+  ASSERT_FALSE(s.exact());
+  for (const double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double want = reference_percentile(xs, p);
+    const double got = s.percentile(p);
+    // Bucket width is kRelativeError of the value; allow twice that for
+    // the in-bucket interpolation.
+    EXPECT_NEAR(got, want, 2 * Summary::kRelativeError * want)
+        << "p = " << p;
+  }
+  // Moments stay exact in histogram mode (tracked outside the buckets).
+  OnlineStats o;
+  for (const double x : xs) o.add(x);
+  EXPECT_EQ(s.count(), o.count());
+  EXPECT_NEAR(s.mean(), o.mean(), 1e-6 * o.mean());
+  EXPECT_NEAR(s.stddev(), o.stddev(), 1e-6 * o.stddev());
+  EXPECT_EQ(s.min(), o.min());
+  EXPECT_EQ(s.max(), o.max());
+}
+
+TEST(Summary, PercentilesClampToMinMaxEnvelope) {
+  Summary s;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) s.add(1000.0 + rng.uniform01());
+  ASSERT_FALSE(s.exact());
+  EXPECT_GE(s.percentile(0), s.min());
+  EXPECT_LE(s.percentile(100), s.max());
+  EXPECT_LE(s.percentile(50), s.max());
+  EXPECT_GE(s.percentile(50), s.min());
+}
+
+TEST(Summary, AddNMatchesRepeatedAddAcrossTheSpill) {
+  Summary batched, looped;
+  // Straddles kExactCap so add_n exercises the spill path too.
+  batched.add_n(250.0, 3000);
+  batched.add_n(750.0, 3000);
+  for (int i = 0; i < 3000; ++i) looped.add(250.0);
+  for (int i = 0; i < 3000; ++i) looped.add(750.0);
+  EXPECT_EQ(batched.count(), looped.count());
+  EXPECT_NEAR(batched.mean(), looped.mean(), 1e-9);
+  EXPECT_NEAR(batched.percentile(50), looped.percentile(50),
+              Summary::kRelativeError * 750.0);
+  EXPECT_EQ(batched.min(), looped.min());
+  EXPECT_EQ(batched.max(), looped.max());
+}
+
+// Merge in all three mode pairings (the multi-batch / multi-client
+// latency fold): exact+exact under the cap stays exact; any pairing
+// over the cap lands in the histogram and keeps percentiles within
+// resolution of one Summary fed everything.
+TEST(Summary, MergeAcrossBatchesAndModes) {
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i)
+    xs.push_back(10.0 * std::pow(100.0, rng.uniform01()));
+
+  // exact + exact, under the cap.
+  Summary small_a, small_b;
+  for (int i = 0; i < 1000; ++i)
+    (i % 2 ? small_a : small_b).add(xs[static_cast<std::size_t>(i)]);
+  Summary small_all;
+  for (int i = 0; i < 1000; ++i) small_all.add(xs[static_cast<std::size_t>(i)]);
+  small_a.merge(small_b);
+  EXPECT_TRUE(small_a.exact());
+  EXPECT_EQ(small_a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(small_a.percentile(99), small_all.percentile(99));
+
+  // Shard the full stream 3 ways (one shard small enough to stay
+  // exact), merge, compare against the everything-in-one Summary.
+  Summary shard_small, shard_big1, shard_big2, all;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i < 100)
+      shard_small.add(xs[i]);
+    else if (i % 2)
+      shard_big1.add(xs[i]);
+    else
+      shard_big2.add(xs[i]);
+    all.add(xs[i]);
+  }
+  EXPECT_TRUE(shard_small.exact());
+  EXPECT_FALSE(shard_big1.exact());
+  Summary merged = shard_big1;
+  merged.merge(shard_small);  // histogram + exact
+  merged.merge(shard_big2);   // histogram + histogram
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-9 * all.mean());
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+  for (const double p : {50.0, 99.0, 99.9}) {
+    const double want = all.percentile(p);
+    EXPECT_NEAR(merged.percentile(p), want,
+                2 * Summary::kRelativeError * want)
+        << "p = " << p;
+  }
+
+  // exact + exact straddling the cap spills rather than overflowing.
+  Summary straddle_a, straddle_b;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    straddle_a.add(xs[i]);
+    straddle_b.add(xs[i + 3000]);
+  }
+  straddle_a.merge(straddle_b);
+  EXPECT_FALSE(straddle_a.exact());
+  EXPECT_EQ(straddle_a.count(), 6000u);
+}
+
+TEST(Summary, MergeEmptyIsIdentity) {
+  Summary s, empty;
+  s.add(5.0);
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_TRUE(s.exact());
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 5.0);
 }
 
 }  // namespace

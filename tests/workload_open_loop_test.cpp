@@ -1,0 +1,133 @@
+// Open-loop arrival schedules: deterministic by seed, shaped as
+// declared — rate, monotonicity, and burstiness are all checkable
+// without a clock because the schedule is data.
+#include "src/workload/open_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dici::workload {
+namespace {
+
+OpenLoopSpec poisson_spec() {
+  OpenLoopSpec spec;
+  spec.process = ArrivalProcess::kPoisson;
+  spec.offered_qps = 1e6;
+  spec.num_queries = 50000;
+  spec.seed = 1234;
+  return spec;
+}
+
+double mean_gap_ns(const std::vector<double>& schedule) {
+  return schedule.back() / static_cast<double>(schedule.size());
+}
+
+/// Squared coefficient of variation of the inter-arrival gaps: ~1 for
+/// Poisson, > 1 for anything bursty.
+double gap_scv(const std::vector<double>& schedule) {
+  double prev = 0, sum = 0, sum2 = 0;
+  for (const double t : schedule) {
+    const double gap = t - prev;
+    prev = t;
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double n = static_cast<double>(schedule.size());
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  return var / (mean * mean);
+}
+
+TEST(OpenLoop, SameSeedSameSchedule) {
+  const auto a = make_arrival_schedule_ns(poisson_spec());
+  const auto b = make_arrival_schedule_ns(poisson_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << "arrival " << i;  // bit-identical, not just near
+
+  auto bursty = poisson_spec();
+  bursty.process = ArrivalProcess::kBursty;
+  const auto c = make_arrival_schedule_ns(bursty);
+  const auto d = make_arrival_schedule_ns(bursty);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], d[i]);
+}
+
+TEST(OpenLoop, DifferentSeedDifferentSchedule) {
+  auto spec = poisson_spec();
+  const auto a = make_arrival_schedule_ns(spec);
+  spec.seed ^= 1;
+  const auto b = make_arrival_schedule_ns(spec);
+  EXPECT_NE(a, b);
+}
+
+TEST(OpenLoop, SchedulesAreNondecreasingAndPositive) {
+  for (const auto process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty}) {
+    auto spec = poisson_spec();
+    spec.process = process;
+    const auto schedule = make_arrival_schedule_ns(spec);
+    ASSERT_EQ(schedule.size(), spec.num_queries);
+    double prev = 0;
+    for (const double t : schedule) {
+      EXPECT_GE(t, prev);
+      prev = t;
+    }
+    EXPECT_GT(schedule.front(), 0.0);
+  }
+}
+
+TEST(OpenLoop, PoissonHitsOfferedRate) {
+  const auto schedule = make_arrival_schedule_ns(poisson_spec());
+  // Offered 1e6 qps => 1000 ns mean gap; 50k draws pin the sample mean
+  // within a few percent (stddev of the mean = 1000/sqrt(50000) ~ 4.5).
+  EXPECT_NEAR(mean_gap_ns(schedule), 1000.0, 30.0);
+  // Exponential gaps: squared CV ~ 1.
+  EXPECT_NEAR(gap_scv(schedule), 1.0, 0.15);
+}
+
+TEST(OpenLoop, BurstyKeepsLongRunRateButBurstier) {
+  auto spec = poisson_spec();
+  spec.process = ArrivalProcess::kBursty;
+  spec.burst_factor = 10.0;
+  spec.burst_fraction = 0.1;
+  spec.burst_mean_ns = 50e3;
+  const auto schedule = make_arrival_schedule_ns(spec);
+  // The MMPP's long-run average must still be the offered load (wider
+  // tolerance: phase lengths add variance to the sample mean).
+  EXPECT_NEAR(mean_gap_ns(schedule), 1000.0, 150.0);
+  // And the whole point: gaps are overdispersed vs Poisson.
+  EXPECT_GT(gap_scv(schedule), 1.5);
+}
+
+TEST(OpenLoop, NamesRoundTrip) {
+  for (const ArrivalProcess process : all_arrival_processes()) {
+    ArrivalProcess parsed{};
+    EXPECT_TRUE(parse_arrival_process(arrival_process_name(process), &parsed));
+    EXPECT_EQ(parsed, process);
+  }
+  ArrivalProcess out{};
+  EXPECT_FALSE(parse_arrival_process("fractal", &out));
+}
+
+TEST(OpenLoopDeath, RejectsBadSpecsNamingFieldAndValue) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto closed = poisson_spec();
+  closed.process = ArrivalProcess::kClosed;
+  EXPECT_DEATH(make_arrival_schedule_ns(closed), "closed");
+  auto no_rate = poisson_spec();
+  no_rate.offered_qps = 0;
+  EXPECT_DEATH(make_arrival_schedule_ns(no_rate), "offered_qps = 0");
+  auto flat = poisson_spec();
+  flat.process = ArrivalProcess::kBursty;
+  flat.burst_factor = 1.0;
+  EXPECT_DEATH(make_arrival_schedule_ns(flat), "burst_factor = 1");
+  auto always_on = poisson_spec();
+  always_on.process = ArrivalProcess::kBursty;
+  always_on.burst_fraction = 1.0;
+  EXPECT_DEATH(make_arrival_schedule_ns(always_on), "burst_fraction = 1");
+}
+
+}  // namespace
+}  // namespace dici::workload
