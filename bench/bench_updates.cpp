@@ -1,0 +1,249 @@
+// AB-updates — read latency under a live write path (Engine API v3).
+//
+// The read-only benches answer "how fast is a probe"; this one answers
+// the serving question the v3 Store exists for: what do WRITES cost the
+// READERS? One parallel-native Store per mix cell, one client streaming
+// read batches at depth 1 (honest per-batch latency), and a write
+// stream interleaved at the cell's read/write ratio — buffered deltas,
+// explicit flushes, background fold + generation publish included.
+// Every read batch is rank-verified against a live-set mirror priced
+// at submit time, and every per-query latency sample is bucketed by
+// whether the background rebuild was active while the batch was in
+// flight — so the table separates steady-state p50/p99 from
+// during-rebuild p50/p99, and the last column is the acceptance ratio:
+// mixed-cell p99 (during rebuild) over the read-only baseline p99.
+// Exit is non-zero on any rank mismatch, or when a mixed cell never
+// crossed the rebuild trigger (the bench would be measuring nothing).
+//
+//   $ ./bench_updates                          # full sweep
+//   $ ./bench_updates --quick --json out.json  # CI smoke artifact
+#include "bench/bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "src/core/parallel_engine.hpp"
+#include "src/core/store.hpp"
+#include "src/util/affinity.hpp"
+#include "src/util/stats.hpp"
+#include "src/workload/update_stream.hpp"
+
+using namespace dici;
+
+namespace {
+
+struct MixCell {
+  double write_fraction = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t rebuilds = 0;
+  std::uint64_t batches_during_rebuild = 0;
+  Summary steady_ns;   ///< per-query latency, no rebuild in flight
+  Summary rebuild_ns;  ///< per-query latency while a fold/publish ran
+  std::uint64_t mismatches = 0;
+};
+
+MixCell run_mix(const bench::BenchWorkload& w, double write_fraction,
+                std::size_t batches, const core::ParallelConfig& pcfg,
+                const core::StoreOptions& opts) {
+  MixCell cell;
+  cell.write_fraction = write_fraction;
+  const auto store = core::Store::create(
+      std::make_unique<core::ParallelNativeEngine>(pcfg), w.index_keys, opts);
+  const auto client = store->connect();
+  const auto writer = store->writer();
+  workload::LiveSetReference mirror(w.index_keys);
+  Rng write_rng(20260808);
+  const workload::WriteMix mix{.write_fraction = write_fraction,
+                               .erase_share = 0.5};
+
+  std::vector<rank_t> ranks;
+  std::vector<rank_t> expected;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t begin = b * w.queries.size() / batches;
+    const std::size_t end = (b + 1) * w.queries.size() / batches;
+    const std::span<const dici::key_t> slice(w.queries.data() + begin,
+                                             end - begin);
+
+    if (write_fraction > 0) {
+      const workload::WriteRound round = workload::draw_write_round(
+          workload::writes_for_reads(slice.size(), write_fraction), mix,
+          mirror, write_rng);
+      writer->insert(round.inserts);
+      mirror.insert(round.inserts);
+      writer->erase(round.erases);
+      mirror.erase(round.erases);
+      writer->flush();
+      cell.writes += round.inserts.size() + round.erases.size();
+    }
+    expected.resize(slice.size());
+    mirror.ranks(slice, expected);
+
+    // Bucket the whole batch by rebuild overlap: active at either
+    // endpoint, or a publish completed while the batch was in flight.
+    const std::uint64_t rebuilds_before = store->rebuilds();
+    const bool active_before = store->rebuild_active();
+    const core::RunReport report =
+        client->wait(client->submit(slice, &ranks));
+    const bool overlapped = active_before || store->rebuild_active() ||
+                            store->rebuilds() != rebuilds_before;
+
+    cell.reads += slice.size();
+    for (std::size_t i = 0; i < slice.size(); ++i)
+      cell.mismatches += ranks[i] != expected[i];
+    (overlapped ? cell.rebuild_ns : cell.steady_ns).merge(report.latency_ns);
+    cell.batches_during_rebuild += overlapped;
+  }
+  store->wait_rebuilds_idle();
+  cell.rebuilds = store->rebuilds();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli("AB-updates: read tail latency vs write mix on a mutable Store");
+  cli.add_int("keys", "initial index keys", bench::kDefaultIndexKeys);
+  cli.add_int("queries", "read stream length",
+              static_cast<std::int64_t>(bench::kDefaultQueries));
+  cli.add_int("batches", "read batches (latency samples per mix)", 256);
+  cli.add_bytes("batch", "dispatcher round size", 64 * KiB);
+  cli.add_int("threads", "worker threads in each generation's fleet", 4);
+  cli.add_int("max-delta", "StoreOptions::max_delta_keys", 4096);
+  cli.add_int("writer-threads", "StoreOptions::writer_threads (fold split)",
+              2);
+  cli.add_string("json", "write the machine-readable summary here", "");
+  cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_flag("quick");
+  const auto w = bench::make_workload(
+      quick ? (1u << 14) : static_cast<std::size_t>(cli.get_int("keys")),
+      quick ? (1u << 16) : static_cast<std::size_t>(cli.get_int("queries")));
+  const auto batches = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, quick ? 64 : cli.get_int("batches")));
+
+  core::ParallelConfig pcfg;
+  pcfg.num_threads = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("threads")));
+  pcfg.num_shards = pcfg.num_threads;
+  pcfg.batch_bytes = cli.get_bytes("batch");
+  pcfg.track_latency = true;
+
+  core::StoreOptions opts;
+  // Quick runs shrink the delta bound so the small write volume still
+  // crosses the rebuild trigger many times.
+  opts.max_delta_keys = quick ? 512
+                              : static_cast<std::size_t>(std::max<std::int64_t>(
+                                    1, cli.get_int("max-delta")));
+  opts.writer_threads = static_cast<std::uint32_t>(std::min<std::int64_t>(
+      256, std::max<std::int64_t>(1, cli.get_int("writer-threads"))));
+
+  const double mixes[] = {0.0, 0.01, 0.05, 0.10};
+
+  bench::print_header(
+      "AB-updates — mutable Store: read p50/p99 vs write mix",
+      "Store::create -> connect + writer; delta buffer, flush publish, "
+      "background fold");
+  std::printf("  host CPUs: %d   workers: %u   batch: %s   %zu initial keys, "
+              "%zu reads in %zu batches, max delta %zu, fold threads %u\n\n",
+              available_cpus(), pcfg.num_threads,
+              format_bytes(pcfg.batch_bytes).c_str(), w.index_keys.size(),
+              w.queries.size(), batches, opts.max_delta_keys,
+              opts.writer_threads);
+
+  std::vector<MixCell> cells;
+  for (const double wf : mixes)
+    cells.push_back(run_mix(w, wf, batches, pcfg, opts));
+
+  const double baseline_p99 =
+      cells[0].steady_ns.count() > 0 ? cells[0].steady_ns.percentile(99) : 0;
+  TextTable t({"mix", "reads", "writes", "rebuilds", "p50 ns", "p99 ns",
+               "p50 ns*", "p99 ns*", "p99*/base"});
+  bool failed = false;
+  for (const MixCell& c : cells) {
+    const bool has_rebuild_samples = c.rebuild_ns.count() > 0;
+    const double p99_rebuild =
+        has_rebuild_samples ? c.rebuild_ns.percentile(99) : 0;
+    if (c.mismatches != 0) {
+      std::fprintf(stderr,
+                   "RANK MISMATCH: %llu ranks disagree with the live-set "
+                   "mirror at mix %.2f\n",
+                   static_cast<unsigned long long>(c.mismatches),
+                   c.write_fraction);
+      failed = true;
+    }
+    if (c.write_fraction > 0 && c.rebuilds == 0) {
+      std::fprintf(stderr,
+                   "NO REBUILDS at mix %.2f: the write volume never crossed "
+                   "the trigger, nothing was measured\n",
+                   c.write_fraction);
+      failed = true;
+    }
+    if (!std::isfinite(c.steady_ns.percentile(99)) ||
+        !std::isfinite(p99_rebuild)) {
+      std::fprintf(stderr, "non-finite p99 at mix %.2f\n", c.write_fraction);
+      failed = true;
+    }
+    char mix_label[32];
+    std::snprintf(mix_label, sizeof(mix_label), "%.0f/%.0f",
+                  100 * (1 - c.write_fraction), 100 * c.write_fraction);
+    t.add_row({mix_label, std::to_string(c.reads), std::to_string(c.writes),
+               std::to_string(c.rebuilds),
+               format_double(c.steady_ns.percentile(50), 0),
+               format_double(c.steady_ns.percentile(99), 0),
+               has_rebuild_samples ? format_double(c.rebuild_ns.percentile(50), 0)
+                                   : "-",
+               has_rebuild_samples ? format_double(p99_rebuild, 0) : "-",
+               has_rebuild_samples && baseline_p99 > 0
+                   ? format_double(p99_rebuild / baseline_p99, 2) + "x"
+                   : "-"});
+  }
+  t.print();
+  std::printf(
+      "\n  Columns marked * are batches that overlapped an active rebuild\n"
+      "  (fold + full backend build + RCU publish); unmarked columns are\n"
+      "  steady state. 'p99*/base' is the acceptance ratio: read p99 during\n"
+      "  an active rebuild over the read-only steady p99 — the write path's\n"
+      "  whole point is keeping that near 1.\n");
+
+  const std::string json_path = cli.get_string("json");
+  if (!json_path.empty()) {
+    std::string json = "[\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const MixCell& c = cells[i];
+      const bool hr = c.rebuild_ns.count() > 0;
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "  {\"write_fraction\": %.9g, \"reads\": %llu, \"writes\": %llu, "
+          "\"rebuilds\": %llu, \"batches_during_rebuild\": %llu, "
+          "\"p50_steady_ns\": %.9g, \"p99_steady_ns\": %.9g, "
+          "\"p50_rebuild_ns\": %.9g, \"p99_rebuild_ns\": %.9g, "
+          "\"p99_rebuild_vs_readonly\": %.9g, \"mismatches\": %llu}%s\n",
+          c.write_fraction, static_cast<unsigned long long>(c.reads),
+          static_cast<unsigned long long>(c.writes),
+          static_cast<unsigned long long>(c.rebuilds),
+          static_cast<unsigned long long>(c.batches_during_rebuild),
+          c.steady_ns.percentile(50), c.steady_ns.percentile(99),
+          hr ? c.rebuild_ns.percentile(50) : 0,
+          hr ? c.rebuild_ns.percentile(99) : 0,
+          hr && baseline_p99 > 0 ? c.rebuild_ns.percentile(99) / baseline_p99
+                                 : 0,
+          static_cast<unsigned long long>(c.mismatches),
+          i + 1 < cells.size() ? "," : "");
+      json += buf;
+    }
+    json += "]\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\n  wrote %s (%zu mixes)\n", json_path.c_str(), cells.size());
+  }
+  return failed ? 1 : 0;
+}

@@ -7,9 +7,10 @@
 //
 // Exit code is non-zero when any verified cell's ranks disagree with
 // workload::reference_ranks, so CI can gate on the matrix directly.
-#include <cstdio>
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,22 @@ bool parse_kernels(const std::string& csv,
   return !out->empty();
 }
 
+bool parse_write_fractions(const std::string& csv,
+                           std::vector<double>* out) {
+  out->clear();
+  for (const std::string& name : split_csv(csv)) {
+    char* end = nullptr;
+    const double wf = std::strtod(name.c_str(), &end);
+    if (end == name.c_str() || *end != '\0' || wf < 0.0 || wf >= 1.0) {
+      std::fprintf(stderr, "bad write fraction '%s' (want [0, 1))\n",
+                   name.c_str());
+      return false;
+    }
+    out->push_back(wf);
+  }
+  return !out->empty();
+}
+
 bool parse_placements(const std::string& csv,
                       std::vector<core::Placement>* out) {
   out->clear();
@@ -118,6 +135,9 @@ int main(int argc, char** argv) {
                  "sweeps them; other backends run the first)", "all");
   cli.add_int("numa-nodes", "force a simulated NUMA topology with this many "
               "nodes (0 = discover the host)", 0);
+  cli.add_string("write-fractions", "comma list of write mixes in [0, 1); "
+                 "0 = read-only Index, >0 streams writes through a mutable "
+                 "Store (e.g. 0,0.05)", "0");
   cli.add_string("json", "write the machine-readable summary here", "");
   cli.add_flag("quick", "tiny sizes for CI smoke runs", false);
   cli.add_flag("no-verify", "skip rank verification (timing only)", false);
@@ -153,6 +173,9 @@ int main(int argc, char** argv) {
     return 2;
   options.numa_nodes = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, cli.get_int("numa-nodes")));
+  if (!parse_write_fractions(cli.get_string("write-fractions"),
+                             &options.write_fractions))
+    return 2;
 
   std::printf("scenario matrix: %zu scenarios x %zu backends x %zu kernels "
               "x %zu placements, %zu keys, %zu queries, %lld stream batches, "
@@ -164,10 +187,12 @@ int main(int argc, char** argv) {
 
   const auto cells = workload::run_scenario_matrix(tuned, options);
 
-  TextTable t({"scenario", "backend", "kernel", "placement", "batches",
-               "queries", "ranks", "sec", "ns/key", "Mqps", "messages"});
+  TextTable t({"scenario", "backend", "kernel", "placement", "wf", "writes",
+               "batches", "queries", "ranks", "sec", "ns/key", "Mqps",
+               "messages"});
   for (const auto& c : cells) {
     t.add_row({c.scenario, c.backend, c.kernel, c.placement,
+               format_double(c.write_fraction, 2), std::to_string(c.writes),
                std::to_string(c.stream_batches),
                std::to_string(c.num_queries),
                !c.verified ? "-" : (c.ranks_ok ? "ok" : "FAIL"),

@@ -112,6 +112,25 @@ struct ExperimentConfig {
   /// delivery) into RunReport::latency_ns. Costs memory per query.
   bool track_latency = false;
 
+  // --- v3 write path (core/store.hpp) -------------------------------------
+  // Knobs for the mutable-index Store built over any backend: writes
+  // land in a sorted delta buffer (index/delta.hpp) merged into probe
+  // results; a background rebuild folds the delta into a fresh Index
+  // generation. Backends without a Store in front ignore all three.
+
+  /// Hard bound on pending delta entries. A Writer whose write would
+  /// grow the delta past this blocks until the background rebuild folds
+  /// it down — backpressure on writers, never on readers. Must be >= 1.
+  std::size_t max_delta_keys = 4096;
+  /// Fraction of max_delta_keys at which the background rebuild wakes
+  /// and starts folding (in (0, 1]): below 1 the fold runs while
+  /// writers still have headroom, so they rarely hit the hard bound.
+  double rebuild_trigger_fraction = 0.5;
+  /// Threads the background fold (index::fold_delta) may split the
+  /// base ∪ delta merge across. In [1, 256]; the fold auto-clamps on
+  /// small bases where spawn cost would dominate.
+  std::uint32_t writer_threads = 1;
+
   /// Node layout used by the replicated tree (Methods A/B): a classic
   /// B+-tree whose leaves hold (key, record-pointer) pairs — this is what
   /// makes the paper's Table 1 index 3.2 MB for 327 K keys.

@@ -3,6 +3,7 @@
 #include "src/core/native_engine.hpp"
 #include "src/core/parallel_engine.hpp"
 #include "src/core/sim_engine.hpp"
+#include "src/index/delta.hpp"
 #include "src/util/assert.hpp"
 
 namespace dici::core {
@@ -27,6 +28,11 @@ Client::Client(std::shared_ptr<const Index> index)
   DICI_CHECK(index_ != nullptr);
 }
 
+void Client::rebind_index(std::shared_ptr<const Index> index) {
+  DICI_CHECK(index != nullptr);
+  index_ = std::move(index);
+}
+
 Client::~Client() {
   // Drain-on-destroy: tickets still in flight reference caller buffers
   // (out_ranks) and shared machinery, so block until they complete.
@@ -36,17 +42,29 @@ Client::~Client() {
 }
 
 Ticket Client::submit(std::span<const key_t> queries,
+                      std::vector<rank_t>* out_ranks) {
+  return submit(queries, out_ranks, SubmitOptions{});
+}
+
+Ticket Client::submit(std::span<const key_t> queries,
                       std::vector<rank_t>* out_ranks,
-                      std::span<const double> queued_ns) {
-  DICI_CHECK_FMT(queued_ns.empty() || queued_ns.size() == queries.size(),
-                 "submit(): queued_ns has %zu entries for %zu queries — pass "
-                 "one pre-submit wait per query, or none",
-                 queued_ns.size(), queries.size());
+                      const SubmitOptions& options) {
+  DICI_CHECK_FMT(
+      options.queued_ns.empty() || options.queued_ns.size() == queries.size(),
+      "submit(): queued_ns has %zu entries for %zu queries — pass "
+      "one pre-submit wait per query, or none",
+      options.queued_ns.size(), queries.size());
   Entry entry;
-  entry.completion = do_submit(queries, out_ranks, queued_ns);
+  entry.completion = do_submit(queries, out_ranks, options);
   entries_.push_back(std::move(entry));
   ++in_flight_;
   return Ticket(this, next_id_++);
+}
+
+Ticket Client::submit(std::span<const key_t> queries,
+                      std::vector<rank_t>* out_ranks,
+                      std::span<const double> queued_ns) {
+  return submit(queries, out_ranks, SubmitOptions{.queued_ns = queued_ns});
 }
 
 bool Client::ready(const Ticket& ticket) const {
@@ -102,7 +120,12 @@ const RunReport& Client::drain() {
   return total_;
 }
 
-// --- v1 compatibility wrappers --------------------------------------------
+// --- v1 compatibility wrappers (deprecated) -------------------------------
+// The wrappers implement the surface they deprecate, so the warnings
+// are suppressed here — and ONLY here plus the compat coverage test.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 RunReport Session::run_batch(std::span<const key_t> queries,
                              std::vector<rank_t>* out_ranks) {
@@ -144,10 +167,15 @@ std::unique_ptr<Session> Engine::open(
   return std::make_unique<CompatSession>(build(index_keys)->connect());
 }
 
+#pragma GCC diagnostic pop
+
 RunReport Engine::run(std::span<const key_t> index_keys,
                       std::span<const key_t> queries,
                       std::vector<rank_t>* out_ranks) const {
-  return open(index_keys)->run_batch(queries, out_ranks);
+  // v2 directly (not via the deprecated open()): one index, one client,
+  // one waited ticket.
+  const auto client = build(index_keys)->connect();
+  return client->wait(client->submit(queries, out_ranks));
 }
 
 // --- Config validation ----------------------------------------------------
@@ -173,6 +201,19 @@ void validate(const ExperimentConfig& config) {
   DICI_CHECK_FMT(placement_valid(config.placement),
                  "ExperimentConfig::placement = %d: not a Placement value",
                  static_cast<int>(config.placement));
+  DICI_CHECK_FMT(config.max_delta_keys >= 1,
+                 "ExperimentConfig::max_delta_keys = %zu: the write path "
+                 "needs room for at least one pending delta entry",
+                 config.max_delta_keys);
+  DICI_CHECK_FMT(config.rebuild_trigger_fraction > 0.0 &&
+                     config.rebuild_trigger_fraction <= 1.0,
+                 "ExperimentConfig::rebuild_trigger_fraction = %g: must be "
+                 "in (0, 1]",
+                 config.rebuild_trigger_fraction);
+  DICI_CHECK_FMT(config.writer_threads >= 1 && config.writer_threads <= 256,
+                 "ExperimentConfig::writer_threads = %u: the background fold "
+                 "splits across 1..256 threads",
+                 config.writer_threads);
   if (is_distributed(config.method)) {
     DICI_CHECK_FMT(config.num_masters >= 1,
                    "ExperimentConfig::num_masters = %u: Method C needs at "
@@ -233,9 +274,16 @@ class NativeClient : public Client {
  private:
   std::unique_ptr<Completion> do_submit(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-      std::span<const double> queued_ns) override {
+      const SubmitOptions& options) override {
+    const std::span<const double> queued_ns = options.queued_ns;
     const NativeReport native =
         cluster_->run(index().keys(), queries, out_ranks);
+    // Delta merge: NativeCluster resolves against the base only, so the
+    // live-set correction is a post-pass over the (already in-cache)
+    // result array — the delta itself is small enough to stay L1/L2
+    // resident across the batch.
+    if (options.delta != nullptr && out_ranks != nullptr)
+      options.delta->correct(queries, out_ranks->data());
     RunReport report;
     report.method = native.method;
     report.num_queries = native.num_queries;

@@ -21,15 +21,25 @@
 // its Index and interleaves work items from every connected client
 // through the same queues.
 //
-// The v1 surface survives as thin compatibility wrappers:
+// v3 adds the write path on top of this contract: core/store.hpp wraps
+// a built Index in a Store whose read Clients speak exactly this
+// submit/wait surface while a Writer mutates the key set through a
+// sorted delta buffer (index/delta.hpp) and a background rebuild
+// publishes fresh Index generations via RCU swap. The seam this file
+// contributes is SubmitOptions::delta: any submit may carry a frozen
+// delta snapshot, and every backend folds its rank corrections into the
+// results at resolve time.
+//
+// The v1 surface survives as thin deprecated compatibility wrappers:
 //
 //   Engine::open(index_keys) -> Session      == build + connect
 //   Session::run_batch(queries, out_ranks)   == submit + wait
 //   Engine::run(index_keys, queries, out)    == one-shot of all of it
 //
-// so pre-v2 code keeps compiling unchanged. out_ranks always receives
-// the global std::upper_bound rank of every query in query order — the
-// invariant every backend is tested against.
+// (removal timeline in README's migration table). out_ranks always
+// receives the global std::upper_bound rank of every query in query
+// order — the invariant every backend is tested against; when a delta
+// rides along, the rank is over (base \ erased) ∪ inserted instead.
 #pragma once
 
 #include <deque>
@@ -40,6 +50,10 @@
 #include "src/core/config.hpp"
 #include "src/core/run_report.hpp"
 #include "src/util/types.hpp"
+
+namespace dici::index {
+class DeltaSnapshot;
+}  // namespace dici::index
 
 namespace dici::core {
 
@@ -97,6 +111,30 @@ class Ticket {
   std::uint64_t id_ = 0;
 };
 
+/// Per-submit knobs, passed by const reference so adding a field never
+/// changes the submit() signature again (the lesson of the retired
+/// positional queued_ns overload). Aggregate-initialize the fields you
+/// need: `client->submit(queries, &ranks, {.queued_ns = waits})`.
+struct SubmitOptions {
+  /// When non-empty, one entry per query: the wall-clock wait (ns) the
+  /// query had ALREADY accrued before this submit — an adaptive
+  /// batcher's queue time. Backends that measure wall-clock latency
+  /// (native, parallel-native) add it to each query's measured
+  /// submit->resolve time so RunReport::latency_ns is the full
+  /// arrival->resolve response time; the simulator ignores it (its
+  /// arrival process lives in virtual time). Only read during the
+  /// submit call itself — the span need not outlive it.
+  std::span<const double> queued_ns = {};
+
+  /// Pending writes to merge into this submission's results: every rank
+  /// is corrected to upper_bound over (base \ erased) ∪ inserted at
+  /// resolve time (see index/delta.hpp for the additive decomposition).
+  /// Null means "the base index is the live set". Normally supplied by
+  /// a Store's generation-aware clients, not by hand; the snapshot must
+  /// be immutable and stays referenced until the ticket completes.
+  std::shared_ptr<const index::DeltaSnapshot> delta = nullptr;
+};
+
 /// One query stream against a shared Index. submit() enqueues a batch
 /// and returns a Ticket without blocking on the result; wait() blocks
 /// until that batch completes and returns its RunReport; drain() waits
@@ -144,18 +182,21 @@ class Client {
   /// Enqueue one batch of this client's query stream. Returns without
   /// waiting for the batch to complete (on backends with an async
   /// pipeline; synchronous backends resolve it inline).
-  ///
-  /// `queued_ns`, when non-empty, must have one entry per query: the
-  /// wall-clock wait (ns) the query had ALREADY accrued before this
-  /// submit — an adaptive batcher's queue time. Backends that measure
-  /// wall-clock latency (native, parallel-native) add it to each
-  /// query's measured submit->resolve time so RunReport::latency_ns is
-  /// the full arrival->resolve response time; the simulator ignores it
-  /// (its arrival process lives in virtual time). Only read during the
-  /// submit call itself — the span need not outlive it.
   Ticket submit(std::span<const key_t> queries,
-                std::vector<rank_t>* out_ranks = nullptr,
-                std::span<const double> queued_ns = {});
+                std::vector<rank_t>* out_ranks = nullptr);
+
+  /// Same, with per-submit knobs (batcher queue time, delta snapshot —
+  /// see SubmitOptions).
+  Ticket submit(std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+                const SubmitOptions& options);
+
+  /// PR 6's positional form, superseded the PR after it shipped: every
+  /// new per-submit knob would have grown the argument list again.
+  [[deprecated(
+      "pass SubmitOptions: submit(queries, out_ranks, "
+      "{.queued_ns = ...})")]] Ticket
+  submit(std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+         std::span<const double> queued_ns);
 
   /// Non-blocking: would wait(ticket) return without blocking? Aborts
   /// on foreign or already-waited tickets exactly like wait().
@@ -179,8 +220,10 @@ class Client {
   /// Tickets submitted but not yet waited.
   std::uint64_t in_flight() const { return in_flight_; }
 
-  /// The shared index this client streams against.
-  const Index& index() const { return *index_; }
+  /// The shared index this client streams against. For a Store's
+  /// generation-aware clients this is the CURRENT generation's base
+  /// index and moves when a rebuild publishes.
+  virtual const Index& index() const { return *index_; }
 
   /// Stable identifier of the backend serving this client.
   virtual const char* backend() const = 0;
@@ -188,10 +231,15 @@ class Client {
  protected:
   explicit Client(std::shared_ptr<const Index> index);
 
+  /// Swap the pinned index — for generation-swapping clients only. The
+  /// previous index must stay reachable (e.g. via in-flight completions)
+  /// until every ticket submitted against it has been waited.
+  void rebind_index(std::shared_ptr<const Index> index);
+
  private:
   virtual std::unique_ptr<Completion> do_submit(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-      std::span<const double> queued_ns) = 0;
+      const SubmitOptions& options) = 0;
 
   struct Entry {
     std::unique_ptr<Completion> completion;  // null once waited (settled)
@@ -227,9 +275,10 @@ class ImmediateCompletion : public Client::Completion {
 
 /// v1 compatibility: a Session is one synchronous query stream over a
 /// built index — now a thin wrapper over build + connect, with each
-/// run_batch a submit immediately followed by wait. Kept so pre-v2
-/// callers compile unchanged; new code should hold the Index and
-/// Clients directly (shared indexes, concurrent clients, pipelining).
+/// run_batch a submit immediately followed by wait. DEPRECATED since
+/// PR 7 and scheduled for removal two PRs later (see README's migration
+/// table): hold the Index and Clients directly (shared indexes,
+/// concurrent clients, pipelining) — every in-tree caller already does.
 class Session {
  public:
   virtual ~Session() = default;
@@ -239,6 +288,8 @@ class Session {
   /// rank of every query in this batch, in batch order. Returns the
   /// report for THIS batch only; the running total (merged with
   /// RunReport::merge) is available via total().
+  [[deprecated(
+      "v1 surface: connect() a Client and submit()/wait() instead")]]
   RunReport run_batch(std::span<const key_t> queries,
                       std::vector<rank_t>* out_ranks = nullptr);
 
@@ -271,6 +322,9 @@ class Engine {
       std::span<const key_t> index_keys) const = 0;
 
   /// v1 compatibility: build + connect, wrapped as a Session.
+  /// DEPRECATED since PR 7, removal two PRs later (README migration
+  /// table) — call build() and Index::connect() directly.
+  [[deprecated("v1 surface: use build() + Index::connect() instead")]]
   std::unique_ptr<Session> open(std::span<const key_t> index_keys) const;
 
   /// One-shot convenience: build an index, serve a single batch, tear

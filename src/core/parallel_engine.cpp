@@ -12,6 +12,7 @@
 #include "src/arch/topology.hpp"
 #include "src/core/dispatch.hpp"
 #include "src/index/batched_search.hpp"
+#include "src/index/delta.hpp"
 #include "src/index/eytzinger.hpp"
 #include "src/index/partitioner.hpp"
 #include "src/index/placement.hpp"
@@ -128,6 +129,12 @@ struct Submission {
   /// copied before the first push and read-only afterwards.
   bool track_latency = false;
   std::vector<double> queued_ns;  ///< per query id; empty = no prior wait
+
+  /// Frozen pending-writes snapshot for this submission (null = base
+  /// index is the live set). Set before the first push, read-only
+  /// afterwards; each resolving worker folds its rank corrections into
+  /// the scatter, so the kernels stay base-only and hot.
+  std::shared_ptr<const index::DeltaSnapshot> delta;
 
   std::vector<std::uint64_t> worker_queries;
   std::vector<double> worker_busy_sec;
@@ -271,7 +278,7 @@ class ParallelIndex : public Index {
   /// Returns the completion the base Client waits on.
   std::unique_ptr<Client::Completion> submit_batch(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-      std::span<const double> queued_ns,
+      const SubmitOptions& options,
       std::span<const std::shared_ptr<WorkChannel>> channels) const;
 
  private:
@@ -301,8 +308,21 @@ class ParallelIndex : public Index {
     scratch_.resize(batch.keys.size());
     index::resolve_batch(config_.kernel, part, layout, batch.keys,
                          scratch_.data(), config_.interleave_width);
-    for (std::size_t j = 0; j < batch.keys.size(); ++j)
-      sub.out[batch.ids[j]] = offset + scratch_[j];
+    if (sub.delta == nullptr) {
+      for (std::size_t j = 0; j < batch.keys.size(); ++j)
+        sub.out[batch.ids[j]] = offset + scratch_[j];
+    } else {
+      // Delta merge in the scatter: the kernel above resolved base
+      // ranks; fold the live-set correction (global, so applied after
+      // the shard offset — a shard-local rank could transiently
+      // underflow) while the batch is still in cache. The snapshot is
+      // immutable and tiny, so concurrent workers share it read-only.
+      const index::DeltaSnapshot& delta = *sub.delta;
+      for (std::size_t j = 0; j < batch.keys.size(); ++j)
+        sub.out[batch.ids[j]] = static_cast<rank_t>(
+            static_cast<std::int64_t>(offset + scratch_[j]) +
+            delta.correction(batch.keys[j]));
+    }
     sub.worker_queries[w] += batch.keys.size();
     sub.worker_busy_sec[w] += batch_timer.elapsed_sec();
     if (sub.track_latency) {
@@ -477,7 +497,7 @@ class ParallelIndex::ParallelCompletion : public Client::Completion {
 
 std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
     std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-    std::span<const double> queued_ns,
+    const SubmitOptions& options,
     std::span<const std::shared_ptr<WorkChannel>> channels) const {
   const std::uint32_t T = config_.num_threads;
   auto sub = std::make_shared<Submission>(T, config_.track_latency);
@@ -489,10 +509,15 @@ std::unique_ptr<Client::Completion> ParallelIndex::submit_batch(
     sub->out = sub->sink.data();
   }
   sub->num_queries = queries.size();
+  // Pinned by the submission (not the caller): workers read it until the
+  // last item of this batch resolves, however long the ticket is in
+  // flight and whatever generation the store publishes meanwhile.
+  if (options.delta != nullptr && !options.delta->empty())
+    sub->delta = options.delta;
   // Copied BEFORE the first push: workers index it by query id the
   // moment an item lands, and the caller's span dies with submit().
-  if (config_.track_latency && !queued_ns.empty())
-    sub->queued_ns.assign(queued_ns.begin(), queued_ns.end());
+  if (config_.track_latency && !options.queued_ns.empty())
+    sub->queued_ns.assign(options.queued_ns.begin(), options.queued_ns.end());
 
   // wire_bytes matches the simulator's request-hop accounting exactly:
   // key payload + per-message header. The ids are bookkeeping for the
@@ -547,8 +572,8 @@ class ParallelClient : public Client {
  private:
   std::unique_ptr<Completion> do_submit(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-      std::span<const double> queued_ns) override {
-    return parallel_->submit_batch(queries, out_ranks, queued_ns, channels_);
+      const SubmitOptions& options) override {
+    return parallel_->submit_batch(queries, out_ranks, options, channels_);
   }
 
   const ParallelIndex* parallel_;  // the index the base class keeps alive

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/index/buffered.hpp"
+#include "src/index/delta.hpp"
 #include "src/index/partitioner.hpp"
 #include "src/index/sorted_array.hpp"
 #include "src/index/static_tree.hpp"
@@ -68,12 +69,17 @@ class SimClient : public Client {
  private:
   std::unique_ptr<Completion> do_submit(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-      std::span<const double> /*queued_ns*/) override {
-    // queued_ns (real pre-submit wall-clock wait) is ignored: the
-    // simulator's latency axis is VIRTUAL time from its cost model, and
-    // mixing measured wall nanoseconds into it would corrupt the model.
-    return std::make_unique<ImmediateCompletion>(
-        cluster_->run_once(index().keys(), queries, out_ranks));
+      const SubmitOptions& options) override {
+    // options.queued_ns (real pre-submit wall-clock wait) is ignored:
+    // the simulator's latency axis is VIRTUAL time from its cost model,
+    // and mixing measured wall nanoseconds into it would corrupt the
+    // model.
+    RunReport report = cluster_->run_once(index().keys(), queries, out_ranks);
+    // Delta merge as a post-pass (rank correction only — the simulated
+    // cost model does not yet charge the delta probe's cache lines).
+    if (options.delta != nullptr && out_ranks != nullptr)
+      options.delta->correct(queries, out_ranks->data());
+    return std::make_unique<ImmediateCompletion>(std::move(report));
   }
 
   const SimCluster* cluster_;  // owned by the SimIndex

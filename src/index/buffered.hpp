@@ -10,6 +10,12 @@
 //
 // Method B uses this with subtrees sized to the L2 cache; Method C-2 on a
 // slave uses it with subtrees sized to the L1 cache (Sec. 3.2).
+//
+// This is the READ-side buffering story; its write-side sibling is
+// index/delta.hpp, which buffers pending inserts/erases next to the
+// immutable base the same way these buffers queue probes next to the
+// subtree — both trade a small cache-resident side structure for
+// leaving the big immutable array untouched.
 #pragma once
 
 #include <cstdint>

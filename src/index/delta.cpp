@@ -1,0 +1,239 @@
+#include "src/index/delta.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/util/assert.hpp"
+
+namespace dici::index {
+
+namespace {
+
+bool in_base(std::span<const key_t> base, key_t key) {
+  return std::binary_search(base.begin(), base.end(), key);
+}
+
+}  // namespace
+
+// --- DeltaBuffer -----------------------------------------------------------
+
+std::size_t DeltaBuffer::insert(std::span<const key_t> keys,
+                                std::span<const key_t> base) {
+  std::size_t changed = 0;
+  for (const key_t k : keys) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), k,
+        [](const Entry& e, key_t key) { return e.key < key; });
+    if (it != entries_.end() && it->key == k) {
+      if (it->op == DeltaOp::kErase) {
+        entries_.erase(it);  // resurrect the base key
+        ++net_;
+        ++changed;
+      }
+      continue;  // already pending-inserted: no-op
+    }
+    if (in_base(base, k)) continue;  // already live in the base
+    entries_.insert(it, Entry{k, DeltaOp::kInsert});
+    ++net_;
+    ++changed;
+  }
+  return changed;
+}
+
+std::size_t DeltaBuffer::erase(std::span<const key_t> keys,
+                               std::span<const key_t> base) {
+  std::size_t changed = 0;
+  for (const key_t k : keys) {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), k,
+        [](const Entry& e, key_t key) { return e.key < key; });
+    if (it != entries_.end() && it->key == k) {
+      if (it->op == DeltaOp::kInsert) {
+        entries_.erase(it);  // cancel the pending insert
+        --net_;
+        ++changed;
+      }
+      continue;  // already pending-erased: no-op
+    }
+    if (!in_base(base, k)) continue;  // never was live
+    entries_.insert(it, Entry{k, DeltaOp::kErase});
+    --net_;
+    ++changed;
+  }
+  return changed;
+}
+
+void DeltaBuffer::rebase(const DeltaSnapshot& folded) {
+  std::vector<Entry> rebased;
+  rebased.reserve(entries_.size());
+  const std::span<const key_t> fkeys = folded.keys();
+  std::size_t i = 0, j = 0;
+  net_ = 0;
+  const auto keep = [&](const Entry& e) {
+    rebased.push_back(e);
+    net_ += e.op == DeltaOp::kInsert ? 1 : -1;
+  };
+  while (i < entries_.size() || j < fkeys.size()) {
+    if (j == fkeys.size() ||
+        (i < entries_.size() && entries_[i].key < fkeys[j])) {
+      keep(entries_[i++]);  // raced the fold, untouched by it
+    } else if (i == entries_.size() || fkeys[j] < entries_[i].key) {
+      // Cancelled mid-fold: the new base committed an op the buffer no
+      // longer wants — synthesize the inverse.
+      keep(Entry{fkeys[j], folded.op(j) == DeltaOp::kInsert
+                               ? DeltaOp::kErase
+                               : DeltaOp::kInsert});
+      ++j;
+    } else {
+      // In both: the fold already committed this entry (same op by
+      // construction — a base key can only carry kErase, a non-base key
+      // only kInsert, before and after the snapshot).
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(rebased);
+}
+
+std::shared_ptr<const DeltaSnapshot> DeltaBuffer::snapshot() const {
+  return std::make_shared<const DeltaSnapshot>(entries_);
+}
+
+// --- DeltaSnapshot ---------------------------------------------------------
+
+DeltaSnapshot::DeltaSnapshot(std::span<const DeltaBuffer::Entry> entries) {
+  keys_.reserve(entries.size());
+  prefix_.reserve(entries.size());
+  ops_.reserve(entries.size());
+  std::int64_t running = 0;
+  for (const DeltaBuffer::Entry& e : entries) {
+    DICI_CHECK_MSG(keys_.empty() || keys_.back() < e.key,
+                   "delta entries must be sorted and unique");
+    running += e.op == DeltaOp::kInsert ? 1 : -1;
+    keys_.push_back(e.key);
+    prefix_.push_back(running);
+    ops_.push_back(e.op);
+  }
+}
+
+void DeltaSnapshot::correct(std::span<const key_t> queries,
+                            rank_t* ranks) const {
+  if (empty()) return;
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ranks[i] = static_cast<rank_t>(static_cast<std::int64_t>(ranks[i]) +
+                                   correction(queries[i]));
+}
+
+// --- fold_delta ------------------------------------------------------------
+
+namespace {
+
+/// Serial two-pointer merge of one base slice with its delta slice into
+/// `out`. Returns one past the last element written.
+key_t* fold_range(std::span<const key_t> base,
+                  std::span<const key_t> delta_keys,
+                  const DeltaSnapshot& delta, std::size_t delta_begin,
+                  key_t* out) {
+  std::size_t i = 0, j = 0;
+  while (i < base.size() && j < delta_keys.size()) {
+    const key_t b = base[i];
+    const key_t d = delta_keys[j];
+    if (d < b) {
+      // An erase key is always a base key, so a delta key strictly below
+      // the next base key can only be an insert.
+      *out++ = d;
+      ++j;
+    } else if (d == b) {
+      // kErase drops the base key; a same-key insert cannot happen (the
+      // buffer never inserts base keys) but emitting once is the safe
+      // degenerate reading.
+      if (delta.op(delta_begin + j) == DeltaOp::kInsert) *out++ = b;
+      ++i;
+      ++j;
+    } else {
+      *out++ = b;
+      ++i;
+    }
+  }
+  while (i < base.size()) *out++ = base[i++];
+  for (; j < delta_keys.size(); ++j) {
+    DICI_CHECK_MSG(delta.op(delta_begin + j) == DeltaOp::kInsert,
+                   "erase key missing from its base slice");
+    *out++ = delta_keys[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<key_t> fold_delta(std::span<const key_t> base,
+                              const DeltaSnapshot& delta,
+                              std::uint32_t threads) {
+  const std::int64_t live =
+      static_cast<std::int64_t>(base.size()) + delta.net();
+  DICI_CHECK_MSG(live >= 0, "delta erases more keys than the base holds");
+  std::vector<key_t> out(static_cast<std::size_t>(live));
+  const std::span<const key_t> dkeys = delta.keys();
+
+  std::uint32_t T = std::max<std::uint32_t>(1, threads);
+  // Below ~64K base keys the merge is memcpy-speed; thread spawn would
+  // dominate. One slice per 64K keys, at most `threads`.
+  T = std::min<std::uint64_t>(T, std::max<std::uint64_t>(1, base.size() >> 16));
+  if (T == 1) {
+    key_t* end = fold_range(base, dkeys, delta, 0, out.data());
+    DICI_CHECK(end == out.data() + out.size());
+    return out;
+  }
+
+  // Key-space slices cut at base positions: slice t owns base indices
+  // [lo, hi) and every delta key in [base[lo], base[hi]) — insert keys
+  // are never base keys, so a boundary key can only collide with an
+  // erase entry, which lower_bound assigns to the slice that owns that
+  // base index. Exact per-slice output sizes come from the signed op
+  // sums, so the slices write disjoint ranges of one allocation.
+  struct Slice {
+    std::size_t b_lo, b_hi;  ///< base index range
+    std::size_t d_lo, d_hi;  ///< delta index range
+    std::size_t out_off;
+  };
+  std::vector<Slice> slices(T);
+  std::size_t out_off = 0;
+  for (std::uint32_t t = 0; t < T; ++t) {
+    Slice& s = slices[t];
+    s.b_lo = base.size() * t / T;
+    s.b_hi = base.size() * (t + 1) / T;
+    s.d_lo = t == 0 ? 0
+                    : std::lower_bound(dkeys.begin(), dkeys.end(),
+                                       base[s.b_lo]) -
+                          dkeys.begin();
+    s.d_hi = t + 1 == T ? dkeys.size()
+                        : std::lower_bound(dkeys.begin(), dkeys.end(),
+                                           base[s.b_hi]) -
+                              dkeys.begin();
+    std::int64_t span_net = 0;
+    for (std::size_t j = s.d_lo; j < s.d_hi; ++j)
+      span_net += delta.op(j) == DeltaOp::kInsert ? 1 : -1;
+    s.out_off = out_off;
+    out_off += static_cast<std::size_t>(
+        static_cast<std::int64_t>(s.b_hi - s.b_lo) + span_net);
+  }
+  DICI_CHECK(out_off == out.size());
+
+  std::vector<std::thread> pool;
+  pool.reserve(T);
+  for (std::uint32_t t = 0; t < T; ++t) {
+    pool.emplace_back([&, t] {
+      const Slice& s = slices[t];
+      key_t* end = fold_range(base.subspan(s.b_lo, s.b_hi - s.b_lo),
+                              dkeys.subspan(s.d_lo, s.d_hi - s.d_lo), delta,
+                              s.d_lo, out.data() + s.out_off);
+      const std::size_t expect =
+          t + 1 < T ? slices[t + 1].out_off : out.size();
+      DICI_CHECK(end == out.data() + expect);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  return out;
+}
+
+}  // namespace dici::index

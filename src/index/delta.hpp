@@ -1,0 +1,167 @@
+// The write-side sibling of the Zhou-Ross read buffering in
+// index/buffered.hpp: a small sorted delta of pending inserts/erases
+// kept NEXT TO an immutable base index, merged into probe results at
+// resolve time instead of mutating the base in place.
+//
+// The live key set a reader must answer against is
+//
+//   live = (base \ erased) ∪ inserted
+//
+// and because ranks are upper_bound positions, the live rank of a query
+// decomposes additively:
+//
+//   rank_live(q) = rank_base(q) + |{i ∈ inserted : i <= q}|
+//                               - |{e ∈ erased   : e <= q}|
+//
+// so a reader needs exactly one extra lookup — a binary search over the
+// delta's sorted keys into a signed prefix-count array — on top of
+// whatever kernel resolved rank_base. The delta stays small (the store
+// folds it into a fresh base generation in the background), so that
+// lookup runs against L1/L2-resident data: batch kernels stay hot and
+// the correction is O(log delta) per query.
+//
+// Two types split the writer/reader roles:
+//   DeltaBuffer   — mutable, writer-side; owned by the store behind its
+//                   write mutex. Entries are NET effects vs the base
+//                   (insert-then-erase cancels out), validated against
+//                   the base key array on every apply.
+//   DeltaSnapshot — immutable, reader-side; published by shared_ptr and
+//                   consulted lock-free by any number of probe threads.
+//
+// fold_delta() is the background rebuild's merge: base ∪ delta into a
+// fresh sorted key array, optionally split across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace dici::index {
+
+/// What a delta entry does to the live set, relative to the base.
+enum class DeltaOp : std::uint8_t {
+  kInsert,  ///< key is NOT in the base and is live
+  kErase,   ///< key IS in the base and is dead
+};
+
+class DeltaSnapshot;
+
+/// Writer-side pending-writes buffer: sorted unique (key, op) entries,
+/// each the NET effect of all writes to that key since the base was
+/// built. Applying an insert of a base key (or an erase of a missing
+/// key) is a no-op by construction, and insert-after-erase of the same
+/// key cancels the entry — so size() is exactly the number of keys whose
+/// live state differs from the base. Not thread-safe: the store mutates
+/// it under its writer mutex only.
+class DeltaBuffer {
+ public:
+  struct Entry {
+    key_t key = 0;
+    DeltaOp op = DeltaOp::kInsert;
+  };
+
+  /// Record `keys` as live. Keys already live (in the base and not
+  /// erased, or already inserted) are no-ops; keys pending erase are
+  /// resurrected by dropping the erase entry. `base` is the sorted base
+  /// key array the buffer is relative to. Returns how many keys went
+  /// from dead to live.
+  std::size_t insert(std::span<const key_t> keys, std::span<const key_t> base);
+
+  /// Record `keys` as dead. Keys already dead (absent everywhere, or
+  /// already erased) are no-ops; pending inserts are cancelled by
+  /// dropping the insert entry. Returns how many keys went from live to
+  /// dead.
+  std::size_t erase(std::span<const key_t> keys, std::span<const key_t> base);
+
+  /// Re-express the buffer against the new base produced by folding
+  /// `folded` into the old base. Three cases per key, resolved by one
+  /// sorted merge of the buffer against the folded snapshot:
+  ///   - key in the buffer only: a write that raced the fold, touching a
+  ///     key the fold never saw — old and new base agree on it, so the
+  ///     entry survives verbatim.
+  ///   - key in both: the buffer still wants what the fold already
+  ///     committed (same op by construction), so the entry is dropped.
+  ///   - key in the snapshot only: a racing write CANCELLED the entry
+  ///     mid-fold (erase of a snapshotted insert, or re-insert of a
+  ///     snapshotted erase), reverting the key to its old-base state —
+  ///     which the new base now contradicts, so the INVERSE entry is
+  ///     synthesized (folded insert -> kErase, folded erase -> kInsert).
+  void rebase(const DeltaSnapshot& folded);
+
+  /// Immutable copy for publication to readers.
+  std::shared_ptr<const DeltaSnapshot> snapshot() const;
+
+  /// Number of keys whose live state differs from the base.
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// (#inserted - #erased): live set size minus base size.
+  std::int64_t net() const { return net_; }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;  ///< sorted by key, unique
+  std::int64_t net_ = 0;
+};
+
+/// Reader-side frozen delta: the buffer's sorted keys plus an inclusive
+/// signed prefix-count array, so correction() is one upper_bound. Safe
+/// to share across any number of probe threads (immutable after
+/// construction; published by shared_ptr).
+class DeltaSnapshot {
+ public:
+  /// The empty delta (correction 0 everywhere).
+  DeltaSnapshot() = default;
+
+  explicit DeltaSnapshot(std::span<const DeltaBuffer::Entry> entries);
+
+  /// rank_live(q) - rank_base(q): the number of inserted keys <= q minus
+  /// the number of erased keys <= q. Never drives a valid base rank
+  /// negative (every erased key counted is itself a base key <= q).
+  std::int64_t correction(key_t query) const {
+    // Branch-free-ish upper_bound over the (small, cache-resident) keys.
+    std::size_t lo = 0, hi = keys_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (keys_[mid] <= query) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo == 0 ? 0 : prefix_[lo - 1];
+  }
+
+  /// Fold corrections into `ranks` (parallel arrays, `n` entries) — the
+  /// post-pass synchronous backends run after their base resolve.
+  void correct(std::span<const key_t> queries, rank_t* ranks) const;
+
+  std::size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// (#inserted - #erased) over the whole snapshot.
+  std::int64_t net() const { return keys_.empty() ? 0 : prefix_.back(); }
+
+  std::span<const key_t> keys() const { return keys_; }
+  DeltaOp op(std::size_t i) const { return ops_[i]; }
+
+ private:
+  std::vector<key_t> keys_;          ///< sorted unique delta keys
+  std::vector<std::int64_t> prefix_; ///< inclusive signed counts (+1/-1)
+  std::vector<DeltaOp> ops_;         ///< per-key op, for fold_delta
+};
+
+/// The rebuild's merge: (base \ erased) ∪ inserted as a fresh sorted
+/// unique key array. `threads` > 1 splits the base at shard boundaries
+/// and folds the pieces concurrently (each piece's output offset is
+/// computed exactly from the snapshot's prefix counts, so the pieces
+/// write disjoint ranges of the one result array).
+std::vector<key_t> fold_delta(std::span<const key_t> base,
+                              const DeltaSnapshot& delta,
+                              std::uint32_t threads = 1);
+
+}  // namespace dici::index

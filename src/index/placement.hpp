@@ -27,6 +27,12 @@
 // no locks; the barrier publishes every copy to every worker. All three modes return bit-identical
 // ranks — placement moves bytes, never answers — which is what the
 // scenario matrix's placement axis verifies.
+//
+// Placement is a BUILD-time property: when the v3 write path
+// (core/store.hpp) folds its delta into a fresh Index generation, the
+// whole protocol above re-runs on a fresh pinned fleet, so the new
+// generation's pages are first-touch placed exactly like the first
+// build's — rebuilds never degrade locality.
 #pragma once
 
 #include <array>

@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "src/arch/machine.hpp"
+#include "src/core/store.hpp"
 #include "src/util/assert.hpp"
+#include "src/workload/update_stream.hpp"
 #include "src/workload/workload.hpp"
 
 namespace dici::workload {
@@ -21,6 +23,9 @@ constexpr std::array<Distribution, 5> kAllDistributions = {
 
 /// Decorrelates the query stream from the index draws sharing one seed.
 constexpr std::uint64_t kQueryStreamSalt = 0x9e3779b97f4a7c15ull;
+
+/// Decorrelates the write stream from both of the above.
+constexpr std::uint64_t kWriteStreamSalt = 0xda3e39cb94b95bdbull;
 
 constexpr std::uint64_t kKeySpace = 1ull << 32;
 
@@ -178,12 +183,30 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
 
     const std::size_t depth = std::max<std::size_t>(1, options.in_flight);
     auto run_cell = [&](core::Backend backend, core::SearchKernel kernel,
-                        core::Placement placement) {
+                        core::Placement placement, double write_fraction) {
       config.kernel = kernel;
       config.placement = placement;
-      const auto engine = core::make_engine(backend, config);
-      const auto built = engine->build(index);
-      const auto client = built->connect();
+      // Size the delta so mixed cells actually cross the rebuild
+      // trigger mid-stream — the cell then verifies reads before,
+      // during and after generation swaps, not just the buffered path.
+      config.max_delta_keys = std::max<std::size_t>(64, spec.index_keys / 64);
+
+      // Read-only cells keep the v2 path (build + connect); mixed cells
+      // route the same stream through a Store and interleave writes.
+      std::shared_ptr<core::Store> store;
+      std::unique_ptr<core::Writer> writer;
+      std::unique_ptr<core::Client> client;
+      if (write_fraction > 0) {
+        store = core::make_store(backend, config, index);
+        writer = store->writer();
+        client = store->connect();
+      } else {
+        client = core::make_engine(backend, config)->build(index)->connect();
+      }
+      LiveSetReference mirror(write_fraction > 0 ? std::span<const key_t>(index)
+                                                 : std::span<const key_t>());
+      Rng write_rng(spec.seed ^ kWriteStreamSalt);
+      const WriteMix mix{.write_fraction = write_fraction, .erase_share = 0.5};
 
       ScenarioCell cell;
       cell.scenario = spec.name;
@@ -193,13 +216,19 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.placement = core::placement_name(placement);
       cell.verified = options.verify;
       cell.in_flight = depth;
+      cell.write_fraction = write_fraction;
 
       // Pipeline the stream: keep up to `depth` batches in flight, each
       // with its own rank buffer; settle (wait + verify) the oldest
       // ticket whenever its slot is needed again, and drain the tail.
+      // Mixed cells carry per-slot expectations priced from the mirror
+      // at submit time (the global `expected` is stale once writes
+      // land); in-flight tickets stay correct across generation swaps
+      // because each pins the generation current at its submit.
       struct Slot {
         core::Ticket ticket;
         std::vector<rank_t> ranks;
+        std::vector<rank_t> expected_live;
         std::size_t begin = 0;
         bool live = false;
       };
@@ -207,9 +236,14 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       auto settle = [&](Slot& slot) {
         if (!slot.live) return;
         client->wait(slot.ticket);
-        if (options.verify)
-          for (std::size_t i = 0; i < slot.ranks.size(); ++i)
-            cell.mismatches += slot.ranks[i] != expected[slot.begin + i];
+        if (options.verify) {
+          for (std::size_t i = 0; i < slot.ranks.size(); ++i) {
+            const rank_t want = write_fraction > 0
+                                    ? slot.expected_live[i]
+                                    : expected[slot.begin + i];
+            cell.mismatches += slot.ranks[i] != want;
+          }
+        }
         slot.live = false;
       };
       const std::size_t B = spec.stream_batches;
@@ -221,6 +255,21 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
         Slot& slot = slots[b % depth];
         settle(slot);
         slot.begin = begin;
+        if (write_fraction > 0) {
+          const WriteRound round = draw_write_round(
+              writes_for_reads(slice.size(), write_fraction), mix, mirror,
+              write_rng);
+          writer->insert(round.inserts);
+          mirror.insert(round.inserts);
+          writer->erase(round.erases);
+          mirror.erase(round.erases);
+          writer->flush();
+          cell.writes += round.inserts.size() + round.erases.size();
+          if (options.verify) {
+            slot.expected_live.resize(slice.size());
+            mirror.ranks(slice, slot.expected_live);
+          }
+        }
         slot.ticket =
             client->submit(slice, options.verify ? &slot.ranks : nullptr);
         slot.live = true;
@@ -240,6 +289,13 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
     };
     DICI_CHECK_MSG(!options.placements.empty(),
                    "MatrixOptions::placements must name at least one mode");
+    DICI_CHECK_MSG(!options.write_fractions.empty(),
+                   "MatrixOptions::write_fractions must name at least one mix");
+    for (const double wf : options.write_fractions)
+      DICI_CHECK_FMT(wf >= 0.0 && wf < 1.0,
+                     "MatrixOptions::write_fractions entry %g: must be in "
+                     "[0, 1)",
+                     wf);
     for (const core::Backend backend : options.backends) {
       if (backend == core::Backend::kParallelNative &&
           spec.method != core::Method::kC3)
@@ -252,7 +308,8 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
               : 1;
       for (const core::SearchKernel kernel : options.kernels)
         for (std::size_t p = 0; p < placements; ++p)
-          run_cell(backend, kernel, options.placements[p]);
+          for (const double wf : options.write_fractions)
+            run_cell(backend, kernel, options.placements[p], wf);
     }
   }
   return cells;
@@ -305,6 +362,10 @@ std::string matrix_to_json(std::span<const ScenarioCell> cells) {
                   c.stream_batches, c.in_flight, c.num_queries,
                   c.verified ? "true" : "false", c.ranks_ok ? "true" : "false",
                   c.mismatches);
+    out += buf;
+    out += ", \"write_fraction\": ";
+    append_json_number(out, c.write_fraction);
+    std::snprintf(buf, sizeof(buf), ", \"writes\": %" PRIu64, c.writes);
     out += buf;
     out += ", \"seconds\": ";
     append_json_number(out, c.seconds);

@@ -142,6 +142,11 @@ struct ScenarioCell {
   std::uint64_t stream_batches = 0;
   std::uint64_t in_flight = 1;  ///< submit-ahead depth the cell ran with
   std::uint64_t num_queries = 0;
+  /// Write mix the cell ran at (MatrixOptions::write_fractions). 0 =
+  /// the classic read-only cell over an immutable Index; > 0 routes
+  /// reads through a core::Store with an interleaved write stream.
+  double write_fraction = 0;
+  std::uint64_t writes = 0;  ///< insert+erase ops interleaved with reads
   bool verified = false;      ///< ranks were checked against the reference
   bool ranks_ok = false;      ///< every rank matched (true when !verified)
   std::uint64_t mismatches = 0;
@@ -177,6 +182,16 @@ struct MatrixOptions {
   /// discover the host). CI sets this > 1 so single-node runners still
   /// execute every placement and same-node-first stealing path.
   std::uint32_t numa_nodes = 0;
+  /// Read/write mixes swept per placement (the v3 write-path axis).
+  /// 0 keeps the classic read-only cell: Engine::build + Index
+  /// ::connect, expectations precomputed once. A fraction > 0 runs the
+  /// SAME query stream through a core::Store instead: before each
+  /// submitted batch the harness draws writes_for_reads() writes,
+  /// pushes them through a Writer (and a LiveSetReference mirror),
+  /// flushes, and prices that batch's expected ranks from the mirror
+  /// at submit time — so verification is exact regardless of when the
+  /// store's background rebuild publishes a folded generation.
+  std::vector<double> write_fractions = {0.0};
   /// Batches kept in flight per client (clamped to >= 1): each cell
   /// submits up to this many batches ahead before waiting the oldest,
   /// exercising the async pipeline on backends that have one. NOTE on

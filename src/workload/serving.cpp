@@ -107,8 +107,8 @@ ServingResult run_open_loop(core::Client& client,
       retire(in_flight.front());
       in_flight.pop_front();
     }
-    round.ticket =
-        client.submit(batch.keys, round.ranks.get(), batch.queued_ns);
+    round.ticket = client.submit(batch.keys, round.ranks.get(),
+                                 {.queued_ns = batch.queued_ns});
     in_flight.push_back(std::move(round));
   };
 

@@ -1,0 +1,79 @@
+#include "src/workload/update_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace dici::workload {
+
+LiveSetReference::LiveSetReference(std::span<const key_t> initial)
+    : keys_(initial.begin(), initial.end()) {
+  DICI_CHECK_MSG(std::is_sorted(keys_.begin(), keys_.end()) &&
+                     std::adjacent_find(keys_.begin(), keys_.end()) ==
+                         keys_.end(),
+                 "LiveSetReference seed keys must be sorted and unique");
+}
+
+std::size_t LiveSetReference::insert(std::span<const key_t> keys) {
+  std::size_t changed = 0;
+  for (const key_t k : keys) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it != keys_.end() && *it == k) continue;
+    keys_.insert(it, k);
+    ++changed;
+  }
+  return changed;
+}
+
+std::size_t LiveSetReference::erase(std::span<const key_t> keys) {
+  std::size_t changed = 0;
+  for (const key_t k : keys) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), k);
+    if (it == keys_.end() || *it != k) continue;
+    keys_.erase(it);
+    ++changed;
+  }
+  return changed;
+}
+
+rank_t LiveSetReference::rank(key_t query) const {
+  return static_cast<rank_t>(
+      std::upper_bound(keys_.begin(), keys_.end(), query) - keys_.begin());
+}
+
+void LiveSetReference::ranks(std::span<const key_t> queries,
+                             std::span<rank_t> out) const {
+  DICI_CHECK(queries.size() == out.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) out[i] = rank(queries[i]);
+}
+
+std::size_t writes_for_reads(std::size_t reads, double write_fraction) {
+  DICI_CHECK_FMT(write_fraction >= 0.0 && write_fraction < 1.0,
+                 "write_fraction = %g: must be in [0, 1)", write_fraction);
+  if (write_fraction == 0.0) return 0;
+  return static_cast<std::size_t>(std::llround(
+      static_cast<double>(reads) * write_fraction / (1.0 - write_fraction)));
+}
+
+WriteRound draw_write_round(std::size_t n, const WriteMix& mix,
+                            const LiveSetReference& live, Rng& rng) {
+  DICI_CHECK_FMT(mix.erase_share >= 0.0 && mix.erase_share <= 1.0,
+                 "WriteMix::erase_share = %g: must be in [0, 1]",
+                 mix.erase_share);
+  WriteRound round;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool is_erase =
+        !live.keys().empty() && rng.uniform01() < mix.erase_share;
+    if (is_erase) {
+      round.erases.push_back(live.keys()[rng.below(live.keys().size())]);
+    } else {
+      round.inserts.push_back(static_cast<key_t>(
+          rng.below(std::numeric_limits<key_t>::max())));
+    }
+  }
+  return round;
+}
+
+}  // namespace dici::workload

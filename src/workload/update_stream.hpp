@@ -1,0 +1,82 @@
+// Write-stream generation and the model-side live-set mirror that the
+// mixed read/write scenario cells and bench_updates verify against.
+//
+// The verification story for a mutable index (core/store.hpp) differs
+// from the read-only matrix: there is no single precomputed answer key,
+// because the right rank for a query depends on which writes were
+// flushed before it was submitted. So the harness keeps a
+// LiveSetReference — a plain sorted vector mirroring every
+// insert/erase it pushed through the Writer — and prices expected
+// ranks from the mirror AT SUBMIT TIME, right after the flush that
+// published those writes. That makes the expectation invariant to
+// WHEN the store's background rebuild folds the delta, which is
+// exactly the property the write path promises.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::workload {
+
+/// The harness's model of a store's live key set: a sorted unique
+/// vector with the same insert/erase/no-op semantics as
+/// core::Writer (returns how many keys actually changed state) and
+/// exact upper_bound ranks. O(n) per write batch — fine for tests and
+/// bench mirrors, not a serving structure.
+class LiveSetReference {
+ public:
+  /// `initial` must be sorted and unique (the store's build input).
+  explicit LiveSetReference(std::span<const key_t> initial);
+
+  /// Make keys live; already-live keys are no-ops. Returns #changed.
+  std::size_t insert(std::span<const key_t> keys);
+
+  /// Make keys dead; already-dead keys are no-ops. Returns #changed.
+  std::size_t erase(std::span<const key_t> keys);
+
+  /// upper_bound rank of `query` over the live set.
+  rank_t rank(key_t query) const;
+
+  /// rank() over parallel arrays.
+  void ranks(std::span<const key_t> queries, std::span<rank_t> out) const;
+
+  std::span<const key_t> keys() const { return keys_; }
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<key_t> keys_;
+};
+
+/// One point on the read/write-mix axis.
+struct WriteMix {
+  /// Writes as a fraction of all operations (reads + writes), in
+  /// [0, 1). 0 = read-only; 0.05 = the classic 95/5.
+  double write_fraction = 0.0;
+  /// Share of those writes that are erases (the rest are inserts of
+  /// fresh random keys). 0.5 keeps the live set roughly stationary.
+  double erase_share = 0.5;
+};
+
+/// How many writes accompany `reads` reads at `write_fraction`:
+/// round(reads * f / (1 - f)), so writes / (reads + writes) ≈ f.
+std::size_t writes_for_reads(std::size_t reads, double write_fraction);
+
+/// One batch of writes, already split by operation.
+struct WriteRound {
+  std::vector<key_t> inserts;
+  std::vector<key_t> erases;
+};
+
+/// Draw `n` writes against the CURRENT live set: erases pick uniformly
+/// among live keys (so they really erase), inserts draw uniform random
+/// keys over the whole key space (collisions with live keys are rare
+/// and harmless no-ops on both the store and the mirror). Apply the
+/// round to the Writer AND the mirror, flush, then price expectations.
+WriteRound draw_write_round(std::size_t n, const WriteMix& mix,
+                            const LiveSetReference& live, Rng& rng);
+
+}  // namespace dici::workload

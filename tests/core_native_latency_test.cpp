@@ -82,7 +82,7 @@ TEST_P(NativeLatency, DeclaredQueueWaitShiftsEverySample) {
   const auto client = index->connect();
   const auto bare = client->wait(client->submit(batch));
   const auto shifted =
-      client->wait(client->submit(batch, nullptr, queued));
+      client->wait(client->submit(batch, nullptr, {.queued_ns = queued}));
   ASSERT_EQ(shifted.latency_ns.count(), batch.size());
   EXPECT_GE(shifted.latency_ns.min(), kOffsetNs);
   EXPECT_LT(bare.latency_ns.min(), kOffsetNs);
@@ -98,9 +98,9 @@ TEST_P(NativeLatency, QueuedSpanLengthMismatchDies) {
   const auto index = engine->build(fx.keys);
   const auto client = index->connect();
   const std::vector<double> wrong(3, 0.0);
-  EXPECT_DEATH(
-      client->submit(std::span(fx.queries).subspan(0, 8), nullptr, wrong),
-      "queued_ns");
+  EXPECT_DEATH(client->submit(std::span(fx.queries).subspan(0, 8), nullptr,
+                              {.queued_ns = wrong}),
+               "queued_ns");
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, NativeLatency,
@@ -144,10 +144,10 @@ TEST(NativeLatencyRace, ConcurrentClientsStampIndependently) {
                                   fx.queries.size() / kBatches;
         const std::size_t end = static_cast<std::size_t>(b + 1) *
                                 fx.queries.size() / kBatches;
-        client->submit(std::span(fx.queries).subspan(begin, end - begin),
-                       nullptr,
-                       b % 2 ? std::span<const double>(queued)
-                             : std::span<const double>{});
+        client->submit(
+            std::span(fx.queries).subspan(begin, end - begin), nullptr,
+            {.queued_ns = b % 2 ? std::span<const double>(queued)
+                                : std::span<const double>{}});
       }
       const auto& total = client->drain();
       counts[static_cast<std::size_t>(c)] = total.latency_ns.count();

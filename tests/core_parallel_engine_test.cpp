@@ -235,31 +235,31 @@ TEST(ParallelNativeEngine, NullOutRanksStillRuns) {
   EXPECT_EQ(report.num_queries, 1000u);
 }
 
-// --- Streaming sessions -------------------------------------------------
+// --- Streaming clients (the v2 surface these sessions migrated to) -----
 
-TEST(ParallelSession, ManyBatchesOnOneSession) {
+TEST(ParallelClientStream, ManyBatchesOnOneClient) {
   const auto& fx = fixture();
   ParallelConfig cfg;
   cfg.num_threads = 4;
   cfg.num_shards = 7;
   cfg.batch_bytes = 4 * KiB;
-  const ParallelNativeEngine engine(cfg);
-  const auto session = engine.open(fx.keys);
+  const auto client = ParallelNativeEngine(cfg).build(fx.keys)->connect();
   const std::size_t B = 5;
   std::vector<rank_t> ranks;
   for (std::size_t b = 0; b < B; ++b) {
     const std::size_t begin = b * fx.queries.size() / B;
     const std::size_t end = (b + 1) * fx.queries.size() / B;
-    const auto report = session->run_batch(
-        std::span(fx.queries.data() + begin, end - begin), &ranks);
+    const auto report = client->wait(
+        client->submit(std::span(fx.queries.data() + begin, end - begin),
+                       &ranks));
     ASSERT_EQ(ranks.size(), end - begin);
     for (std::size_t i = 0; i < ranks.size(); ++i)
       ASSERT_EQ(ranks[i], fx.expected[begin + i]) << "batch " << b;
     EXPECT_EQ(report.num_queries, end - begin);
   }
-  EXPECT_EQ(session->batches(), B);
+  EXPECT_EQ(client->batches(), B);
   // total() is the RunReport::merge accumulation over all batches.
-  const RunReport& total = session->total();
+  const RunReport& total = client->total();
   EXPECT_EQ(total.num_queries, fx.queries.size());
   EXPECT_EQ(total.num_nodes, cfg.num_threads + 1);
   EXPECT_GT(total.messages, 0u);
@@ -270,36 +270,36 @@ TEST(ParallelSession, ManyBatchesOnOneSession) {
   EXPECT_EQ(processed, fx.queries.size());
 }
 
-TEST(ParallelSession, EmptyBatchIsHarmless) {
+TEST(ParallelClientStream, EmptyBatchIsHarmless) {
   const auto& fx = fixture();
   ParallelConfig cfg;
   cfg.num_threads = 3;
-  const auto session = ParallelNativeEngine(cfg).open(fx.keys);
+  const auto client = ParallelNativeEngine(cfg).build(fx.keys)->connect();
   std::vector<rank_t> ranks(4, 99);
-  session->run_batch(std::span<const key_t>{}, &ranks);
+  client->wait(client->submit(std::span<const key_t>{}, &ranks));
   EXPECT_TRUE(ranks.empty());
-  session->run_batch(std::span(fx.queries.data(), 100), &ranks);
+  client->wait(client->submit(std::span(fx.queries.data(), 100), &ranks));
   for (std::size_t i = 0; i < 100; ++i)
     ASSERT_EQ(ranks[i], fx.expected[i]);
-  EXPECT_EQ(session->batches(), 2u);
-  EXPECT_EQ(session->total().num_queries, 100u);
+  EXPECT_EQ(client->batches(), 2u);
+  EXPECT_EQ(client->total().num_queries, 100u);
 }
 
-TEST(ParallelSession, OutlivesItsEngine) {
+TEST(ParallelClientStream, OutlivesItsEngine) {
   const auto& fx = fixture();
-  std::unique_ptr<Session> session;
+  std::unique_ptr<Client> client;
   {
     ParallelConfig cfg;
     cfg.num_threads = 2;
-    session = ParallelNativeEngine(cfg).open(fx.keys);
-  }  // engine destroyed; the session owns keys, partitioner, workers
+    client = ParallelNativeEngine(cfg).build(fx.keys)->connect();
+  }  // engine destroyed; the index owns keys, partitioner, workers
   std::vector<rank_t> ranks;
-  session->run_batch(std::span(fx.queries.data(), 1000), &ranks);
+  client->wait(client->submit(std::span(fx.queries.data(), 1000), &ranks));
   for (std::size_t i = 0; i < 1000; ++i)
     ASSERT_EQ(ranks[i], fx.expected[i]);
 }
 
-TEST(SessionSeam, EveryBackendStreamsCorrectly) {
+TEST(ClientSeam, EveryBackendStreamsCorrectly) {
   const auto& fx = fixture();
   ExperimentConfig cfg;
   cfg.method = Method::kC3;
@@ -310,22 +310,22 @@ TEST(SessionSeam, EveryBackendStreamsCorrectly) {
   for (const Backend backend :
        {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
     const auto engine = make_engine(backend, cfg);
-    const auto session = engine->open(fx.keys);
-    EXPECT_STREQ(session->backend(), backend_name(backend));
+    const auto client = engine->build(fx.keys)->connect();
+    EXPECT_STREQ(client->backend(), backend_name(backend));
     std::vector<rank_t> ranks;
     for (const std::size_t begin : {std::size_t{0}, std::size_t{3000}}) {
-      session->run_batch(queries.subspan(begin, 3000), &ranks);
+      client->wait(client->submit(queries.subspan(begin, 3000), &ranks));
       for (std::size_t i = 0; i < 3000; ++i)
         ASSERT_EQ(ranks[i], fx.expected[begin + i])
             << backend_name(backend) << " query " << begin + i;
     }
-    EXPECT_EQ(session->batches(), 2u);
-    EXPECT_EQ(session->total().num_queries, queries.size());
-    EXPECT_GT(session->total().makespan, 0u);
+    EXPECT_EQ(client->batches(), 2u);
+    EXPECT_EQ(client->total().num_queries, queries.size());
+    EXPECT_GT(client->total().makespan, 0u);
   }
 }
 
-TEST(SessionSeam, OneShotRunMatchesSessionRanks) {
+TEST(ClientSeam, OneShotRunMatchesStreamedRanks) {
   const auto& fx = fixture();
   ExperimentConfig cfg;
   cfg.method = Method::kC3;
@@ -336,7 +336,8 @@ TEST(SessionSeam, OneShotRunMatchesSessionRanks) {
   std::vector<rank_t> one_shot;
   engine->run(fx.keys, queries, &one_shot);
   std::vector<rank_t> streamed;
-  engine->open(fx.keys)->run_batch(queries, &streamed);
+  const auto client = engine->build(fx.keys)->connect();
+  client->wait(client->submit(queries, &streamed));
   EXPECT_EQ(one_shot, streamed);
 }
 

@@ -8,6 +8,7 @@
 #include "src/core/engine.hpp"
 #include "src/core/native_engine.hpp"
 #include "src/core/parallel_engine.hpp"
+#include "src/core/store.hpp"
 #include "src/util/bytes.hpp"
 
 namespace dici::core {
@@ -143,6 +144,39 @@ TEST_F(ValidateDeath, ParallelNumaKnobsNameFieldAndValue) {
   ParallelConfig no_threshold;
   no_threshold.steal_threshold = 0;
   EXPECT_DEATH(ParallelNativeEngine{no_threshold}, "steal_threshold = 0");
+}
+
+TEST_F(ValidateDeath, WritePathKnobsNameFieldAndValue) {
+  auto no_room = good_config();
+  no_room.max_delta_keys = 0;
+  EXPECT_DEATH(validate(no_room), "max_delta_keys = 0");
+  auto zero_trigger = good_config();
+  zero_trigger.rebuild_trigger_fraction = 0.0;
+  EXPECT_DEATH(validate(zero_trigger), "rebuild_trigger_fraction = 0");
+  auto over_trigger = good_config();
+  over_trigger.rebuild_trigger_fraction = 1.5;
+  EXPECT_DEATH(validate(over_trigger), "rebuild_trigger_fraction = 1.5");
+  auto no_threads = good_config();
+  no_threads.writer_threads = 0;
+  EXPECT_DEATH(validate(no_threads), "writer_threads = 0");
+  auto too_many_threads = good_config();
+  too_many_threads.writer_threads = 1000;
+  EXPECT_DEATH(validate(too_many_threads), "writer_threads = 1000");
+}
+
+// StoreOptions repeats the gate with its own field names, so a bad
+// store config is attributed to the right struct.
+TEST_F(ValidateDeath, StoreOptionsNameFieldAndValue) {
+  StoreOptions no_room;
+  no_room.max_delta_keys = 0;
+  EXPECT_DEATH(validate(no_room), "StoreOptions::max_delta_keys = 0");
+  StoreOptions bad_fraction;
+  bad_fraction.rebuild_trigger_fraction = -0.25;
+  EXPECT_DEATH(validate(bad_fraction),
+               "StoreOptions::rebuild_trigger_fraction = -0.25");
+  StoreOptions no_threads;
+  no_threads.writer_threads = 0;
+  EXPECT_DEATH(validate(no_threads), "StoreOptions::writer_threads = 0");
 }
 
 // The messages gate configs the same way through make_engine, whatever

@@ -1,0 +1,175 @@
+// Delta buffer semantics (index/delta.hpp): net-effect entries, the
+// cancel/resurrect rules, snapshot corrections vs brute force, rebase
+// against a folded snapshot (including the racing-cancel inverse), and
+// fold_delta in its serial and sliced-parallel forms — every result is
+// checked against a plain std::vector mirror of the live set.
+#include "src/index/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/workload/update_stream.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::index {
+namespace {
+
+std::vector<key_t> make_base(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return workload::make_sorted_unique_keys(n, rng);
+}
+
+/// The brute-force live set: apply the snapshot to the base.
+std::vector<key_t> brute_live(std::span<const key_t> base,
+                              const DeltaSnapshot& delta) {
+  std::vector<key_t> live(base.begin(), base.end());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    const key_t k = delta.keys()[i];
+    const auto it = std::lower_bound(live.begin(), live.end(), k);
+    if (delta.op(i) == DeltaOp::kInsert) {
+      EXPECT_TRUE(it == live.end() || *it != k);
+      live.insert(it, k);
+    } else {
+      EXPECT_TRUE(it != live.end() && *it == k);
+      live.erase(it);
+    }
+  }
+  return live;
+}
+
+TEST(DeltaBuffer, NetEffectRules) {
+  const std::vector<key_t> base = {10, 20, 30};
+  DeltaBuffer buf;
+
+  // Inserting a base key is a no-op; a fresh key lands in the buffer.
+  EXPECT_EQ(buf.insert(std::vector<key_t>{20, 25}, base), 1u);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.net(), 1);
+
+  // Re-inserting a pending insert is a no-op.
+  EXPECT_EQ(buf.insert(std::vector<key_t>{25}, base), 0u);
+  EXPECT_EQ(buf.size(), 1u);
+
+  // Erasing a pending insert cancels the entry outright.
+  EXPECT_EQ(buf.erase(std::vector<key_t>{25}, base), 1u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.net(), 0);
+
+  // Erasing a base key buffers kErase; erasing a missing key is a no-op.
+  EXPECT_EQ(buf.erase(std::vector<key_t>{10, 99}, base), 1u);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.net(), -1);
+  EXPECT_EQ(buf.entries()[0].op, DeltaOp::kErase);
+
+  // Re-inserting a pending erase resurrects: the entry disappears.
+  EXPECT_EQ(buf.insert(std::vector<key_t>{10}, base), 1u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(DeltaSnapshot, CorrectionMatchesBruteForceRanks) {
+  const std::vector<key_t> base = make_base(2000, 42);
+  Rng rng(7);
+  DeltaBuffer buf;
+  workload::LiveSetReference mirror(base);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<key_t> ins, ers;
+    for (int i = 0; i < 40; ++i)
+      ins.push_back(static_cast<key_t>(rng.next()));
+    for (int i = 0; i < 30 && !mirror.keys().empty(); ++i)
+      ers.push_back(mirror.keys()[rng.below(mirror.keys().size())]);
+    EXPECT_EQ(buf.insert(ins, base), mirror.insert(ins));
+    EXPECT_EQ(buf.erase(ers, base), mirror.erase(ers));
+  }
+  const auto snap = buf.snapshot();
+  EXPECT_EQ(snap->net(), buf.net());
+
+  // Every possible query class: below, at, above, and between keys.
+  std::vector<key_t> probes = workload::make_uniform_queries(4000, rng);
+  probes.insert(probes.end(), base.begin(), base.begin() + 200);
+  probes.push_back(0);
+  probes.push_back(~key_t{0});
+  std::vector<rank_t> base_ranks = workload::reference_ranks(base, probes);
+  snap->correct(probes, base_ranks.data());
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    ASSERT_EQ(base_ranks[i], mirror.rank(probes[i])) << "probe " << i;
+}
+
+TEST(DeltaBuffer, RebaseKeepsRacersDropsFoldedSynthesizesInverses) {
+  const std::vector<key_t> base = {10, 20, 30, 40};
+  DeltaBuffer buf;
+  buf.insert(std::vector<key_t>{15, 25}, base);  // pending inserts
+  buf.erase(std::vector<key_t>{20, 40}, base);   // pending erases
+  const auto folded = buf.snapshot();  // {15:+, 20:-, 25:+, 40:-} folds
+
+  // While the fold runs: 35 races in (untouched by the fold), the
+  // insert of 25 is cancelled, and 40 is resurrected — both of which
+  // the fold is about to contradict.
+  buf.insert(std::vector<key_t>{35, 40}, base);
+  buf.erase(std::vector<key_t>{25}, base);
+
+  const std::vector<key_t> new_base = fold_delta(base, *folded);
+  EXPECT_EQ(new_base, (std::vector<key_t>{10, 15, 25, 30}));
+
+  buf.rebase(*folded);
+  // Surviving entries vs the NEW base: 35 still inserted; 25 must be
+  // re-erased (the fold committed it); 40 must be re-inserted (the
+  // fold dropped it).
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.entries()[0].key, 25u);
+  EXPECT_EQ(buf.entries()[0].op, DeltaOp::kErase);
+  EXPECT_EQ(buf.entries()[1].key, 35u);
+  EXPECT_EQ(buf.entries()[1].op, DeltaOp::kInsert);
+  EXPECT_EQ(buf.entries()[2].key, 40u);
+  EXPECT_EQ(buf.entries()[2].op, DeltaOp::kInsert);
+  EXPECT_EQ(buf.net(), 1);
+
+  // And the rebased delta over the new base yields exactly the live
+  // set the writer asked for: base minus 20 (folded erase, untouched),
+  // minus 25 (erased mid-fold), plus 15, 35, 40.
+  const auto rebased = buf.snapshot();
+  const std::vector<key_t> live = fold_delta(new_base, *rebased);
+  EXPECT_EQ(live, (std::vector<key_t>{10, 15, 30, 35, 40}));
+}
+
+TEST(FoldDelta, SerialAndParallelMatchMirrorAtScale) {
+  // > 64K keys per slice so the parallel path genuinely splits.
+  const std::vector<key_t> base = make_base(300'000, 99);
+  Rng rng(11);
+  DeltaBuffer buf;
+  workload::LiveSetReference mirror(base);
+  std::vector<key_t> ins, ers;
+  for (int i = 0; i < 5000; ++i)
+    ins.push_back(static_cast<key_t>(rng.next()));
+  for (int i = 0; i < 5000; ++i)
+    ers.push_back(mirror.keys()[rng.below(mirror.keys().size())]);
+  buf.insert(ins, base);
+  mirror.insert(ins);
+  buf.erase(ers, base);
+  mirror.erase(ers);
+
+  const auto snap = buf.snapshot();
+  const std::vector<key_t> serial = fold_delta(base, *snap, 1);
+  ASSERT_EQ(serial.size(), mirror.size());
+  EXPECT_TRUE(std::equal(serial.begin(), serial.end(),
+                         mirror.keys().begin()));
+  for (const std::uint32_t threads : {2u, 3u, 7u}) {
+    const std::vector<key_t> sliced = fold_delta(base, *snap, threads);
+    EXPECT_EQ(sliced, serial) << threads << " threads";
+  }
+  EXPECT_EQ(brute_live(base, *snap), serial);
+}
+
+TEST(FoldDelta, EraseEverythingYieldsEmptyLiveSet) {
+  const std::vector<key_t> base = {5, 6, 7};
+  DeltaBuffer buf;
+  EXPECT_EQ(buf.erase(base, base), 3u);
+  const std::vector<key_t> live = fold_delta(base, *buf.snapshot());
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(buf.net(), -3);
+}
+
+}  // namespace
+}  // namespace dici::index
