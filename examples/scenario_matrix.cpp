@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/transport.hpp"
 #include "src/util/bytes.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/table.hpp"
@@ -41,14 +42,14 @@ bool parse_backends(const std::string& csv,
   out->clear();
   if (csv == "all") {
     *out = {core::Backend::kSim, core::Backend::kNative,
-            core::Backend::kParallelNative};
+            core::Backend::kParallelNative, core::Backend::kCluster};
     return true;
   }
   for (const std::string& name : split_csv(csv)) {
     bool known = false;
     for (const core::Backend b :
          {core::Backend::kSim, core::Backend::kNative,
-          core::Backend::kParallelNative}) {
+          core::Backend::kParallelNative, core::Backend::kCluster}) {
       if (name == core::backend_name(b)) {
         out->push_back(b);
         known = true;
@@ -126,8 +127,10 @@ int main(int argc, char** argv) {
               "'sec' column sums overlapping makespans)", 1);
   cli.add_bytes("batch", "dispatcher round size", 8 * KiB);
   cli.add_int("nodes", "cluster size (1 master + slaves)", 5);
-  cli.add_string("backends", "comma list of sim|native|parallel-native, or "
-                 "'all'", "all");
+  cli.add_string("backends", "comma list of "
+                 "sim|native|parallel-native|cluster, or 'all'", "all");
+  cli.add_string("transport", "frame transport for cluster cells: "
+                 "ring|socket", "ring");
   cli.add_string("kernels", "comma list of search kernels (see "
                  "fast_search.hpp), or 'all'", "all");
   cli.add_string("placements", "comma list of "
@@ -171,6 +174,11 @@ int main(int argc, char** argv) {
     return 2;
   if (!parse_placements(cli.get_string("placements"), &options.placements))
     return 2;
+  if (!net::transport_parse(cli.get_string("transport"), &options.transport)) {
+    std::fprintf(stderr, "unknown transport '%s' (want ring|socket)\n",
+                 cli.get_string("transport").c_str());
+    return 2;
+  }
   options.numa_nodes = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, cli.get_int("numa-nodes")));
   if (!parse_write_fractions(cli.get_string("write-fractions"),
@@ -187,11 +195,11 @@ int main(int argc, char** argv) {
 
   const auto cells = workload::run_scenario_matrix(tuned, options);
 
-  TextTable t({"scenario", "backend", "kernel", "placement", "wf", "writes",
-               "batches", "queries", "ranks", "sec", "ns/key", "Mqps",
-               "messages"});
+  TextTable t({"scenario", "backend", "kernel", "placement", "link", "wf",
+               "writes", "batches", "queries", "ranks", "sec", "ns/key",
+               "Mqps", "messages"});
   for (const auto& c : cells) {
-    t.add_row({c.scenario, c.backend, c.kernel, c.placement,
+    t.add_row({c.scenario, c.backend, c.kernel, c.placement, c.transport,
                format_double(c.write_fraction, 2), std::to_string(c.writes),
                std::to_string(c.stream_batches),
                std::to_string(c.num_queries),

@@ -1,0 +1,809 @@
+#include "src/cluster/cluster_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/membership.hpp"
+#include "src/cluster/node.hpp"
+#include "src/core/dispatch.hpp"
+#include "src/index/delta.hpp"
+#include "src/index/partitioner.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace dici::cluster {
+
+using core::Backend;
+using core::Client;
+using core::DispatchBatch;
+using core::Index;
+using core::Method;
+using core::NodeReport;
+using core::RunReport;
+using core::SubmitOptions;
+
+ClusterEngine::ClusterEngine(const ClusterConfig& config) : config_(config) {
+  DICI_CHECK_FMT(config_.num_nodes >= 1,
+                 "ClusterConfig::num_nodes = %u: need at least one serving "
+                 "node",
+                 config_.num_nodes);
+  DICI_CHECK_FMT(config_.batch_bytes >= sizeof(key_t),
+                 "ClusterConfig::batch_bytes = %llu: a dispatch round must "
+                 "hold at least one %zu-byte key",
+                 static_cast<unsigned long long>(config_.batch_bytes),
+                 sizeof(key_t));
+  DICI_CHECK_FMT(index::search_kernel_valid(config_.kernel),
+                 "ClusterConfig::kernel = %d: not a SearchKernel value",
+                 static_cast<int>(config_.kernel));
+  DICI_CHECK_FMT(index::placement_valid(config_.placement),
+                 "ClusterConfig::placement = %d: not a Placement value",
+                 static_cast<int>(config_.placement));
+  DICI_CHECK_FMT(config_.heartbeat_interval_ms >= 1,
+                 "ClusterConfig::heartbeat_interval_ms = %u: the failure "
+                 "detector needs a nonzero heartbeat cadence",
+                 config_.heartbeat_interval_ms);
+  DICI_CHECK_FMT(
+      config_.heartbeat_timeout_ms >= 2 * config_.heartbeat_interval_ms,
+      "ClusterConfig::heartbeat_timeout_ms = %u with "
+      "heartbeat_interval_ms = %u: the timeout must be at least twice the "
+      "interval, or one delayed beat kills a healthy node",
+      config_.heartbeat_timeout_ms, config_.heartbeat_interval_ms);
+  DICI_CHECK_FMT(config_.ring_frames >= 1,
+                 "ClusterConfig::ring_frames = %zu: a frame pipe needs at "
+                 "least one slot",
+                 config_.ring_frames);
+}
+
+ClusterConfig cluster_config_from(const core::ExperimentConfig& config) {
+  core::validate(config);
+  core::check_native_supported(config);
+  DICI_CHECK_FMT(config.method == Method::kC3,
+                 "ExperimentConfig::method = %s: ClusterEngine ships sorted "
+                 "shard arrays to its nodes (Method C-3)",
+                 core::method_name(config.method));
+  DICI_CHECK_FMT(config.num_masters == 1,
+                 "ExperimentConfig::num_masters = %u: ClusterEngine maps "
+                 "extra masters to extra Clients, not config knobs — "
+                 "connect() one Client per master",
+                 config.num_masters);
+  ClusterConfig cluster;
+  cluster.num_nodes = config.num_slaves();
+  cluster.num_shards = config.num_slaves();
+  cluster.batch_bytes = config.batch_bytes;
+  cluster.transport = config.transport;
+  cluster.kernel = config.kernel;
+  cluster.placement = config.placement;
+  cluster.heartbeat_interval_ms = config.heartbeat_interval_ms;
+  cluster.heartbeat_timeout_ms = config.heartbeat_timeout_ms;
+  cluster.track_latency = config.track_latency;
+  return cluster;
+}
+
+ClusterEngine::ClusterEngine(const core::ExperimentConfig& config)
+    : ClusterEngine(cluster_config_from(config)) {}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace std::chrono_literals;
+
+/// Build-phase patience (join handshake, build acks): a node that can't
+/// answer within this during build is a bug, and build has no error
+/// channel — it aborts loudly.
+constexpr auto kBuildTimeout = 30s;
+
+/// Keys per kBuildShard chunk. 4 MiB of payload per frame — far under
+/// kMaxFramePayloadBytes, large enough that a build is a handful of
+/// frames per shard.
+constexpr std::size_t kBuildChunkKeys = 1u << 20;
+
+/// failed_node sentinel: no failure recorded.
+constexpr std::uint32_t kNoFailure = 0xffffffffu;
+
+std::uint32_t clamped_shards(const ClusterConfig& config, std::size_t n) {
+  const std::uint32_t want =
+      config.num_shards == 0 ? config.num_nodes : config.num_shards;
+  return static_cast<std::uint32_t>(
+      std::max<std::size_t>(1, std::min<std::size_t>(want, n)));
+}
+
+/// Completion record for one submitted batch: the cluster twin of
+/// ParallelNativeEngine's Submission. `outstanding` starts at 1 (the
+/// submitter's hold) and counts un-replied kQueryBatch messages;
+/// whoever drops it to zero — the last receiver thread, or the failure
+/// path writing off a dead node's share — stamps the wall clock and
+/// signals done. Per-node stat slots are written only by that node's
+/// receiver thread (and the submitter, for the sent-side counters,
+/// before it releases its hold), so no slot is ever shared.
+struct ClusterSubmission {
+  ClusterSubmission(std::uint64_t id_, std::uint32_t num_nodes,
+                    bool track_latency_)
+      : id(id_), track_latency(track_latency_), node_queries(num_nodes, 0),
+        node_busy_ns(num_nodes, 0), node_replies(num_nodes, 0),
+        node_reply_bytes(num_nodes, 0), node_sent(num_nodes, 0),
+        node_sent_bytes(num_nodes, 0),
+        node_latency(track_latency_ ? num_nodes : 0),
+        pending_per_node(num_nodes) {}
+
+  const std::uint64_t id;
+  rank_t* out = nullptr;
+  std::vector<rank_t> sink;  ///< backs `out` when the caller passed none
+
+  bool track_latency = false;
+  std::vector<double> queued_ns;  ///< per query id; empty = no prior wait
+
+  /// Coordinator-side delta fold: nodes resolve base ranks only; the
+  /// live-set correction is a post-pass in await() over the scattered
+  /// results, exactly like NativeClient. query_copy holds the queries
+  /// (in id order) because the caller's span dies with submit().
+  std::shared_ptr<const index::DeltaSnapshot> delta;
+  std::vector<key_t> query_copy;
+
+  // Per-node stat slots (receiver-thread-owned, except node_sent*
+  // which the submitter fills before releasing its hold).
+  std::vector<std::uint64_t> node_queries;
+  std::vector<std::uint64_t> node_busy_ns;
+  std::vector<std::uint64_t> node_replies;
+  std::vector<std::uint64_t> node_reply_bytes;
+  std::vector<std::uint64_t> node_sent;
+  std::vector<std::uint64_t> node_sent_bytes;
+  std::vector<Summary> node_latency;
+
+  /// Un-replied messages per node; the failure path exchanges a dead
+  /// node's count to zero and writes it off `outstanding` in one step.
+  std::vector<std::atomic<std::uint64_t>> pending_per_node;
+
+  /// First node whose death touched this submission (kNoFailure = none).
+  std::atomic<std::uint32_t> failed_node{kNoFailure};
+
+  // Filled by the submitter before it releases its hold.
+  std::uint64_t num_queries = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;  ///< request-hop serialized bytes
+  double dispatch_sec = 0.0;
+
+  WallTimer timer;        ///< started at submit
+  double wall_sec = 0.0;  ///< stamped by whoever completes last
+
+  std::atomic<std::uint64_t> outstanding{1};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::atomic<bool> done_flag{false};
+
+  void record_failure(std::uint32_t node) {
+    std::uint32_t expected = kNoFailure;
+    failed_node.compare_exchange_strong(expected, node,
+                                        std::memory_order_acq_rel);
+  }
+
+  /// Drop `k` from the countdown; returns true when this call completed
+  /// the submission (and has signalled the waiter).
+  bool finish(std::uint64_t k) {
+    if (outstanding.fetch_sub(k, std::memory_order_acq_rel) != k) return false;
+    wall_sec = timer.elapsed_sec();
+    {
+      std::lock_guard lock(mu);
+      done = true;
+    }
+    done_flag.store(true, std::memory_order_release);
+    cv.notify_all();
+    return true;
+  }
+
+  void await_done() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+};
+
+/// One coordinator->node link plus its ordering state. `tx` serializes
+/// senders (many clients, plus the coordinator's control frames); the
+/// failure path takes the same mutex before marking `dead`, so a
+/// submitter is always either entirely before the death (its pending
+/// increment is visible to the write-off) or entirely after (it sees
+/// `dead` and skips the send).
+struct Link {
+  std::unique_ptr<net::Endpoint> endpoint;
+  std::mutex tx;
+  bool dead = false;  ///< guarded by tx
+};
+
+class ClusterIndex : public Index {
+ public:
+  ClusterIndex(const ClusterConfig& config, std::span<const key_t> index_keys)
+      : Index(index_keys),
+        config_(config),
+        partitioner_(keys(), clamped_shards(config, keys().size())),
+        membership_(config.num_nodes),
+        links_(config.num_nodes) {
+    const std::uint32_t N = config_.num_nodes;
+    NodeConfig node_config;
+    node_config.kernel = config_.kernel;
+    node_config.interleave_width = config_.interleave_width;
+    node_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    node_config.num_nodes = N;
+    nodes_.reserve(N);
+    for (std::uint32_t i = 0; i < N; ++i) {
+      auto [coordinator_end, node_end] =
+          net::make_transport_pair(config_.transport, config_.ring_frames);
+      links_[i] = std::make_unique<Link>();
+      links_[i]->endpoint = std::move(coordinator_end);
+      nodes_.push_back(
+          std::make_unique<ClusterNode>(i, node_config, std::move(node_end)));
+    }
+    join_all();
+    broadcast_cluster_info();
+    scatter_shards();
+    await_build_acks();
+    broadcast_cluster_info();
+    receivers_.reserve(N);
+    for (std::uint32_t i = 0; i < N; ++i)
+      receivers_.emplace_back([this, i] { receiver_loop(i); });
+  }
+
+  ~ClusterIndex() override {
+    // No client outlives the Index, so every submission has completed
+    // (drained or failed). Stop the receivers, wave the nodes goodbye,
+    // and close the links — close unblocks every recv on both ends.
+    stop_.store(true, std::memory_order_release);
+    for (std::uint32_t i = 0; i < links_.size(); ++i) {
+      std::lock_guard lock(links_[i]->tx);
+      if (!links_[i]->dead) {
+        (void)links_[i]->endpoint->send(
+            net::encode_shutdown(net::kCoordinatorId), 10ms);
+      }
+    }
+    for (auto& link : links_) link->endpoint->close();
+    for (auto& receiver : receivers_) receiver.join();
+    nodes_.clear();  // joins each node's service thread
+  }
+
+  const char* backend() const override {
+    return core::backend_name(Backend::kCluster);
+  }
+
+  const ClusterConfig& config() const { return config_; }
+
+  NodeStatus node_status(std::uint32_t node) const {
+    std::lock_guard lock(membership_mu_);
+    return membership_.status(node);
+  }
+
+  /// Test hook: silence node `i` as if its machine lost power.
+  void kill_node(std::uint32_t i) const { nodes_[i]->kill(); }
+
+  std::unique_ptr<Client::Completion> submit_batch(
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      const SubmitOptions& options) const;
+
+ private:
+  class ClusterCompletion;
+
+  std::uint32_t node_of_shard(std::uint32_t shard) const {
+    return shard % config_.num_nodes;
+  }
+
+  std::chrono::milliseconds send_timeout() const {
+    return std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+  }
+
+  // --- Build phase (constructor only) -------------------------------------
+
+  /// Receive the next frame from node `i` during build, skipping (but
+  /// recording) heartbeats. Aborts on timeout/close — build has no
+  /// error channel and a node that dies during build is a bug.
+  net::Frame recv_build_frame(std::uint32_t i) {
+    for (;;) {
+      net::Frame frame;
+      std::string error;
+      const auto result =
+          links_[i]->endpoint->recv(&frame, kBuildTimeout, &error);
+      DICI_CHECK_FMT(result == net::Endpoint::RecvResult::kFrame,
+                     "cluster build: node %u went silent before completing "
+                     "the handshake (recv result %d: %s)",
+                     i, static_cast<int>(result), error.c_str());
+      if (frame.header.msg_type() == net::MsgType::kHeartbeat) {
+        std::lock_guard lock(membership_mu_);
+        membership_.record_alive(i, Clock::now());
+        continue;
+      }
+      return frame;
+    }
+  }
+
+  void send_control(std::uint32_t i, const net::Frame& frame) {
+    std::lock_guard lock(links_[i]->tx);
+    const auto result = links_[i]->endpoint->send(frame, kBuildTimeout);
+    DICI_CHECK_FMT(result == net::Endpoint::SendResult::kOk,
+                   "cluster build: send to node %u failed (result %d)", i,
+                   static_cast<int>(result));
+  }
+
+  void join_all() {
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+      const net::Frame frame = recv_build_frame(i);
+      net::JoinRequestMsg request;
+      std::string error;
+      DICI_CHECK_FMT(
+          net::decode_join_request(frame, &request, &error) &&
+              request.node_id == i,
+          "cluster build: node %u sent %s instead of its join request (%s)",
+          i, net::msg_type_name(frame.header.msg_type()), error.c_str());
+      {
+        std::lock_guard lock(membership_mu_);
+        membership_.transition(i, NodeStatus::kJoining);
+        membership_.record_alive(i, Clock::now());
+      }
+      send_control(i, net::encode_join_ack(net::kCoordinatorId,
+                                           {i, config_.num_nodes}));
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kAck);
+    }
+  }
+
+  void broadcast_cluster_info() {
+    net::ClusterInfoMsg info;
+    {
+      std::lock_guard lock(membership_mu_);
+      info.nodes = membership_.to_entries();
+    }
+    const net::Frame frame =
+        net::encode_cluster_info(net::kCoordinatorId, info);
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i)
+      send_control(i, frame);
+  }
+
+  /// Ship one shard replica (or the full array, for kReplicate) to a
+  /// node as chunked kBuildShard frames; `last` tags the node's final
+  /// build frame so it knows when to finalize and ack.
+  void send_shard_chunks(std::uint32_t node, std::uint32_t shard,
+                         std::span<const key_t> shard_keys, rank_t offset,
+                         bool final_shard_of_node) {
+    const std::size_t chunks =
+        std::max<std::size_t>(1, (shard_keys.size() + kBuildChunkKeys - 1) /
+                                     kBuildChunkKeys);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * kBuildChunkKeys;
+      const std::size_t count =
+          std::min(kBuildChunkKeys, shard_keys.size() - begin);
+      net::BuildShardMsg msg;
+      msg.shard = shard;
+      msg.global_offset = offset + static_cast<rank_t>(begin);
+      msg.last = final_shard_of_node && c + 1 == chunks;
+      msg.keys.assign(shard_keys.begin() + static_cast<std::ptrdiff_t>(begin),
+                      shard_keys.begin() +
+                          static_cast<std::ptrdiff_t>(begin + count));
+      send_control(node, net::encode_build_shard(net::kCoordinatorId, msg));
+    }
+  }
+
+  void scatter_shards() {
+    const std::uint32_t N = config_.num_nodes;
+    if (config_.placement == index::Placement::kReplicate) {
+      // The paper's replicated strategy: every node holds the whole
+      // array (shipped once, as real bytes) and answers at offset 0.
+      for (std::uint32_t i = 0; i < N; ++i)
+        send_shard_chunks(i, net::kGlobalShard, keys(), 0,
+                          /*final_shard_of_node=*/true);
+      std::lock_guard lock(membership_mu_);
+      for (std::uint32_t i = 0; i < N; ++i) membership_.set_shards(i, 1);
+      return;
+    }
+    // kInterleave / kNodeLocal: shard s lives on node s % N. On a wire
+    // these are one assignment — a shipped replica is by construction
+    // local to its node — so both placement names hit this path.
+    const std::uint32_t S = partitioner_.parts();
+    for (std::uint32_t i = 0; i < N; ++i) {
+      std::vector<std::uint32_t> shards;
+      for (std::uint32_t s = i; s < S; s += N) shards.push_back(s);
+      if (shards.empty()) {
+        // More nodes than shards (tiny index): the node still needs its
+        // "build complete" marker to ack. An empty last-flagged frame
+        // is exactly that.
+        net::BuildShardMsg msg;
+        msg.shard = net::kGlobalShard;
+        msg.last = true;
+        send_control(i, net::encode_build_shard(net::kCoordinatorId, msg));
+      } else {
+        for (std::size_t j = 0; j < shards.size(); ++j) {
+          const std::uint32_t s = shards[j];
+          send_shard_chunks(i, s, partitioner_.keys_of(s),
+                            partitioner_.start_of(s),
+                            /*final_shard_of_node=*/j + 1 == shards.size());
+        }
+      }
+      std::lock_guard lock(membership_mu_);
+      membership_.set_shards(i, static_cast<std::uint32_t>(shards.size()));
+    }
+  }
+
+  void await_build_acks() {
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+      const net::Frame frame = recv_build_frame(i);
+      net::BuildAckMsg ack;
+      std::string error;
+      DICI_CHECK_FMT(
+          net::decode_build_ack(frame, &ack, &error),
+          "cluster build: node %u sent %s instead of its build ack (%s)", i,
+          net::msg_type_name(frame.header.msg_type()), error.c_str());
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kAlive);
+      membership_.record_alive(i, Clock::now());
+    }
+  }
+
+  // --- Failure path --------------------------------------------------------
+
+  /// Mark node `i` DEAD and fail its share of every in-flight
+  /// submission. Runs on node i's receiver thread (or, for send
+  /// failures, on a submitting client thread — the link tx mutex and
+  /// the idempotent membership edge make the two orderings safe).
+  void fail_node(std::uint32_t i) const {
+    {
+      // tx-mutex handshake with submitters: after this block, any
+      // submitter that did not already increment its pending count for
+      // this node will observe `dead` and skip the send.
+      std::lock_guard lock(links_[i]->tx);
+      if (links_[i]->dead) return;  // another path got here first
+      links_[i]->dead = true;
+    }
+    {
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kDead);
+    }
+    links_[i]->endpoint->close();
+    // Write the dead node's un-replied messages off every in-flight
+    // submission so their waiters unblock with a diagnosable error
+    // instead of hanging. Replies from live nodes keep landing — a
+    // failed submission still waits for those (its countdown holds
+    // their pending counts), so the caller's out_ranks is never written
+    // after wait() returns.
+    std::vector<std::shared_ptr<ClusterSubmission>> completed;
+    {
+      std::lock_guard lock(subs_mu_);
+      for (auto& [id, sub] : pending_) {
+        const std::uint64_t orphaned =
+            sub->pending_per_node[i].exchange(0, std::memory_order_acq_rel);
+        if (orphaned == 0) continue;
+        sub->record_failure(i);
+        if (sub->finish(orphaned)) completed.push_back(sub);
+      }
+      for (const auto& sub : completed) pending_.erase(sub->id);
+    }
+  }
+
+  // --- Serve phase ---------------------------------------------------------
+
+  void handle_rank_batch(std::uint32_t i, const net::Frame& frame) const {
+    net::RankBatchMsg msg;
+    std::string error;
+    if (!net::decode_rank_batch(frame, &msg, &error)) {
+      fail_node(i);
+      return;
+    }
+    std::shared_ptr<ClusterSubmission> sub;
+    {
+      std::lock_guard lock(subs_mu_);
+      const auto it = pending_.find(msg.submission);
+      if (it == pending_.end()) return;  // late reply of a failed batch
+      sub = it->second;
+    }
+    // The order-preserving merge: scatter by query id. Safe against the
+    // failure path because THIS node's pending count is still >= 1 until
+    // the finish below, so the submission cannot complete mid-scatter.
+    for (std::size_t j = 0; j < msg.ids.size(); ++j)
+      sub->out[msg.ids[j]] = msg.ranks[j];
+    sub->node_queries[i] += msg.ids.size();
+    sub->node_busy_ns[i] += msg.busy_ns;
+    sub->node_replies[i] += 1;
+    sub->node_reply_bytes[i] += net::kFrameHeaderBytes + frame.payload.size();
+    if (sub->track_latency) {
+      // One arrival stamp for the whole reply (its queries' answers all
+      // exist on the coordinator now), read against the submit stamp.
+      const double resolved_ns = sub->timer.elapsed_ns();
+      if (sub->queued_ns.empty()) {
+        sub->node_latency[i].add_n(resolved_ns, msg.ids.size());
+      } else {
+        for (const std::uint32_t id : msg.ids)
+          sub->node_latency[i].add(resolved_ns + sub->queued_ns[id]);
+      }
+    }
+    sub->pending_per_node[i].fetch_sub(1, std::memory_order_acq_rel);
+    if (sub->finish(1)) {
+      std::lock_guard lock(subs_mu_);
+      pending_.erase(sub->id);
+    }
+  }
+
+  void receiver_loop(std::uint32_t i) const {
+    const auto interval =
+        std::chrono::milliseconds(config_.heartbeat_interval_ms);
+    const auto timeout =
+        std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+    auto last_seen = Clock::now();
+    while (!stop_.load(std::memory_order_acquire)) {
+      net::Frame frame;
+      std::string error;
+      switch (links_[i]->endpoint->recv(&frame, interval, &error)) {
+        case net::Endpoint::RecvResult::kFrame: {
+          last_seen = Clock::now();
+          {
+            std::lock_guard lock(membership_mu_);
+            membership_.record_alive(i, last_seen);
+          }
+          if (frame.header.msg_type() == net::MsgType::kRankBatch) {
+            handle_rank_batch(i, frame);
+          }
+          // Heartbeats carry only liveness (recorded above); any other
+          // type from a joined node is ignorable noise.
+          continue;
+        }
+        case net::Endpoint::RecvResult::kTimeout:
+          if (Clock::now() - last_seen > timeout) {
+            fail_node(i);
+            return;
+          }
+          continue;
+        case net::Endpoint::RecvResult::kClosed:
+          if (!stop_.load(std::memory_order_acquire)) fail_node(i);
+          return;
+        case net::Endpoint::RecvResult::kError:
+          fail_node(i);
+          return;
+      }
+    }
+  }
+
+  std::unique_ptr<Client> do_connect(
+      std::shared_ptr<const Index> self) const override;
+
+  ClusterConfig config_;
+  index::RangePartitioner partitioner_;
+  mutable std::mutex membership_mu_;
+  mutable Membership membership_;
+  mutable std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  mutable std::mutex subs_mu_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<ClusterSubmission>>
+      pending_;
+  mutable std::atomic<std::uint64_t> next_sub_id_{1};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> receivers_;
+};
+
+/// Waits one submission and assembles its RunReport — or throws
+/// NodeFailureError when a node died under it. Self-contained: holds
+/// only the submission record, safe to await during client teardown.
+class ClusterIndex::ClusterCompletion : public Client::Completion {
+ public:
+  ClusterCompletion(std::shared_ptr<ClusterSubmission> sub,
+                    const ClusterConfig& config)
+      : sub_(std::move(sub)), num_nodes_(config.num_nodes),
+        batch_bytes_(config.batch_bytes) {}
+
+  bool ready() const override {
+    return sub_->done_flag.load(std::memory_order_acquire);
+  }
+
+  RunReport await() override {
+    ClusterSubmission& sub = *sub_;
+    sub.await_done();
+    const std::uint32_t failed =
+        sub.failed_node.load(std::memory_order_acquire);
+    if (failed != kNoFailure) {
+      throw NodeFailureError(
+          failed, "cluster submission " + std::to_string(sub.id) +
+                      " failed: node " + std::to_string(failed) +
+                      " is DEAD (heartbeat timeout or link failure) with "
+                      "its replies outstanding");
+    }
+    // Coordinator-side delta fold, after every rank has landed.
+    if (sub.delta != nullptr)
+      sub.delta->correct(sub.query_copy, sub.out);
+
+    const std::uint32_t N = num_nodes_;
+    RunReport report;
+    report.method = Method::kC3;
+    report.num_queries = sub.num_queries;
+    report.num_nodes = N + 1;
+    report.batch_bytes = batch_bytes_;
+    report.raw_makespan = ns_to_ps(sub.wall_sec * 1e9);
+    report.makespan = report.raw_makespan;
+    report.messages = sub.messages;
+    // Unlike ParallelNativeEngine (request hop only, to match the
+    // simulator), wire_bytes here is MEASURED traffic on both hops —
+    // these bytes actually crossed a transport.
+    std::uint64_t reply_bytes = 0;
+    std::uint64_t replies = 0;
+    for (std::uint32_t i = 0; i < N; ++i) {
+      reply_bytes += sub.node_reply_bytes[i];
+      replies += sub.node_replies[i];
+    }
+    report.wire_bytes = sub.wire_bytes + reply_bytes;
+    report.nodes.resize(N + 1);
+    report.nodes[0].queries = sub.num_queries;
+    report.nodes[0].busy = ns_to_ps(sub.dispatch_sec * 1e9);
+    report.nodes[0].finish = report.raw_makespan;
+    report.nodes[0].idle = report.raw_makespan > report.nodes[0].busy
+                               ? report.raw_makespan - report.nodes[0].busy
+                               : 0;
+    report.nodes[0].nic.messages_sent = sub.messages;
+    report.nodes[0].nic.bytes_sent = sub.wire_bytes;
+    report.nodes[0].nic.messages_received = replies;
+    report.nodes[0].nic.bytes_received = reply_bytes;
+    double idle_sum = 0.0;
+    for (std::uint32_t i = 0; i < N; ++i) {
+      NodeReport& node = report.nodes[i + 1];
+      node.queries = sub.node_queries[i];
+      node.busy = sub.node_busy_ns[i] * 1000;  // ns -> ps
+      node.finish = report.raw_makespan;
+      node.idle = report.raw_makespan > node.busy
+                      ? report.raw_makespan - node.busy
+                      : 0;
+      node.nic.messages_sent = sub.node_replies[i];
+      node.nic.bytes_sent = sub.node_reply_bytes[i];
+      node.nic.messages_received = sub.node_sent[i];
+      node.nic.bytes_received = sub.node_sent_bytes[i];
+      const double busy_sec = static_cast<double>(sub.node_busy_ns[i]) / 1e9;
+      if (sub.wall_sec > 0.0)
+        idle_sum += std::max(0.0, 1.0 - busy_sec / sub.wall_sec);
+    }
+    report.slave_idle_fraction = N > 0 ? idle_sum / N : 0.0;
+    for (Summary& s : sub.node_latency) report.latency_ns.merge(s);
+    return report;
+  }
+
+ private:
+  std::shared_ptr<ClusterSubmission> sub_;
+  std::uint32_t num_nodes_;
+  std::uint64_t batch_bytes_;
+};
+
+std::unique_ptr<Client::Completion> ClusterIndex::submit_batch(
+    std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+    const SubmitOptions& options) const {
+  const std::uint32_t N = config_.num_nodes;
+  auto sub = std::make_shared<ClusterSubmission>(
+      next_sub_id_.fetch_add(1, std::memory_order_relaxed), N,
+      config_.track_latency);
+  if (out_ranks != nullptr) {
+    out_ranks->assign(queries.size(), 0);
+    sub->out = out_ranks->data();
+  } else {
+    sub->sink.assign(queries.size(), 0);
+    sub->out = sub->sink.data();
+  }
+  sub->num_queries = queries.size();
+  if (options.delta != nullptr && !options.delta->empty()) {
+    sub->delta = options.delta;
+    sub->query_copy.assign(queries.begin(), queries.end());
+  }
+  if (config_.track_latency && !options.queued_ns.empty())
+    sub->queued_ns.assign(options.queued_ns.begin(), options.queued_ns.end());
+
+  // Registered BEFORE any frame leaves, so a node death during the
+  // dispatch loop already finds (and fails) this submission.
+  {
+    std::lock_guard lock(subs_mu_);
+    pending_.emplace(sub->id, sub);
+  }
+
+  const bool replicate = config_.placement == index::Placement::kReplicate;
+  const std::uint32_t lanes = replicate ? N : partitioner_.parts();
+  std::uint64_t round_robin = 0;
+
+  sub->timer.start();
+  WallTimer dispatch_timer;
+  sub->messages = core::dispatch_master_rounds(
+      queries, config_.batch_bytes, lanes,
+      [&](key_t q) -> std::uint32_t {
+        // kReplicate balances by turn, not by key range: any node can
+        // answer any query on its full copy.
+        return replicate ? static_cast<std::uint32_t>(round_robin++ % N)
+                         : partitioner_.route(q);
+      },
+      [&](std::uint32_t lane, DispatchBatch&& batch) {
+        const std::uint32_t node = replicate ? lane : node_of_shard(lane);
+        net::QueryBatchMsg msg;
+        msg.submission = sub->id;
+        msg.shard = replicate ? net::kGlobalShard : lane;
+        msg.keys = std::move(batch.keys);
+        msg.ids = std::move(batch.ids);
+        const net::Frame frame =
+            net::encode_query_batch(net::kCoordinatorId, msg);
+        const std::uint64_t frame_bytes =
+            net::kFrameHeaderBytes + frame.payload.size();
+        std::lock_guard lock(links_[node]->tx);
+        if (links_[node]->dead) {
+          // Submitting into a grave: fail this submission immediately
+          // (no countdown hold was taken for the message).
+          sub->record_failure(node);
+          return;
+        }
+        // Hold taken BEFORE the send so the countdown can never hit
+        // zero while messages are still leaving; the failure path's
+        // tx-mutex handshake guarantees it sees this increment.
+        sub->pending_per_node[node].fetch_add(1, std::memory_order_acq_rel);
+        sub->outstanding.fetch_add(1, std::memory_order_relaxed);
+        const auto result = links_[node]->endpoint->send(frame, send_timeout());
+        if (result != net::Endpoint::SendResult::kOk) {
+          // The node's ring/socket is wedged or closed: treat exactly
+          // like a death, but only un-count OUR message — the receiver
+          // thread owns the full fail_node sweep.
+          sub->pending_per_node[node].fetch_sub(1, std::memory_order_acq_rel);
+          sub->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+          sub->record_failure(node);
+          return;
+        }
+        sub->node_sent[node] += 1;
+        sub->node_sent_bytes[node] += frame_bytes;
+        sub->wire_bytes += frame_bytes;
+      });
+  sub->dispatch_sec = dispatch_timer.elapsed_sec();
+  // Release the submitter's hold; completes immediately on zero work
+  // (or when every message was skipped into a dead node).
+  if (sub->finish(1)) {
+    std::lock_guard lock(subs_mu_);
+    pending_.erase(sub->id);
+  }
+  return std::make_unique<ClusterCompletion>(std::move(sub), config_);
+}
+
+/// One master stream into the cluster. All the machinery lives in the
+/// ClusterIndex (links are shared and tx-serialized), so the client is
+/// just the do_submit forwarder plus the base ledger.
+class ClusterClient : public Client {
+ public:
+  ClusterClient(std::shared_ptr<const Index> index,
+                const ClusterIndex* cluster)
+      : Client(std::move(index)), cluster_(cluster) {}
+
+  const char* backend() const override {
+    return core::backend_name(Backend::kCluster);
+  }
+
+ private:
+  std::unique_ptr<Completion> do_submit(
+      std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
+      const SubmitOptions& options) override {
+    return cluster_->submit_batch(queries, out_ranks, options);
+  }
+
+  const ClusterIndex* cluster_;  // the index the base class keeps alive
+};
+
+std::unique_ptr<Client> ClusterIndex::do_connect(
+    std::shared_ptr<const Index> self) const {
+  return std::make_unique<ClusterClient>(std::move(self), this);
+}
+
+}  // namespace
+
+std::shared_ptr<const core::Index> ClusterEngine::build(
+    std::span<const key_t> index_keys) const {
+  return std::make_shared<const ClusterIndex>(config_, index_keys);
+}
+
+void cluster_kill_node_for_test(const core::Index& index, std::uint32_t node) {
+  const auto* cluster = dynamic_cast<const ClusterIndex*>(&index);
+  DICI_CHECK_FMT(cluster != nullptr,
+                 "cluster_kill_node_for_test: index backend is %s, not a "
+                 "cluster index",
+                 index.backend());
+  DICI_CHECK_FMT(node < cluster->config().num_nodes,
+                 "cluster_kill_node_for_test: node %u out of range (cluster "
+                 "has %u nodes)",
+                 node, cluster->config().num_nodes);
+  cluster->kill_node(node);
+}
+
+}  // namespace dici::cluster

@@ -1,0 +1,122 @@
+// ClusterEngine — Method C-3 on N nodes that share no memory.
+//
+// The backend the ROADMAP's top item asks for: the same master/slave
+// architecture ParallelNativeEngine runs over shared-memory rings, but
+// with the shared memory removed. build() scatters shard replicas to N
+// ClusterNode objects as serialized kBuildShard frames; submit() routes
+// a batch with the same dispatch_master_rounds loop every native
+// backend uses, but each per-shard message leaves the coordinator as a
+// length-prefixed kQueryBatch frame on a net::Endpoint and its answers
+// come back as a kRankBatch frame that a per-node receiver thread
+// scatters into the caller's out_ranks by query id (the
+// order-preserving merge). Two transports plug into the seam — the
+// in-process SpscRing pair and a UNIX-domain socketpair — and both
+// carry identical bytes, so bench_cluster can put a real number on what
+// LinkModel::message_ps simulates.
+//
+// Placement (reusing the index/placement vocabulary):
+//   kInterleave / kNodeLocal — shard s lives on node s % N. On a wire
+//       the two are the same assignment (every replica is "local" to
+//       exactly the node it was shipped to); both names are accepted so
+//       matrix cells sweep the axis uniformly.
+//   kReplicate — every node gets the full key array; queries
+//       round-robin across nodes and resolve at global offset 0 (the
+//       paper's replicated strategy, traded bandwidth for balance).
+//
+// Failure semantics (the part simulators get for free and real
+// clusters must earn): each node heartbeats the coordinator; a per-node
+// receiver thread marks a silent node DEAD after heartbeat_timeout_ms
+// and FAILS that node's share of every in-flight submission. wait()
+// then throws NodeFailureError naming the node instead of hanging;
+// replies already scattered from live nodes are unaffected, and new
+// submits to a dead node fail immediately. A node killed mid-batch
+// (ClusterNode::kill) is indistinguishable from a powered-off machine,
+// which is exactly the case the kill-one-node test pins.
+//
+// What stays coordinator-side: SubmitOptions::delta (rank corrections
+// are applied as a post-pass over the returned ranks, like
+// NativeClient, so the Store write path works unchanged and nodes stay
+// delta-oblivious) and per-query wall latency (submit stamp to
+// reply-arrival stamp, per-node Summary slots).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/core/engine.hpp"
+#include "src/index/fast_search.hpp"
+#include "src/net/transport.hpp"
+#include "src/util/bytes.hpp"
+
+namespace dici::cluster {
+
+/// Thrown by wait()/drain() when a node died with the submission's
+/// messages outstanding. Carries the node id so callers (and tests) can
+/// name the culprit without parsing the message.
+class NodeFailureError : public std::runtime_error {
+ public:
+  NodeFailureError(std::uint32_t node, const std::string& what)
+      : std::runtime_error(what), node_(node) {}
+
+  std::uint32_t node() const { return node_; }
+
+ private:
+  std::uint32_t node_;
+};
+
+struct ClusterConfig {
+  /// Serving nodes (the coordinator is extra, reported as RunReport
+  /// node 0 — so num_nodes here mirrors ExperimentConfig::num_slaves()).
+  std::uint32_t num_nodes = 4;
+  /// Shard count; 0 = one per node. Shard s lives on node s % num_nodes
+  /// (ignored under kReplicate).
+  std::uint32_t num_shards = 0;
+  /// Query bytes the coordinator ingests per dispatch round.
+  std::uint64_t batch_bytes = 64 * KiB;
+  net::TransportKind transport = net::TransportKind::kRing;
+  index::SearchKernel kernel = index::SearchKernel::kBranchless;
+  std::uint32_t interleave_width = index::kDefaultInterleave;
+  index::Placement placement = index::Placement::kInterleave;
+  /// Node -> coordinator heartbeat cadence.
+  std::uint32_t heartbeat_interval_ms = 25;
+  /// Silence past this marks a node DEAD and fails its in-flight
+  /// batches. Must be at least 2x the interval (validated).
+  std::uint32_t heartbeat_timeout_ms = 250;
+  /// In-flight frame capacity per direction of a kRing link.
+  std::size_t ring_frames = 1024;
+  bool track_latency = false;
+};
+
+class ClusterEngine : public core::Engine {
+ public:
+  explicit ClusterEngine(const ClusterConfig& config);
+  /// Derive from the shared ExperimentConfig (method must be C-3,
+  /// single master; see cluster_config_from).
+  explicit ClusterEngine(const core::ExperimentConfig& config);
+
+  std::shared_ptr<const core::Index> build(
+      std::span<const key_t> index_keys) const override;
+  const char* name() const override {
+    return core::backend_name(core::Backend::kCluster);
+  }
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+/// The ExperimentConfig -> ClusterConfig mapping used by make_engine.
+/// Rejects cluster-incompatible knob combos with field+value
+/// diagnostics: method != C-3, num_masters != 1, non-default
+/// flush_policy, heartbeat_timeout_ms < 2 * heartbeat_interval_ms.
+ClusterConfig cluster_config_from(const core::ExperimentConfig& config);
+
+/// Test hook: silence node `node` of a cluster-built Index as if its
+/// machine lost power — the node thread parks without closing its link
+/// or saying goodbye, so only the heartbeat timeout can detect it.
+/// Aborts (field+value diagnostic) if `index` is not a cluster index
+/// or `node` is out of range.
+void cluster_kill_node_for_test(const core::Index& index, std::uint32_t node);
+
+}  // namespace dici::cluster

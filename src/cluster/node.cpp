@@ -1,0 +1,170 @@
+#include "src/cluster/node.hpp"
+
+#include <chrono>
+
+#include "src/index/batched_search.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace dici::cluster {
+
+using namespace std::chrono_literals;
+
+namespace {
+
+/// How patiently a node waits for the coordinator during the join
+/// handshake and on sends. Generous: a stalled coordinator is a test
+/// bug, not a production mode — the node gives up and exits, and the
+/// coordinator's own timeout machinery reports it DEAD.
+constexpr auto kControlTimeout = 10s;
+
+}  // namespace
+
+ClusterNode::ClusterNode(std::uint32_t id, const NodeConfig& config,
+                         std::unique_ptr<net::Endpoint> link)
+    : id_(id), config_(config), link_(std::move(link)),
+      membership_(config.num_nodes) {
+  DICI_CHECK(link_ != nullptr);
+  thread_ = std::thread([this] { serve(); });
+}
+
+ClusterNode::~ClusterNode() {
+  link_->close();
+  thread_.join();
+}
+
+void ClusterNode::serve() {
+  // Join handshake: announce, then wait for the ack before serving.
+  const net::Frame join = net::encode_join_request(id_, {id_});
+  if (link_->send(join, kControlTimeout) != net::Endpoint::SendResult::kOk)
+    return;
+  {
+    net::Frame frame;
+    std::string error;
+    if (link_->recv(&frame, kControlTimeout, &error) !=
+        net::Endpoint::RecvResult::kFrame)
+      return;
+    net::JoinAckMsg ack;
+    if (!net::decode_join_ack(frame, &ack, &error) || ack.node_id != id_)
+      return;
+  }
+
+  const auto interval =
+      std::chrono::milliseconds(config_.heartbeat_interval_ms);
+  auto last_heartbeat = std::chrono::steady_clock::now() - interval;
+  for (;;) {
+    if (killed_.load(std::memory_order_acquire)) return;  // silent hang
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_heartbeat >= interval) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          now.time_since_epoch())
+                          .count();
+      const net::Frame beat = net::encode_heartbeat(
+          id_, {static_cast<std::uint64_t>(ns)});
+      if (link_->send(beat, kControlTimeout) !=
+          net::Endpoint::SendResult::kOk)
+        return;
+      last_heartbeat = now;
+    }
+
+    net::Frame frame;
+    std::string error;
+    switch (link_->recv(&frame, interval, &error)) {
+      case net::Endpoint::RecvResult::kTimeout:
+        continue;  // loop sends the next heartbeat
+      case net::Endpoint::RecvResult::kClosed:
+      case net::Endpoint::RecvResult::kError:
+        return;
+      case net::Endpoint::RecvResult::kFrame:
+        break;
+    }
+    if (killed_.load(std::memory_order_acquire)) return;
+
+    switch (frame.header.msg_type()) {
+      case net::MsgType::kClusterInfo: {
+        net::ClusterInfoMsg info;
+        if (net::decode_cluster_info(frame, &info, &error))
+          membership_.apply_entries(info.nodes);
+        break;
+      }
+      case net::MsgType::kBuildShard:
+        if (!handle_build_shard(frame)) return;
+        break;
+      case net::MsgType::kQueryBatch:
+        if (!handle_query_batch(frame)) return;
+        break;
+      case net::MsgType::kHeartbeat:
+        break;  // coordinator liveness; nothing to do
+      case net::MsgType::kShutdown:
+        return;
+      default:
+        // A frame type a serving node never receives: protocol breach —
+        // stop answering and let the coordinator's timeout name us dead.
+        return;
+    }
+  }
+}
+
+bool ClusterNode::handle_build_shard(const net::Frame& frame) {
+  net::BuildShardMsg msg;
+  std::string error;
+  if (!net::decode_build_shard(frame, &msg, &error)) return false;
+  if (!msg.keys.empty()) {
+    // Chunks of one shard arrive in order; the first carries the
+    // shard's global offset, the rest append.
+    auto [it, inserted] = replicas_.try_emplace(msg.shard);
+    Replica& replica = it->second;
+    if (inserted) replica.global_offset = msg.global_offset;
+    replica.keys.insert(replica.keys.end(), msg.keys.begin(), msg.keys.end());
+    replica_keys_.fetch_add(msg.keys.size(), std::memory_order_acq_rel);
+  }
+  if (msg.last) {
+    // Finalize: the kernels that probe BFS order need the layout built
+    // once per replica, exactly like PlacedShards does for the parallel
+    // backend's shard copies.
+    if (index::kernel_layout(config_.kernel) == index::KeyLayout::kEytzinger) {
+      for (auto& [shard, replica] : replicas_)
+        if (replica.layout == nullptr)
+          replica.layout =
+              std::make_unique<index::EytzingerLayout>(replica.keys);
+    }
+    net::BuildAckMsg ack;
+    ack.shards_received = static_cast<std::uint32_t>(replicas_.size());
+    ack.replica_keys = replica_keys_.load(std::memory_order_acquire);
+    const net::Frame reply = net::encode_build_ack(id_, ack);
+    if (link_->send(reply, kControlTimeout) != net::Endpoint::SendResult::kOk)
+      return false;
+  }
+  return true;
+}
+
+bool ClusterNode::handle_query_batch(const net::Frame& frame) {
+  net::QueryBatchMsg msg;
+  std::string error;
+  if (!net::decode_query_batch(frame, &msg, &error)) return false;
+  const auto it = replicas_.find(msg.shard);
+  // A batch for a shard this node never received is a coordinator bug —
+  // an in-process invariant, so fail loud rather than silent-drop.
+  DICI_CHECK_FMT(it != replicas_.end(),
+                 "cluster node %u: query batch for shard %u, but this node "
+                 "holds %zu replicas and none by that id",
+                 id_, msg.shard, replicas_.size());
+  const Replica& replica = it->second;
+
+  WallTimer busy;
+  net::RankBatchMsg reply;
+  reply.submission = msg.submission;
+  reply.shard = msg.shard;
+  reply.ids = std::move(msg.ids);
+  reply.ranks.resize(msg.keys.size());
+  index::resolve_batch(config_.kernel, replica.keys, replica.layout.get(),
+                       msg.keys, reply.ranks.data(),
+                       config_.interleave_width);
+  for (rank_t& r : reply.ranks) r += replica.global_offset;
+  reply.busy_ns = static_cast<std::uint64_t>(busy.elapsed_ns());
+
+  const net::Frame out = net::encode_rank_batch(id_, reply);
+  return link_->send(out, kControlTimeout) == net::Endpoint::SendResult::kOk;
+}
+
+}  // namespace dici::cluster

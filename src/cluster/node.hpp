@@ -1,0 +1,103 @@
+// ClusterNode — one serving node of the cluster backend.
+//
+// A node is a thread plus an Endpoint, and NOTHING else crosses its
+// boundary: the coordinator never touches node state, the node never
+// touches coordinator state. Its key replicas are deserialized COPIES
+// built from kBuildShard frames; its answers leave as kRankBatch
+// frames. Forking these objects into real processes would change the
+// transport kind (kSocket already carries everything through the
+// kernel) and not one line of this protocol — that is the point of the
+// first rung.
+//
+// Service loop (after the join handshake):
+//   recv(heartbeat interval) →
+//     kClusterInfo  — mirror the coordinator's membership view
+//     kBuildShard   — append the chunk to the shard's replica; on the
+//                     last-flagged frame, finalize (build Eytzinger
+//                     layouts if the kernel needs them) and kBuildAck
+//     kQueryBatch   — resolve_batch over the named replica, add the
+//                     shard's global rank offset, reply kRankBatch with
+//                     the node's busy time
+//     kShutdown / link closed — exit
+//   and between frames, send kHeartbeat once per interval.
+//
+// kill() is the failure-injection hook: the service loop stops dead —
+// no reply, no heartbeat, no close — exactly what a kernel panic or
+// power loss looks like from the other end of a wire. The coordinator
+// must detect it by heartbeat timeout alone (the kill-one-node test
+// pins that batches then fail fast with this node's id).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/membership.hpp"
+#include "src/index/eytzinger.hpp"
+#include "src/index/fast_search.hpp"
+#include "src/net/transport.hpp"
+#include "src/util/types.hpp"
+
+namespace dici::cluster {
+
+struct NodeConfig {
+  index::SearchKernel kernel = index::SearchKernel::kBranchless;
+  std::uint32_t interleave_width = index::kDefaultInterleave;
+  std::uint32_t heartbeat_interval_ms = 25;
+  /// Cluster size (for the node's local membership mirror).
+  std::uint32_t num_nodes = 1;
+};
+
+class ClusterNode {
+ public:
+  /// Spawns the service thread; it immediately sends kJoinRequest and
+  /// waits for the coordinator's kJoinAck.
+  ClusterNode(std::uint32_t id, const NodeConfig& config,
+              std::unique_ptr<net::Endpoint> link);
+
+  /// Joins the service thread. The coordinator must have closed (or
+  /// shut down) the link first, or the loop exits on kShutdown/kClosed.
+  ~ClusterNode();
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  std::uint32_t id() const { return id_; }
+
+  /// Failure injection: the service loop halts without a goodbye — no
+  /// close, no reply to anything in flight. Idempotent.
+  void kill() { killed_.store(true, std::memory_order_release); }
+
+  /// Total keys across this node's replicas (test observability; racy
+  /// during the build scatter, exact after the build ack).
+  std::uint64_t replica_keys() const {
+    return replica_keys_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One shard replica: deserialized key copy + its global rank offset
+  /// (+ the BFS layout when the kernel probes Eytzinger order).
+  struct Replica {
+    std::vector<key_t> keys;
+    rank_t global_offset = 0;
+    std::unique_ptr<index::EytzingerLayout> layout;
+  };
+
+  void serve();
+  bool handle_build_shard(const net::Frame& frame);
+  bool handle_query_batch(const net::Frame& frame);
+
+  const std::uint32_t id_;
+  const NodeConfig config_;
+  std::unique_ptr<net::Endpoint> link_;
+  std::atomic<bool> killed_{false};
+  std::atomic<std::uint64_t> replica_keys_{0};
+  Membership membership_;  ///< service-thread-only mirror of broadcasts
+  std::map<std::uint32_t, Replica> replicas_;  ///< service-thread-only
+  std::thread thread_;
+};
+
+}  // namespace dici::cluster

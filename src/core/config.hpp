@@ -7,6 +7,7 @@
 #include "src/index/fast_search.hpp"
 #include "src/index/geometry.hpp"
 #include "src/index/placement.hpp"
+#include "src/net/transport.hpp"
 #include "src/util/bytes.hpp"
 
 namespace dici::core {
@@ -130,6 +131,22 @@ struct ExperimentConfig {
   /// base ∪ delta merge across. In [1, 256]; the fold auto-clamps on
   /// small bases where spawn cost would dominate.
   std::uint32_t writer_threads = 1;
+
+  // --- Cluster backend (src/cluster/cluster_engine.hpp) -------------------
+  // Knobs for Backend::kCluster, where the slaves are message-passing
+  // nodes behind a net::Transport. The other backends ignore all three.
+
+  /// How frames physically move between coordinator and nodes: the
+  /// in-process SpscRing pair, or a UNIX-domain socketpair (same bytes
+  /// either way — the ring is not allowed to pass pointers).
+  net::TransportKind transport = net::TransportKind::kRing;
+  /// Node -> coordinator heartbeat cadence. Must be >= 1 (validated).
+  std::uint32_t heartbeat_interval_ms = 25;
+  /// Silence past this marks a node DEAD and fails its in-flight
+  /// batches with a NodeFailureError naming the node. Must be at least
+  /// 2 * heartbeat_interval_ms (validated), so one delayed beat never
+  /// kills a healthy node.
+  std::uint32_t heartbeat_timeout_ms = 250;
 
   /// Node layout used by the replicated tree (Methods A/B): a classic
   /// B+-tree whose leaves hold (key, record-pointer) pairs — this is what

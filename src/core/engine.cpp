@@ -1,5 +1,6 @@
 #include "src/core/engine.hpp"
 
+#include "src/cluster/cluster_engine.hpp"
 #include "src/core/native_engine.hpp"
 #include "src/core/parallel_engine.hpp"
 #include "src/core/sim_engine.hpp"
@@ -37,8 +38,18 @@ Client::~Client() {
   // Drain-on-destroy: tickets still in flight reference caller buffers
   // (out_ranks) and shared machinery, so block until they complete.
   // Completions are self-contained, safe to await from the base dtor.
-  for (Entry& entry : entries_)
-    if (entry.completion) entry.completion->await();
+  // A completion may THROW (the cluster backend's NodeFailureError) —
+  // during this destructor-context drain the failure is swallowed: the
+  // await still returned, so the buffers are safe, and the caller who
+  // wanted the error should have wait()ed or drain()ed before dropping
+  // the client.
+  for (Entry& entry : entries_) {
+    if (!entry.completion) continue;
+    try {
+      entry.completion->await();
+    } catch (...) {
+    }
+  }
 }
 
 Ticket Client::submit(std::span<const key_t> queries,
@@ -120,55 +131,6 @@ const RunReport& Client::drain() {
   return total_;
 }
 
-// --- v1 compatibility wrappers (deprecated) -------------------------------
-// The wrappers implement the surface they deprecate, so the warnings
-// are suppressed here — and ONLY here plus the compat coverage test.
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-RunReport Session::run_batch(std::span<const key_t> queries,
-                             std::vector<rank_t>* out_ranks) {
-  RunReport report = do_run_batch(queries, out_ranks);
-  if (batches_ == 0) {
-    total_ = report;
-  } else {
-    total_.merge(report);
-  }
-  ++batches_;
-  return report;
-}
-
-namespace {
-
-/// Session = one client with every submit immediately waited. The
-/// client (and through it the shared Index) is the only state; key
-/// storage lives in the Index, not here.
-class CompatSession : public Session {
- public:
-  explicit CompatSession(std::unique_ptr<Client> client)
-      : client_(std::move(client)) {}
-
-  const char* backend() const override { return client_->backend(); }
-
- private:
-  RunReport do_run_batch(std::span<const key_t> queries,
-                         std::vector<rank_t>* out_ranks) override {
-    return client_->wait(client_->submit(queries, out_ranks));
-  }
-
-  std::unique_ptr<Client> client_;
-};
-
-}  // namespace
-
-std::unique_ptr<Session> Engine::open(
-    std::span<const key_t> index_keys) const {
-  return std::make_unique<CompatSession>(build(index_keys)->connect());
-}
-
-#pragma GCC diagnostic pop
-
 RunReport Engine::run(std::span<const key_t> index_keys,
                       std::span<const key_t> queries,
                       std::vector<rank_t>* out_ranks) const {
@@ -214,6 +176,16 @@ void validate(const ExperimentConfig& config) {
                  "ExperimentConfig::writer_threads = %u: the background fold "
                  "splits across 1..256 threads",
                  config.writer_threads);
+  DICI_CHECK_FMT(config.heartbeat_interval_ms >= 1,
+                 "ExperimentConfig::heartbeat_interval_ms = %u: the cluster "
+                 "failure detector needs a nonzero heartbeat cadence",
+                 config.heartbeat_interval_ms);
+  DICI_CHECK_FMT(
+      config.heartbeat_timeout_ms >= 2 * config.heartbeat_interval_ms,
+      "ExperimentConfig::heartbeat_timeout_ms = %u with "
+      "heartbeat_interval_ms = %u: the timeout must be at least twice the "
+      "interval, or one delayed beat kills a healthy node",
+      config.heartbeat_timeout_ms, config.heartbeat_interval_ms);
   if (is_distributed(config.method)) {
     DICI_CHECK_FMT(config.num_masters >= 1,
                    "ExperimentConfig::num_masters = %u: Method C needs at "
@@ -349,6 +321,7 @@ const char* backend_name(Backend backend) {
     case Backend::kSim: return "sim";
     case Backend::kNative: return "native";
     case Backend::kParallelNative: return "parallel-native";
+    case Backend::kCluster: return "cluster";
   }
   return "?";
 }
@@ -360,6 +333,8 @@ std::unique_ptr<Engine> make_engine(Backend backend,
     case Backend::kNative: return std::make_unique<NativeEngine>(config);
     case Backend::kParallelNative:
       return std::make_unique<ParallelNativeEngine>(config);
+    case Backend::kCluster:
+      return std::make_unique<cluster::ClusterEngine>(config);
   }
   DICI_CHECK_MSG(false, "unknown backend");
   return nullptr;

@@ -30,16 +30,15 @@
 // delta snapshot, and every backend folds its rank corrections into the
 // results at resolve time.
 //
-// The v1 surface survives as thin deprecated compatibility wrappers:
-//
-//   Engine::open(index_keys) -> Session      == build + connect
-//   Session::run_batch(queries, out_ranks)   == submit + wait
-//   Engine::run(index_keys, queries, out)    == one-shot of all of it
-//
-// (removal timeline in README's migration table). out_ranks always
-// receives the global std::upper_bound rank of every query in query
-// order — the invariant every backend is tested against; when a delta
-// rides along, the rank is over (base \ erased) ∪ inserted instead.
+// The v1 Session surface (Engine::open / Session::run_batch) is GONE —
+// removed on the schedule README's migration table promised, two PRs
+// after its PR 7 deprecation. Engine::run survives as the one-shot
+// convenience (build + connect + submit + wait in one call), and the
+// PR 6 positional submit overload remains deprecated-but-present for
+// one more cycle. out_ranks always receives the global std::upper_bound
+// rank of every query in query order — the invariant every backend is
+// tested against; when a delta rides along, the rank is over
+// (base \ erased) ∪ inserted instead.
 #pragma once
 
 #include <deque>
@@ -273,44 +272,6 @@ class ImmediateCompletion : public Client::Completion {
   RunReport report_;
 };
 
-/// v1 compatibility: a Session is one synchronous query stream over a
-/// built index — now a thin wrapper over build + connect, with each
-/// run_batch a submit immediately followed by wait. DEPRECATED since
-/// PR 7 and scheduled for removal two PRs later (see README's migration
-/// table): hold the Index and Clients directly (shared indexes,
-/// concurrent clients, pipelining) — every in-tree caller already does.
-class Session {
- public:
-  virtual ~Session() = default;
-
-  /// Resolve one batch of the query stream against the session's index.
-  /// When `out_ranks` is non-null it receives the global upper-bound
-  /// rank of every query in this batch, in batch order. Returns the
-  /// report for THIS batch only; the running total (merged with
-  /// RunReport::merge) is available via total().
-  [[deprecated(
-      "v1 surface: connect() a Client and submit()/wait() instead")]]
-  RunReport run_batch(std::span<const key_t> queries,
-                      std::vector<rank_t>* out_ranks = nullptr);
-
-  /// Accumulated report over every run_batch so far (default-constructed
-  /// before the first batch).
-  const RunReport& total() const { return total_; }
-
-  /// Number of run_batch calls served.
-  std::uint64_t batches() const { return batches_; }
-
-  /// Stable identifier of the backend that opened this session.
-  virtual const char* backend() const = 0;
-
- private:
-  virtual RunReport do_run_batch(std::span<const key_t> queries,
-                                 std::vector<rank_t>* out_ranks) = 0;
-
-  RunReport total_;
-  std::uint64_t batches_ = 0;
-};
-
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -320,12 +281,6 @@ class Engine {
   /// concurrent clients as you like; the Engine may be destroyed.
   virtual std::shared_ptr<const Index> build(
       std::span<const key_t> index_keys) const = 0;
-
-  /// v1 compatibility: build + connect, wrapped as a Session.
-  /// DEPRECATED since PR 7, removal two PRs later (README migration
-  /// table) — call build() and Index::connect() directly.
-  [[deprecated("v1 surface: use build() + Index::connect() instead")]]
-  std::unique_ptr<Session> open(std::span<const key_t> index_keys) const;
 
   /// One-shot convenience: build an index, serve a single batch, tear
   /// it down. When `out_ranks` is non-null it receives the global
@@ -368,13 +323,15 @@ void validate(const ExperimentConfig& config);
 /// backends in measured wall time.
 void check_native_supported(const ExperimentConfig& config);
 
-enum class Backend { kSim, kNative, kParallelNative };
+enum class Backend { kSim, kNative, kParallelNative, kCluster };
 
 const char* backend_name(Backend backend);
 
 /// Factory: the one switch benches and tests go through to pick a
-/// backend for a given experiment. kParallelNative requires Method C-3
-/// (it shards sorted arrays).
+/// backend for a given experiment. kParallelNative and kCluster require
+/// Method C-3 (they shard sorted arrays); kCluster additionally runs
+/// its slaves as message-passing nodes (src/cluster/) whose only link
+/// to the coordinator is a serialized frame transport.
 std::unique_ptr<Engine> make_engine(Backend backend,
                                     const ExperimentConfig& config);
 

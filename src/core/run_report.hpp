@@ -80,8 +80,8 @@ struct RunReport {
 
   /// Fold a subsequent batch's report into this one with *sequential*
   /// semantics — the stream served batch after batch on the same built
-  /// index, so makespans add and counters add. Client::wait and
-  /// Session::run_batch use this to maintain their total().
+  /// index, so makespans add and counters add. Client::wait uses this
+  /// to maintain the client's total().
   ///
   /// Per-node detail: `nodes` layouts are backend-defined (the sim
   /// reports every simulated node, ParallelNativeEngine dispatcher +

@@ -30,8 +30,8 @@ class SimCluster : public Engine {
   /// One full simulated run (build + dispatch + drain). When `out_ranks`
   /// is non-null it receives the global upper-bound rank of every query,
   /// in query order — the hook the correctness tests use to compare
-  /// every method against std::upper_bound. This is the body behind both
-  /// the one-shot Engine::run wrapper and the session's run_batch.
+  /// every method against std::upper_bound. This is the body behind the
+  /// one-shot Engine::run wrapper and every SimClient submit.
   RunReport run_once(std::span<const key_t> index_keys,
                      std::span<const key_t> queries,
                      std::vector<rank_t>* out_ranks = nullptr) const;

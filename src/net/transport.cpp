@@ -1,0 +1,350 @@
+#include "src/net/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/spsc_ring.hpp"
+#include "src/util/assert.hpp"
+
+namespace dici::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Ring transport -------------------------------------------------------
+
+/// One direction of the ring link: an SPSC ring of fully serialized
+/// frames plus the eventcount park/wake protocol from SpscRingHub (see
+/// spsc_ring.hpp for why the generation ticket can't lose a wake).
+/// Sender and receiver live in different "nodes", so the pipe is the
+/// only memory they share — and it carries bytes, not objects.
+struct FramePipe {
+  explicit FramePipe(std::size_t min_frames) : ring(min_frames) {}
+
+  SpscRing<std::vector<std::uint8_t>> ring;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<bool> waiting{false};
+  std::atomic<bool> closed{false};
+
+  void wake() {
+    {
+      std::lock_guard lock(mu);
+      epoch.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv.notify_all();
+  }
+
+  void after_event() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting.load(std::memory_order_relaxed)) wake();
+  }
+
+  void close() {
+    closed.store(true, std::memory_order_release);
+    wake();
+  }
+};
+
+struct RingLink {
+  RingLink(std::size_t frames) : to_node(frames), to_coordinator(frames) {}
+  FramePipe to_node;
+  FramePipe to_coordinator;
+};
+
+class RingEndpoint final : public Endpoint {
+ public:
+  RingEndpoint(std::shared_ptr<RingLink> link, FramePipe* out, FramePipe* in)
+      : link_(std::move(link)), out_(out), in_(in) {}
+
+  ~RingEndpoint() override { close(); }
+
+  SendResult send(const Frame& frame, std::chrono::nanoseconds timeout) override {
+    if (closed_by_either()) return SendResult::kClosed;
+    FrameHeader header = frame.header;
+    header.seq = seq_++;
+    std::vector<std::uint8_t> bytes(kFrameHeaderBytes + frame.payload.size());
+    encode_frame_header(header, bytes.data());
+    if (!frame.payload.empty()) {
+      std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
+                  frame.payload.size());
+    }
+    const std::uint64_t size = bytes.size();
+
+    // A full ring means the receiver is awake and draining (or dead) —
+    // it can't be parked on empty — so spinning with yields until a
+    // slot frees is correct; the deadline bounds a dead receiver.
+    const auto deadline = Clock::now() + timeout;
+    while (!out_->ring.try_push(bytes)) {
+      if (closed_by_either()) return SendResult::kClosed;
+      if (Clock::now() >= deadline) return SendResult::kTimeout;
+      std::this_thread::yield();
+    }
+    out_->after_event();  // wake a receiver parked on empty
+    stats_messages_.fetch_add(1, std::memory_order_relaxed);
+    stats_bytes_.fetch_add(size, std::memory_order_relaxed);
+    return SendResult::kOk;
+  }
+
+  RecvResult recv(Frame* frame, std::chrono::nanoseconds timeout,
+                  std::string* error) override {
+    std::vector<std::uint8_t> bytes;
+    const auto outcome = wait_pop(bytes, timeout);
+    if (outcome != RecvResult::kFrame) return outcome;
+    if (!decode_frame(bytes, frame, error)) return RecvResult::kError;
+    return RecvResult::kFrame;
+  }
+
+  void close() override {
+    // Close both pipes: a ring endpoint closing must unblock its peer's
+    // sender (which pushes into in_) as well as its receiver.
+    out_->close();
+    in_->close();
+  }
+
+  SendStats send_stats() const override {
+    return {stats_messages_.load(std::memory_order_relaxed),
+            stats_bytes_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  bool closed_by_either() const {
+    return out_->closed.load(std::memory_order_acquire) ||
+           in_->closed.load(std::memory_order_acquire);
+  }
+
+  RecvResult wait_pop(std::vector<std::uint8_t>& bytes,
+                      std::chrono::nanoseconds timeout) {
+    const auto deadline = Clock::now() + timeout;
+    for (;;) {
+      if (in_->ring.try_pop(bytes)) return RecvResult::kFrame;
+      // Eventcount park (the SpscRingHub protocol): ticket, announce,
+      // final re-scan, then sleep on "generation changed or closed".
+      const std::uint64_t ticket = in_->epoch.load(std::memory_order_acquire);
+      in_->waiting.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (in_->ring.try_pop(bytes)) {
+        in_->waiting.store(false, std::memory_order_relaxed);
+        return RecvResult::kFrame;
+      }
+      if (in_->closed.load(std::memory_order_acquire)) {
+        in_->waiting.store(false, std::memory_order_relaxed);
+        // Final drain: frames pushed before the close still come out.
+        return in_->ring.try_pop(bytes) ? RecvResult::kFrame
+                                        : RecvResult::kClosed;
+      }
+      bool woke;
+      {
+        std::unique_lock lock(in_->mu);
+        woke = in_->cv.wait_until(lock, deadline, [&] {
+          return in_->epoch.load(std::memory_order_relaxed) != ticket ||
+                 in_->closed.load(std::memory_order_relaxed);
+        });
+      }
+      in_->waiting.store(false, std::memory_order_relaxed);
+      if (!woke) {
+        // Deadline hit. One last pop covers a push that raced the wait.
+        if (in_->ring.try_pop(bytes)) return RecvResult::kFrame;
+        if (in_->closed.load(std::memory_order_acquire))
+          return RecvResult::kClosed;
+        return RecvResult::kTimeout;
+      }
+    }
+  }
+
+  std::shared_ptr<RingLink> link_;  // keeps both pipes alive
+  FramePipe* out_;
+  FramePipe* in_;
+  std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> stats_messages_{0};
+  std::atomic<std::uint64_t> stats_bytes_{0};
+};
+
+// --- Socket transport -----------------------------------------------------
+
+/// One side of a UNIX-domain SOCK_STREAM socketpair. The fd is kept
+/// blocking-off so poll() bounds every wait; writes use MSG_NOSIGNAL so
+/// a dead peer surfaces as EPIPE (→ kClosed), never SIGPIPE.
+class SocketEndpoint final : public Endpoint {
+ public:
+  explicit SocketEndpoint(int fd) : fd_(fd) {}
+
+  ~SocketEndpoint() override {
+    close();
+    ::close(fd_);  // fd released only here, so a racing send/recv can
+                   // never hit a recycled descriptor
+  }
+
+  SendResult send(const Frame& frame, std::chrono::nanoseconds timeout) override {
+    FrameHeader header = frame.header;
+    header.seq = seq_++;
+    std::vector<std::uint8_t> bytes(kFrameHeaderBytes + frame.payload.size());
+    encode_frame_header(header, bytes.data());
+    if (!frame.payload.empty()) {
+      std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
+                  frame.payload.size());
+    }
+
+    const auto deadline = Clock::now() + timeout;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      if (closed_.load(std::memory_order_acquire)) return SendResult::kClosed;
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EPIPE || errno == ECONNRESET || errno == EBADF))
+        return SendResult::kClosed;
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+        return SendResult::kClosed;
+      if (!poll_for(POLLOUT, deadline)) return SendResult::kTimeout;
+    }
+    stats_messages_.fetch_add(1, std::memory_order_relaxed);
+    stats_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    return SendResult::kOk;
+  }
+
+  RecvResult recv(Frame* frame, std::chrono::nanoseconds timeout,
+                  std::string* error) override {
+    const auto deadline = Clock::now() + timeout;
+    // Phase 1: a full header. Phase 2: the payload it promises. A
+    // header that fails the bounds checks poisons the stream (we can no
+    // longer find frame boundaries), so it is kError, not a skip.
+    while (buffer_.size() < kFrameHeaderBytes) {
+      const auto r = fill(deadline);
+      if (r != RecvResult::kFrame) return r;
+    }
+    FrameHeader header;
+    if (!decode_frame_header(buffer_, &header, error)) return RecvResult::kError;
+    const std::size_t total = kFrameHeaderBytes + header.payload_bytes;
+    while (buffer_.size() < total) {
+      const auto r = fill(deadline);
+      if (r != RecvResult::kFrame) return r;
+    }
+    frame->header = header;
+    frame->payload.assign(buffer_.begin() + kFrameHeaderBytes,
+                          buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    return RecvResult::kFrame;
+  }
+
+  void close() override {
+    bool expected = false;
+    if (closed_.compare_exchange_strong(expected, true)) {
+      // Shut down both directions so blocked poll()s on either end
+      // return promptly. The fd itself is released in the destructor.
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  SendStats send_stats() const override {
+    return {stats_messages_.load(std::memory_order_relaxed),
+            stats_bytes_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// Pull more bytes into buffer_, waiting (bounded) for readability.
+  /// Returns kFrame when progress was made.
+  RecvResult fill(Clock::time_point deadline) {
+    if (closed_.load(std::memory_order_acquire)) return RecvResult::kClosed;
+    std::uint8_t chunk[64 << 10];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+      return RecvResult::kFrame;
+    }
+    if (n == 0) return RecvResult::kClosed;  // orderly peer shutdown
+    if (errno == ECONNRESET || errno == EBADF) return RecvResult::kClosed;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return RecvResult::kClosed;
+    if (!poll_for(POLLIN, deadline)) return RecvResult::kTimeout;
+    return RecvResult::kFrame;  // readable (or racing close) — loop retries
+  }
+
+  /// Wait for `events` on fd_ until `deadline`; false on timeout.
+  bool poll_for(short events, Clock::time_point deadline) {
+    for (;;) {
+      const auto now = Clock::now();
+      if (now >= deadline) return false;
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+      struct pollfd pfd = {fd_, events, 0};
+      const int ms = static_cast<int>(std::min<std::int64_t>(
+          std::max<std::int64_t>(left.count(), 1), 60'000));
+      const int rc = ::poll(&pfd, 1, ms);
+      if (rc > 0) return true;
+      if (rc < 0 && errno != EINTR && errno != EAGAIN) return true;
+      // timeout slice or EINTR: loop re-checks the deadline
+    }
+  }
+
+  int fd_;
+  std::atomic<bool> closed_{false};
+  std::vector<std::uint8_t> buffer_;  // partial-frame reassembly
+  std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> stats_messages_{0};
+  std::atomic<std::uint64_t> stats_bytes_{0};
+};
+
+}  // namespace
+
+const char* transport_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kRing:
+      return "ring";
+    case TransportKind::kSocket:
+      return "socket";
+  }
+  return "unknown";
+}
+
+bool transport_parse(const std::string& text, TransportKind* kind) {
+  if (text == "ring") {
+    *kind = TransportKind::kRing;
+    return true;
+  }
+  if (text == "socket") {
+    *kind = TransportKind::kSocket;
+    return true;
+  }
+  return false;
+}
+
+std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>
+make_transport_pair(TransportKind kind, std::size_t ring_frames) {
+  switch (kind) {
+    case TransportKind::kRing: {
+      auto link = std::make_shared<RingLink>(ring_frames);
+      auto coordinator = std::make_unique<RingEndpoint>(
+          link, &link->to_node, &link->to_coordinator);
+      auto node = std::make_unique<RingEndpoint>(link, &link->to_coordinator,
+                                                 &link->to_node);
+      return {std::move(coordinator), std::move(node)};
+    }
+    case TransportKind::kSocket: {
+      int fds[2] = {-1, -1};
+      const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+      DICI_CHECK_FMT(rc == 0, "socketpair failed: errno=%d (%s)", errno,
+                     std::strerror(errno));
+      return {std::make_unique<SocketEndpoint>(fds[0]),
+              std::make_unique<SocketEndpoint>(fds[1])};
+    }
+  }
+  DICI_CHECK(false);
+  return {};
+}
+
+}  // namespace dici::net

@@ -1,0 +1,93 @@
+// The transport seam: how serialized frames physically move between a
+// cluster coordinator and a node.
+//
+// An Endpoint is one side of a bidirectional, ordered, reliable link
+// that carries whole wire.hpp Frames. Two implementations, chosen by
+// TransportKind:
+//
+//  * kRing   — an in-process pair of SpscRing<byte-buffer> pipes with
+//              the hub's eventcount park/wake protocol. The fast path
+//              is lock-free; a blocked side parks on a condvar. This is
+//              the "first rung" of ISSUE 8: node objects live in the
+//              coordinator's process but their states share NOTHING —
+//              only serialized bytes cross the pipe. ~100ns/message.
+//  * kSocket — a UNIX-domain socketpair (SOCK_STREAM): the kernel
+//              carries the bytes, so the two ends could be forked into
+//              separate processes without changing a line above the
+//              seam. 1-2µs/message syscall overhead; bench_cluster
+//              measures the gap against LinkModel::message_ps.
+//
+// Both transports move the SAME encode_frame() bytes and feed the same
+// bounds-checked decoders — the ring doesn't get to cheat by passing
+// pointers. Failure semantics are explicit results, never exceptions:
+// a send to a full/dead peer times out or reports closed, which the
+// membership layer converts into a DEAD node and a failed batch instead
+// of a hang.
+//
+// Threading contract: one sender thread and one receiver thread per
+// endpoint side at a time (the cluster serializes multi-client sends
+// with a per-node mutex above this seam). close() may race anything.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/net/wire.hpp"
+
+namespace dici::net {
+
+enum class TransportKind : std::uint8_t {
+  kRing,    ///< in-process SpscRing byte pipes
+  kSocket,  ///< UNIX-domain socketpair
+};
+
+const char* transport_name(TransportKind kind);
+/// Parse "ring" / "socket"; false on anything else.
+bool transport_parse(const std::string& text, TransportKind* kind);
+
+struct SendStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;  ///< serialized bytes incl. frame headers
+};
+
+/// One side of a frame link.
+class Endpoint {
+ public:
+  enum class SendResult { kOk, kTimeout, kClosed };
+  enum class RecvResult { kFrame, kTimeout, kClosed, kError };
+
+  virtual ~Endpoint() = default;
+
+  /// Serialize and enqueue/write one frame. Stamps the endpoint's
+  /// monotonic sequence number into the header (the caller's seq is
+  /// overwritten). kTimeout after `timeout` of sustained backpressure;
+  /// kClosed once either side closed the link. Never blocks forever.
+  virtual SendResult send(const Frame& frame,
+                          std::chrono::nanoseconds timeout) = 0;
+
+  /// Receive the next frame. kTimeout after `timeout` with no frame;
+  /// kClosed when the peer closed and everything buffered is drained;
+  /// kError (with the diagnostic in *error) when the byte stream fails
+  /// to decode — a protocol breach, not a transient.
+  virtual RecvResult recv(Frame* frame, std::chrono::nanoseconds timeout,
+                          std::string* error) = 0;
+
+  /// Close this side: unblocks both directions on both ends. Idempotent,
+  /// callable from any thread.
+  virtual void close() = 0;
+
+  /// Cumulative frames/bytes sent from this side (relaxed reads; exact
+  /// once the sender thread is quiescent).
+  virtual SendStats send_stats() const = 0;
+};
+
+/// A connected pair of endpoints: `first` is the coordinator side,
+/// `second` the node side. `ring_frames` bounds the in-flight frame
+/// count per direction for kRing (ignored by kSocket, where the kernel
+/// socket buffer is the bound).
+std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>
+make_transport_pair(TransportKind kind, std::size_t ring_frames = 1024);
+
+}  // namespace dici::net

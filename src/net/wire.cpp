@@ -1,0 +1,444 @@
+#include "src/net/wire.hpp"
+
+#include <cstring>
+
+#include "src/util/assert.hpp"
+
+namespace dici::net {
+namespace {
+
+// Explicit little-endian primitives. memcpy of the integer would be
+// fine on every machine we run today, but the wire format is the one
+// place byte order is a contract, so spell it out once here.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u32_array(std::vector<std::uint8_t>& out,
+                   std::span<const std::uint32_t> values) {
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (std::uint32_t v : values) put_u32(out, v);
+}
+
+/// Sequential bounds-checked reader over a frame payload. Every read_*
+/// returns false once the payload is exhausted; callers chain them and
+/// report one diagnostic at the end.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool read_u8(std::uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return fail();
+    *v = bytes_[pos_++];
+    return true;
+  }
+
+  bool read_u16(std::uint16_t* v) {
+    if (pos_ + 2 > bytes_.size()) return fail();
+    *v = static_cast<std::uint16_t>(bytes_[pos_] |
+                                    (std::uint16_t{bytes_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return fail();
+    std::uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= std::uint32_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return fail();
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= std::uint64_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+
+  /// Length-prefixed u32 array. The count is checked against the bytes
+  /// actually remaining BEFORE the vector is sized, so a garbage count
+  /// can't drive a huge allocation.
+  bool read_u32_array(std::vector<std::uint32_t>* out) {
+    std::uint32_t count = 0;
+    if (!read_u32(&count)) return false;
+    if (remaining() / 4 < count) return fail();
+    out->resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t v = 0;
+      read_u32(&v);
+      (*out)[i] = v;
+    }
+    return true;
+  }
+
+  bool exhausted() const { return ok_ && pos_ == bytes_.size(); }
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool known_type(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(MsgType::kJoinRequest) &&
+         type <= static_cast<std::uint16_t>(MsgType::kShutdown);
+}
+
+Frame make_frame(std::uint32_t src, MsgType type,
+                 std::vector<std::uint8_t> payload) {
+  DICI_CHECK_FMT(payload.size() <= kMaxFramePayloadBytes,
+                 "wire: payload_bytes=%zu exceeds frame cap %u (type=%s)",
+                 payload.size(), kMaxFramePayloadBytes, msg_type_name(type));
+  Frame frame;
+  frame.header.type = static_cast<std::uint16_t>(type);
+  frame.header.src = src;
+  frame.header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+/// Shared prologue of every message decoder: type check + payload/header
+/// length agreement, so payload parsers can trust frame.payload.
+bool check_frame(const Frame& frame, MsgType want, std::string* error) {
+  if (frame.header.msg_type() != want) {
+    *error = std::string("wire: expected ") + msg_type_name(want) + ", got " +
+             msg_type_name(frame.header.msg_type());
+    return false;
+  }
+  if (frame.payload.size() != frame.header.payload_bytes) {
+    *error = std::string("wire: ") + msg_type_name(want) +
+             " payload length mismatch: header says " +
+             std::to_string(frame.header.payload_bytes) + ", buffer holds " +
+             std::to_string(frame.payload.size());
+    return false;
+  }
+  return true;
+}
+
+bool finish(const Reader& reader, MsgType type, std::string* error) {
+  if (!reader.ok()) {
+    *error = std::string("wire: truncated ") + msg_type_name(type) + " payload";
+    return false;
+  }
+  if (!reader.exhausted()) {
+    *error = std::string("wire: ") + msg_type_name(type) + " payload has " +
+             std::to_string(reader.remaining()) + " trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kJoinRequest:
+      return "join_request";
+    case MsgType::kJoinAck:
+      return "join_ack";
+    case MsgType::kClusterInfo:
+      return "cluster_info";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kBuildShard:
+      return "build_shard";
+    case MsgType::kBuildAck:
+      return "build_ack";
+    case MsgType::kQueryBatch:
+      return "query_batch";
+    case MsgType::kRankBatch:
+      return "rank_batch";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+void encode_frame_header(const FrameHeader& header, std::uint8_t* out) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes);
+  put_u32(bytes, header.magic);
+  put_u16(bytes, header.version);
+  put_u16(bytes, header.type);
+  put_u32(bytes, header.src);
+  put_u32(bytes, header.payload_bytes);
+  put_u64(bytes, header.seq);
+  DICI_CHECK(bytes.size() == kFrameHeaderBytes);
+  std::memcpy(out, bytes.data(), kFrameHeaderBytes);
+}
+
+bool decode_frame_header(std::span<const std::uint8_t> bytes,
+                         FrameHeader* header, std::string* error) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    *error = "wire: short frame header: " + std::to_string(bytes.size()) +
+             " of " + std::to_string(kFrameHeaderBytes) + " bytes";
+    return false;
+  }
+  Reader reader(bytes.subspan(0, kFrameHeaderBytes));
+  FrameHeader h;
+  reader.read_u32(&h.magic);
+  reader.read_u16(&h.version);
+  reader.read_u16(&h.type);
+  reader.read_u32(&h.src);
+  reader.read_u32(&h.payload_bytes);
+  reader.read_u64(&h.seq);
+  DICI_CHECK(reader.exhausted());
+  if (h.magic != kWireMagic) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "wire: bad magic 0x%08x", h.magic);
+    *error = buf;
+    return false;
+  }
+  if (h.version != kWireVersion) {
+    *error = "wire: version mismatch: peer speaks v" +
+             std::to_string(h.version) + ", we speak v" +
+             std::to_string(kWireVersion);
+    return false;
+  }
+  if (!known_type(h.type)) {
+    *error = "wire: unknown message type " + std::to_string(h.type);
+    return false;
+  }
+  if (h.payload_bytes > kMaxFramePayloadBytes) {
+    *error = "wire: oversized frame: payload_bytes=" +
+             std::to_string(h.payload_bytes) + " exceeds cap " +
+             std::to_string(kMaxFramePayloadBytes);
+    return false;
+  }
+  *header = h;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  DICI_CHECK(frame.payload.size() == frame.header.payload_bytes);
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes + frame.payload.size());
+  encode_frame_header(frame.header, bytes.data());
+  if (!frame.payload.empty()) {
+    std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return bytes;
+}
+
+bool decode_frame(std::span<const std::uint8_t> bytes, Frame* frame,
+                  std::string* error) {
+  FrameHeader header;
+  if (!decode_frame_header(bytes, &header, error)) return false;
+  const std::size_t want = kFrameHeaderBytes + header.payload_bytes;
+  if (bytes.size() != want) {
+    *error = "wire: frame length mismatch: header promises " +
+             std::to_string(want) + " bytes, buffer holds " +
+             std::to_string(bytes.size());
+    return false;
+  }
+  frame->header = header;
+  frame->payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  return true;
+}
+
+// --- Control messages -----------------------------------------------------
+
+Frame encode_join_request(std::uint32_t src, const JoinRequestMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, msg.node_id);
+  return make_frame(src, MsgType::kJoinRequest, std::move(payload));
+}
+
+bool decode_join_request(const Frame& frame, JoinRequestMsg* msg,
+                         std::string* error) {
+  if (!check_frame(frame, MsgType::kJoinRequest, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u32(&msg->node_id);
+  return finish(reader, MsgType::kJoinRequest, error);
+}
+
+Frame encode_join_ack(std::uint32_t src, const JoinAckMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, msg.node_id);
+  put_u32(payload, msg.num_nodes);
+  return make_frame(src, MsgType::kJoinAck, std::move(payload));
+}
+
+bool decode_join_ack(const Frame& frame, JoinAckMsg* msg, std::string* error) {
+  if (!check_frame(frame, MsgType::kJoinAck, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u32(&msg->node_id);
+  reader.read_u32(&msg->num_nodes);
+  return finish(reader, MsgType::kJoinAck, error);
+}
+
+Frame encode_cluster_info(std::uint32_t src, const ClusterInfoMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, static_cast<std::uint32_t>(msg.nodes.size()));
+  for (const ClusterInfoEntry& entry : msg.nodes) {
+    put_u32(payload, entry.node_id);
+    payload.push_back(entry.status);
+    put_u32(payload, entry.shards);
+  }
+  return make_frame(src, MsgType::kClusterInfo, std::move(payload));
+}
+
+bool decode_cluster_info(const Frame& frame, ClusterInfoMsg* msg,
+                         std::string* error) {
+  if (!check_frame(frame, MsgType::kClusterInfo, error)) return false;
+  Reader reader(frame.payload);
+  std::uint32_t count = 0;
+  if (!reader.read_u32(&count) || reader.remaining() / 9 < count) {
+    *error = "wire: truncated cluster_info payload";
+    return false;
+  }
+  msg->nodes.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    reader.read_u32(&msg->nodes[i].node_id);
+    reader.read_u8(&msg->nodes[i].status);
+    reader.read_u32(&msg->nodes[i].shards);
+  }
+  return finish(reader, MsgType::kClusterInfo, error);
+}
+
+Frame encode_heartbeat(std::uint32_t src, const HeartbeatMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, msg.send_ns);
+  return make_frame(src, MsgType::kHeartbeat, std::move(payload));
+}
+
+bool decode_heartbeat(const Frame& frame, HeartbeatMsg* msg,
+                      std::string* error) {
+  if (!check_frame(frame, MsgType::kHeartbeat, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u64(&msg->send_ns);
+  return finish(reader, MsgType::kHeartbeat, error);
+}
+
+// --- Build messages -------------------------------------------------------
+
+Frame encode_build_shard(std::uint32_t src, const BuildShardMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(13 + 4 * msg.keys.size());
+  put_u32(payload, msg.shard);
+  put_u32(payload, msg.global_offset);
+  payload.push_back(msg.last ? 1 : 0);
+  put_u32_array(payload, msg.keys);
+  return make_frame(src, MsgType::kBuildShard, std::move(payload));
+}
+
+bool decode_build_shard(const Frame& frame, BuildShardMsg* msg,
+                        std::string* error) {
+  if (!check_frame(frame, MsgType::kBuildShard, error)) return false;
+  Reader reader(frame.payload);
+  std::uint8_t last = 0;
+  reader.read_u32(&msg->shard);
+  reader.read_u32(&msg->global_offset);
+  reader.read_u8(&last);
+  msg->last = last != 0;
+  reader.read_u32_array(&msg->keys);
+  return finish(reader, MsgType::kBuildShard, error);
+}
+
+Frame encode_build_ack(std::uint32_t src, const BuildAckMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, msg.shards_received);
+  put_u64(payload, msg.replica_keys);
+  return make_frame(src, MsgType::kBuildAck, std::move(payload));
+}
+
+bool decode_build_ack(const Frame& frame, BuildAckMsg* msg,
+                      std::string* error) {
+  if (!check_frame(frame, MsgType::kBuildAck, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u32(&msg->shards_received);
+  reader.read_u64(&msg->replica_keys);
+  return finish(reader, MsgType::kBuildAck, error);
+}
+
+// --- Serving messages -----------------------------------------------------
+
+Frame encode_query_batch(std::uint32_t src, const QueryBatchMsg& msg) {
+  DICI_CHECK(msg.keys.size() == msg.ids.size());
+  std::vector<std::uint8_t> payload;
+  payload.reserve(20 + 8 * msg.keys.size());
+  put_u64(payload, msg.submission);
+  put_u32(payload, msg.shard);
+  put_u32_array(payload, msg.keys);
+  put_u32_array(payload, msg.ids);
+  return make_frame(src, MsgType::kQueryBatch, std::move(payload));
+}
+
+bool decode_query_batch(const Frame& frame, QueryBatchMsg* msg,
+                        std::string* error) {
+  if (!check_frame(frame, MsgType::kQueryBatch, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u64(&msg->submission);
+  reader.read_u32(&msg->shard);
+  reader.read_u32_array(&msg->keys);
+  reader.read_u32_array(&msg->ids);
+  if (!finish(reader, MsgType::kQueryBatch, error)) return false;
+  if (msg->keys.size() != msg->ids.size()) {
+    *error = "wire: query_batch keys/ids length mismatch: " +
+             std::to_string(msg->keys.size()) + " vs " +
+             std::to_string(msg->ids.size());
+    return false;
+  }
+  return true;
+}
+
+Frame encode_rank_batch(std::uint32_t src, const RankBatchMsg& msg) {
+  DICI_CHECK(msg.ids.size() == msg.ranks.size());
+  std::vector<std::uint8_t> payload;
+  payload.reserve(28 + 8 * msg.ids.size());
+  put_u64(payload, msg.submission);
+  put_u32(payload, msg.shard);
+  put_u64(payload, msg.busy_ns);
+  put_u32_array(payload, msg.ids);
+  put_u32_array(payload, msg.ranks);
+  return make_frame(src, MsgType::kRankBatch, std::move(payload));
+}
+
+bool decode_rank_batch(const Frame& frame, RankBatchMsg* msg,
+                       std::string* error) {
+  if (!check_frame(frame, MsgType::kRankBatch, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u64(&msg->submission);
+  reader.read_u32(&msg->shard);
+  reader.read_u64(&msg->busy_ns);
+  reader.read_u32_array(&msg->ids);
+  reader.read_u32_array(&msg->ranks);
+  if (!finish(reader, MsgType::kRankBatch, error)) return false;
+  if (msg->ids.size() != msg->ranks.size()) {
+    *error = "wire: rank_batch ids/ranks length mismatch: " +
+             std::to_string(msg->ids.size()) + " vs " +
+             std::to_string(msg->ranks.size());
+    return false;
+  }
+  return true;
+}
+
+Frame encode_shutdown(std::uint32_t src) {
+  return make_frame(src, MsgType::kShutdown, {});
+}
+
+}  // namespace dici::net

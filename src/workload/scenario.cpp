@@ -180,6 +180,7 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
     config.machine.numa_nodes = options.numa_nodes;
     config.num_nodes = spec.num_nodes;
     config.batch_bytes = spec.batch_bytes;
+    config.transport = options.transport;
 
     const std::size_t depth = std::max<std::size_t>(1, options.in_flight);
     auto run_cell = [&](core::Backend backend, core::SearchKernel kernel,
@@ -214,6 +215,8 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
       cell.backend = client->backend();
       cell.kernel = core::search_kernel_name(kernel);
       cell.placement = core::placement_name(placement);
+      if (backend == core::Backend::kCluster)
+        cell.transport = net::transport_name(options.transport);
       cell.verified = options.verify;
       cell.in_flight = depth;
       cell.write_fraction = write_fraction;
@@ -297,15 +300,13 @@ std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
                      "[0, 1)",
                      wf);
     for (const core::Backend backend : options.backends) {
-      if (backend == core::Backend::kParallelNative &&
-          spec.method != core::Method::kC3)
-        continue;  // that backend shards sorted arrays only
-      // Only parallel-native lays shards out per node; sweeping the
-      // placement axis on the other backends would duplicate cells.
-      const std::size_t placements =
-          backend == core::Backend::kParallelNative
-              ? options.placements.size()
-              : 1;
+      const bool sharded = backend == core::Backend::kParallelNative ||
+                           backend == core::Backend::kCluster;
+      if (sharded && spec.method != core::Method::kC3)
+        continue;  // those backends shard sorted arrays only
+      // Only the sharded backends lay replicas out per node; sweeping
+      // the placement axis on the others would duplicate cells.
+      const std::size_t placements = sharded ? options.placements.size() : 1;
       for (const core::SearchKernel kernel : options.kernels)
         for (std::size_t p = 0; p < placements; ++p)
           for (const double wf : options.write_fractions)
@@ -354,6 +355,8 @@ std::string matrix_to_json(std::span<const ScenarioCell> cells) {
     append_json_string(out, c.kernel);
     out += ", \"placement\": ";
     append_json_string(out, c.placement);
+    out += ", \"transport\": ";
+    append_json_string(out, c.transport);
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   ", \"stream_batches\": %" PRIu64 ", \"in_flight\": %" PRIu64

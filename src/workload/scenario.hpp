@@ -135,10 +135,13 @@ struct ScenarioCell {
   std::string backend;
   /// Search kernel the cell's config carried (search_kernel_name).
   std::string kernel;
-  /// Shard placement the cell's config carried (placement_name). Only
-  /// the parallel-native backend acts on it; other backends run one
-  /// cell at the first requested placement.
+  /// Shard placement the cell's config carried (placement_name). The
+  /// parallel-native and cluster backends act on it; other backends run
+  /// one cell at the first requested placement.
   std::string placement;
+  /// How the cell's frames moved (net::transport_name) for cluster
+  /// cells; "-" for backends that never serialize a frame.
+  std::string transport = "-";
   std::uint64_t stream_batches = 0;
   std::uint64_t in_flight = 1;  ///< submit-ahead depth the cell ran with
   std::uint64_t num_queries = 0;
@@ -161,9 +164,9 @@ struct ScenarioCell {
 };
 
 struct MatrixOptions {
-  std::vector<core::Backend> backends = {core::Backend::kSim,
-                                         core::Backend::kNative,
-                                         core::Backend::kParallelNative};
+  std::vector<core::Backend> backends = {
+      core::Backend::kSim, core::Backend::kNative,
+      core::Backend::kParallelNative, core::Backend::kCluster};
   /// Check every rank of every batch against reference_ranks.
   bool verify = true;
   /// Search kernels swept per backend (the kernel axis). The native
@@ -171,13 +174,17 @@ struct MatrixOptions {
   /// cost model abstracts comparator behaviour, so its kernel cells
   /// verify that the answer is invariant, not that timing moves.
   std::vector<core::SearchKernel> kernels = {core::SearchKernel::kBranchless};
-  /// Shard placements swept per kernel (the placement axis). Only
-  /// parallel-native lays shards out per NUMA node, so the other
-  /// backends run one cell (at the first placement) instead of
-  /// duplicating identical runs; every parallel-native placement cell
-  /// is rank-verified like any other, pinning the "placement moves
-  /// bytes, never answers" invariant.
+  /// Shard placements swept per kernel (the placement axis).
+  /// Parallel-native lays shards out per NUMA node and the cluster
+  /// backend assigns shard replicas to nodes, so those two sweep the
+  /// axis; the other backends run one cell (at the first placement)
+  /// instead of duplicating identical runs. Every placement cell is
+  /// rank-verified like any other, pinning the "placement moves bytes,
+  /// never answers" invariant.
   std::vector<core::Placement> placements = {core::Placement::kInterleave};
+  /// Frame transport cluster cells run over (ring | socket); the other
+  /// backends never serialize a frame and ignore it.
+  net::TransportKind transport = net::TransportKind::kRing;
   /// Forced NUMA node count for the native engines' topology (0 =
   /// discover the host). CI sets this > 1 so single-node runners still
   /// execute every placement and same-node-first stealing path.
@@ -207,11 +214,11 @@ struct MatrixOptions {
 /// Drive the cross product: for each spec, build the index and query
 /// stream once, then for each (backend, kernel, placement) connect one
 /// client and pipeline the batches through submit/wait at
-/// options.in_flight depth. kParallelNative cells are skipped for specs
-/// whose method is not C-3 (that backend shards sorted arrays only);
-/// non-parallel backends run the first placement only. Returns one cell
-/// per (spec, backend, kernel, placement) actually run, in spec-major
-/// order.
+/// options.in_flight depth. kParallelNative and kCluster cells are
+/// skipped for specs whose method is not C-3 (both shard sorted arrays
+/// only); backends without a placement axis run the first placement
+/// only. Returns one cell per (spec, backend, kernel, placement)
+/// actually run, in spec-major order.
 std::vector<ScenarioCell> run_scenario_matrix(const ScenarioRegistry& registry,
                                               const MatrixOptions& options);
 

@@ -1,0 +1,297 @@
+// ClusterEngine end-to-end: N node objects sharing no memory with the
+// coordinator, every byte crossing a net::Endpoint as a serialized
+// frame. The cases that matter: rank agreement with the shared-memory
+// backends on every placement x transport cell, the v3 delta path
+// (Store over a cluster), multi-client pipelining, and — the part a
+// simulator never exercises — a node killed mid-stream failing its
+// in-flight batches with a NodeFailureError that NAMES the node,
+// instead of hanging the waiter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster_engine.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/store.hpp"
+#include "src/util/bytes.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/workload.hpp"
+
+namespace dici::cluster {
+namespace {
+
+using core::Backend;
+using core::ExperimentConfig;
+using core::Method;
+using core::RunReport;
+using core::Ticket;
+
+struct Fixture {
+  std::vector<key_t> keys;
+  std::vector<key_t> queries;
+  std::vector<rank_t> expected;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    Rng rng(20260808);
+    fx.keys = workload::make_sorted_unique_keys(20000, rng);
+    fx.queries = workload::make_uniform_queries(30000, rng);
+    fx.expected = workload::reference_ranks(fx.keys, fx.queries);
+    return fx;
+  }();
+  return f;
+}
+
+ClusterConfig quick_config(std::uint32_t nodes,
+                           net::TransportKind transport =
+                               net::TransportKind::kRing) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.batch_bytes = 4 * KiB;
+  cfg.transport = transport;
+  // Fast failure detection so the kill tests finish in milliseconds.
+  cfg.heartbeat_interval_ms = 5;
+  cfg.heartbeat_timeout_ms = 60;
+  return cfg;
+}
+
+void expect_exact(const std::vector<rank_t>& ranks, const char* tag) {
+  const auto& fx = fixture();
+  ASSERT_EQ(ranks.size(), fx.expected.size()) << tag;
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ASSERT_EQ(ranks[i], fx.expected[i]) << tag << " query " << i;
+}
+
+// --- Rank agreement across the placement x transport matrix ---------------
+
+TEST(ClusterEngine, RanksExactEveryPlacementAndTransport) {
+  const auto& fx = fixture();
+  for (const net::TransportKind transport :
+       {net::TransportKind::kRing, net::TransportKind::kSocket}) {
+    for (const index::Placement placement :
+         {index::Placement::kInterleave, index::Placement::kNodeLocal,
+          index::Placement::kReplicate}) {
+      ClusterConfig cfg = quick_config(3, transport);
+      cfg.placement = placement;
+      const auto index = ClusterEngine(cfg).build(fx.keys);
+      EXPECT_STREQ(index->backend(), "cluster");
+      const auto client = index->connect();
+      std::vector<rank_t> ranks;
+      const RunReport report = client->wait(client->submit(fx.queries, &ranks));
+      expect_exact(ranks, net::transport_name(transport));
+      EXPECT_EQ(report.num_queries, fx.queries.size());
+      EXPECT_EQ(report.num_nodes, 4u);  // coordinator + 3 serving nodes
+      EXPECT_GT(report.messages, 0u);
+      EXPECT_GT(report.wire_bytes, 0u);
+      EXPECT_GT(report.makespan, 0u);
+    }
+  }
+}
+
+TEST(ClusterEngine, MoreShardsThanNodesAndMoreNodesThanKeys) {
+  const auto& fx = fixture();
+  {
+    ClusterConfig cfg = quick_config(2);
+    cfg.num_shards = 7;  // shard s -> node s % 2
+    const auto client = ClusterEngine(cfg).build(fx.keys)->connect();
+    std::vector<rank_t> ranks;
+    client->wait(client->submit(fx.queries, &ranks));
+    expect_exact(ranks, "7 shards on 2 nodes");
+  }
+  {
+    // More nodes than keys: some nodes hold nothing and only heartbeat.
+    const std::vector<key_t> tiny(fx.keys.begin(), fx.keys.begin() + 2);
+    const auto client = ClusterEngine(quick_config(4)).build(tiny)->connect();
+    const std::vector<key_t> qs = {tiny[0], tiny[1], tiny[1] + 1, 0};
+    std::vector<rank_t> ranks;
+    client->wait(client->submit(qs, &ranks));
+    const std::vector<rank_t> want = {1, 2, 2, 0};
+    EXPECT_EQ(ranks, want);
+  }
+}
+
+TEST(ClusterEngine, MatchesMakeEngineFactoryAndExperimentConfig) {
+  const auto& fx = fixture();
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 4;  // 1 master + 3 serving nodes
+  cfg.batch_bytes = 8 * KiB;
+  const auto engine = core::make_engine(Backend::kCluster, cfg);
+  EXPECT_STREQ(engine->name(), "cluster");
+  const auto index = engine->build(fx.keys);
+  const auto client = index->connect();
+  std::vector<rank_t> ranks;
+  const RunReport report = client->wait(client->submit(fx.queries, &ranks));
+  expect_exact(ranks, "factory");
+  EXPECT_EQ(report.method, Method::kC3);
+  EXPECT_EQ(report.num_nodes, 4u);
+}
+
+// --- Pipelining and multi-client ------------------------------------------
+
+TEST(ClusterEngine, DeepPipelineAndTwoClients) {
+  const auto& fx = fixture();
+  const auto index = ClusterEngine(quick_config(3)).build(fx.keys);
+  const auto a = index->connect();
+  const auto b = index->connect();
+  const std::size_t B = 6;
+  std::vector<std::vector<rank_t>> ra(B), rb(B);
+  std::vector<Ticket> ta(B), tb(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    const std::size_t begin = i * fx.queries.size() / B;
+    const std::size_t end = (i + 1) * fx.queries.size() / B;
+    const std::span<const key_t> slice(fx.queries.data() + begin,
+                                       end - begin);
+    ta[i] = a->submit(slice, &ra[i]);
+    tb[i] = b->submit(slice, &rb[i]);
+  }
+  for (std::size_t i = 0; i < B; ++i) {
+    a->wait(ta[i]);
+    b->wait(tb[i]);
+    const std::size_t begin = i * fx.queries.size() / B;
+    for (std::size_t j = 0; j < ra[i].size(); ++j) {
+      ASSERT_EQ(ra[i][j], fx.expected[begin + j]) << "client a batch " << i;
+      ASSERT_EQ(rb[i][j], fx.expected[begin + j]) << "client b batch " << i;
+    }
+  }
+  EXPECT_EQ(a->batches(), B);
+  EXPECT_EQ(b->batches(), B);
+}
+
+TEST(ClusterEngine, LatencyTrackingPopulatesSummary) {
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(2);
+  cfg.track_latency = true;
+  const auto client = ClusterEngine(cfg).build(fx.keys)->connect();
+  std::vector<rank_t> ranks;
+  const RunReport report = client->wait(client->submit(fx.queries, &ranks));
+  expect_exact(ranks, "latency");
+  EXPECT_EQ(report.latency_ns.count(), fx.queries.size());
+  EXPECT_GT(report.latency_ns.max(), 0.0);
+}
+
+// --- The v3 write path: a Store over the cluster backend ------------------
+
+TEST(ClusterEngine, StoreWithLiveWritesStaysExact) {
+  Rng rng(77);
+  const auto keys = workload::make_sorted_unique_keys(4000, rng);
+  ExperimentConfig cfg;
+  cfg.method = Method::kC3;
+  cfg.machine = arch::pentium3_cluster();
+  cfg.num_nodes = 3;
+  cfg.batch_bytes = 4 * KiB;
+  const auto store = core::make_store(Backend::kCluster, cfg, keys);
+  const auto writer = store->writer();
+  // Interleave inserts with reads; every flushed write must be visible
+  // to the next read (the delta fold runs coordinator-side, nodes stay
+  // oblivious — they keep answering base ranks).
+  std::vector<key_t> live = keys;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<key_t> inserts;
+    for (int i = 0; i < 40; ++i)
+      inserts.push_back(static_cast<key_t>(rng.next()));
+    writer->insert(inserts);
+    writer->flush();
+    live.insert(live.end(), inserts.begin(), inserts.end());
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    const auto queries = workload::make_uniform_queries(2000, rng);
+    const auto expected = workload::reference_ranks(live, queries);
+    const auto client = store->connect();
+    std::vector<rank_t> ranks;
+    client->wait(client->submit(queries, &ranks));
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      ASSERT_EQ(ranks[i], expected[i]) << "round " << round << " query " << i;
+  }
+}
+
+// --- Failure semantics: a killed node fails fast and is named -------------
+
+TEST(ClusterEngine, KilledNodeFailsInFlightBatchWithItsName) {
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(3);
+  const auto engine = ClusterEngine(cfg);
+  const auto index = engine.build(fx.keys);
+  const auto* cluster = index.get();
+  const auto client = index->connect();
+  // Warm batch proves the cluster serves before the kill.
+  std::vector<rank_t> warm;
+  client->wait(client->submit(fx.queries, &warm));
+  expect_exact(warm, "pre-kill");
+
+  cluster_kill_node_for_test(*cluster, 1);
+  // Keep submitting until a batch lands on the silenced node after its
+  // death is detected; wait() must throw (never hang) and the error
+  // must name node 1.
+  bool failed = false;
+  for (int attempt = 0; attempt < 200 && !failed; ++attempt) {
+    std::vector<rank_t> ranks;
+    const Ticket t = client->submit(fx.queries, &ranks);
+    try {
+      client->wait(t);
+    } catch (const NodeFailureError& e) {
+      failed = true;
+      EXPECT_EQ(e.node(), 1u);
+      EXPECT_NE(std::string(e.what()).find("node 1"), std::string::npos)
+          << e.what();
+    }
+  }
+  EXPECT_TRUE(failed) << "killed node never failed a batch";
+  // The failure is sticky: the dead node stays dead, and further
+  // submissions routed at it keep failing fast rather than hanging.
+  std::vector<rank_t> ranks;
+  EXPECT_THROW(client->wait(client->submit(fx.queries, &ranks)),
+               NodeFailureError);
+}
+
+TEST(ClusterEngine, DrainOnDestroySurvivesNodeFailure) {
+  // A client destroyed with a doomed ticket still in flight must not
+  // terminate (Client::~Client swallows the NodeFailureError; callers
+  // who care wait() first).
+  const auto& fx = fixture();
+  const auto index = ClusterEngine(quick_config(2)).build(fx.keys);
+  {
+    std::vector<rank_t> ranks;  // outlives the client, per the contract
+    const auto client = index->connect();
+    (void)client->submit(fx.queries, &ranks);
+    cluster_kill_node_for_test(*index, 0);
+  }  // dtor drains; must neither hang nor throw
+  SUCCEED();
+}
+
+// --- Config guard rails ---------------------------------------------------
+
+TEST(ClusterEngineDeath, RejectsClusterIncompatibleConfigs) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  {
+    ClusterConfig cfg;
+    cfg.num_nodes = 0;
+    EXPECT_DEATH(ClusterEngine{cfg}, "num_nodes");
+  }
+  {
+    ClusterConfig cfg;
+    cfg.heartbeat_timeout_ms = cfg.heartbeat_interval_ms;  // < 2x interval
+    EXPECT_DEATH(ClusterEngine{cfg}, "twice");
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.machine = arch::pentium3_cluster();
+    cfg.method = Method::kA;  // replicated tree: not a cluster method
+    EXPECT_DEATH(cluster_config_from(cfg), "C-3");
+  }
+  {
+    ExperimentConfig cfg;
+    cfg.machine = arch::pentium3_cluster();
+    cfg.num_masters = 2;
+    EXPECT_DEATH(cluster_config_from(cfg), "master");
+  }
+}
+
+}  // namespace
+}  // namespace dici::cluster

@@ -448,35 +448,27 @@ TEST(EngineV2Death, ForeignTicketAborts) {
   a->drain();
 }
 
-// --- Compat wrappers stay faithful ----------------------------------------
+// --- The surviving convenience wrapper stays faithful ---------------------
 //
-// The ONE in-tree caller of the deprecated v1 surface: it exists to
-// keep open()/run_batch() faithful to the v2 path until their removal
-// (see README's migration table), so the deprecation warnings are
-// silenced here and nowhere else.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// The v1 Session surface (open()/run_batch()) was deleted on schedule;
+// Engine::run is the one remaining wrapper and must keep matching the
+// explicit build + connect + submit + wait path bit-for-bit.
 
-TEST(EngineV2, CompatSessionMatchesClientRanks) {
+TEST(EngineV2, RunWrapperMatchesClientRanks) {
   const auto& fx = fixture();
   ParallelConfig cfg;
   cfg.num_threads = 3;
   const ParallelNativeEngine engine(cfg);
   const std::span<const key_t> queries(fx.queries.data(), 4000);
-  std::vector<rank_t> via_session;
-  const auto session = engine.open(fx.keys);
-  session->run_batch(queries, &via_session);
-  EXPECT_STREQ(session->backend(), "parallel-native");
   std::vector<rank_t> via_client;
   const auto client = engine.build(fx.keys)->connect();
   client->wait(client->submit(queries, &via_client));
-  EXPECT_EQ(via_session, via_client);
   std::vector<rank_t> via_run;
   engine.run(fx.keys, queries, &via_run);
-  EXPECT_EQ(via_session, via_run);
+  EXPECT_EQ(via_client, via_run);
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    ASSERT_EQ(via_run[i], fx.expected[i]) << "query " << i;
 }
-
-#pragma GCC diagnostic pop
 
 // --- RunReport::merge defense (documented mismatch semantics) -------------
 

@@ -179,6 +179,20 @@ TEST_F(ValidateDeath, StoreOptionsNameFieldAndValue) {
   EXPECT_DEATH(validate(no_threads), "StoreOptions::writer_threads = 0");
 }
 
+TEST_F(ValidateDeath, ClusterHeartbeatKnobsNameFieldAndValue) {
+  // The failure detector's cadence: a zero interval means no beats at
+  // all, and a timeout under twice the interval means one delayed beat
+  // kills a healthy node.
+  auto cfg = good_config();
+  cfg.heartbeat_interval_ms = 0;
+  EXPECT_DEATH(validate(cfg), "heartbeat_interval_ms = 0");
+  auto tight = good_config();
+  tight.heartbeat_interval_ms = 25;
+  tight.heartbeat_timeout_ms = 25;
+  EXPECT_DEATH(validate(tight),
+               "heartbeat_timeout_ms = 25 with heartbeat_interval_ms = 25");
+}
+
 // The messages gate configs the same way through make_engine, whatever
 // the backend.
 TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {
@@ -186,7 +200,8 @@ TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {
   cfg.num_nodes = 1;
   cfg.num_masters = 0;
   for (const Backend backend :
-       {Backend::kSim, Backend::kNative, Backend::kParallelNative}) {
+       {Backend::kSim, Backend::kNative, Backend::kParallelNative,
+        Backend::kCluster}) {
     EXPECT_DEATH(make_engine(backend, cfg), "num_nodes = 1")
         << backend_name(backend);
   }

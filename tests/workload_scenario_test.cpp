@@ -21,10 +21,10 @@ TEST(ScenarioMatrix, EveryCellAgreesAcrossAllBackends) {
   // batch, shards smaller than the index.
   const ScenarioRegistry registry = default_scenarios(4096, 6000);
   ASSERT_EQ(registry.specs().size(), all_distributions().size());
-  MatrixOptions options;  // all three backends, verify on
+  MatrixOptions options;  // all four backends, verify on
   const auto cells = run_scenario_matrix(registry, options);
-  // 5 distributions x {sim, native, parallel-native}.
-  ASSERT_EQ(cells.size(), all_distributions().size() * 3);
+  // 5 distributions x {sim, native, parallel-native, cluster}.
+  ASSERT_EQ(cells.size(), all_distributions().size() * 4);
   for (const auto& cell : cells) {
     EXPECT_TRUE(cell.verified);
     EXPECT_TRUE(cell.ranks_ok)
@@ -47,7 +47,7 @@ TEST(ScenarioMatrix, KernelAxisEveryCellRankExact) {
                          core::all_search_kernels().end());
   const auto cells = run_scenario_matrix(registry, options);
   ASSERT_EQ(cells.size(),
-            all_distributions().size() * 3 * core::all_search_kernels().size());
+            all_distributions().size() * 4 * core::all_search_kernels().size());
   std::set<std::string> kernels_seen;
   for (const auto& cell : cells) {
     EXPECT_TRUE(cell.ranks_ok)
@@ -71,9 +71,11 @@ TEST(ScenarioMatrix, PlacementAxisEveryCellRankExact) {
                             core::all_placements().end());
   options.numa_nodes = 2;
   const auto cells = run_scenario_matrix(registry, options);
-  // 5 distributions x (sim + native + 3 parallel-native placements).
-  ASSERT_EQ(cells.size(), all_distributions().size() * 5);
+  // 5 distributions x (sim + native + 3 parallel-native placements
+  // + 3 cluster placements).
+  ASSERT_EQ(cells.size(), all_distributions().size() * 8);
   std::set<std::string> parallel_placements;
+  std::set<std::string> cluster_placements;
   for (const auto& cell : cells) {
     EXPECT_TRUE(cell.ranks_ok)
         << cell.scenario << " x " << cell.backend << " x " << cell.placement
@@ -81,8 +83,10 @@ TEST(ScenarioMatrix, PlacementAxisEveryCellRankExact) {
     EXPECT_FALSE(cell.placement.empty());
     if (cell.backend == "parallel-native")
       parallel_placements.insert(cell.placement);
+    if (cell.backend == "cluster") cluster_placements.insert(cell.placement);
   }
   EXPECT_EQ(parallel_placements.size(), core::all_placements().size());
+  EXPECT_EQ(cluster_placements.size(), core::all_placements().size());
   const std::string json = matrix_to_json(cells);
   EXPECT_NE(json.find("\"placement\": \"node-local\""), std::string::npos);
   EXPECT_NE(json.find("\"placement\": \"replicate\""), std::string::npos);
@@ -127,7 +131,7 @@ TEST(ScenarioMatrix, PipelinedCellsStayRankExact) {
   MatrixOptions options;
   options.in_flight = 3;
   const auto cells = run_scenario_matrix(registry, options);
-  ASSERT_EQ(cells.size(), all_distributions().size() * 3);
+  ASSERT_EQ(cells.size(), all_distributions().size() * 4);
   for (const auto& cell : cells) {
     EXPECT_TRUE(cell.ranks_ok)
         << cell.scenario << " x " << cell.backend << " at depth 3: "
@@ -164,12 +168,47 @@ TEST(ScenarioMatrix, NonC3SpecSkipsParallelBackend) {
   spec.index_keys = 512;
   spec.num_queries = 400;
   registry.add(spec);
-  MatrixOptions options;  // all three backends requested
+  MatrixOptions options;  // all four backends requested
   const auto cells = run_scenario_matrix(registry, options);
-  ASSERT_EQ(cells.size(), 2u);  // parallel-native skipped
+  ASSERT_EQ(cells.size(), 2u);  // parallel-native AND cluster skipped
   for (const auto& cell : cells) {
     EXPECT_NE(cell.backend, "parallel-native");
+    EXPECT_NE(cell.backend, "cluster");
     EXPECT_TRUE(cell.ranks_ok);
+  }
+}
+
+TEST(ScenarioMatrix, ClusterCellsCarryTheirTransport) {
+  // Cluster cells run over a real frame transport and record which one;
+  // backends that never serialize a frame record "-". Both transports
+  // must stay rank-exact through the matrix.
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.index_keys = 1024;
+  spec.num_queries = 1500;
+  spec.stream_batches = 3;
+  registry.add(spec);
+  for (const net::TransportKind transport :
+       {net::TransportKind::kRing, net::TransportKind::kSocket}) {
+    MatrixOptions options;
+    options.backends = {core::Backend::kCluster, core::Backend::kSim};
+    options.transport = transport;
+    const auto cells = run_scenario_matrix(registry, options);
+    ASSERT_EQ(cells.size(), 2u);
+    for (const auto& cell : cells) {
+      EXPECT_TRUE(cell.ranks_ok)
+          << cell.backend << " over " << net::transport_name(transport);
+      if (cell.backend == "cluster") {
+        EXPECT_EQ(cell.transport, net::transport_name(transport));
+      } else {
+        EXPECT_EQ(cell.transport, "-");
+      }
+    }
+    const std::string json = matrix_to_json(cells);
+    EXPECT_NE(json.find(std::string("\"transport\": \"") +
+                        net::transport_name(transport) + "\""),
+              std::string::npos);
   }
 }
 
