@@ -4,18 +4,19 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include "src/cluster/membership.hpp"
 #include "src/cluster/node.hpp"
 #include "src/core/dispatch.hpp"
 #include "src/index/delta.hpp"
 #include "src/index/partitioner.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
 
 namespace dici::cluster {
@@ -59,6 +60,10 @@ ClusterEngine::ClusterEngine(const ClusterConfig& config) : config_(config) {
                  "ClusterConfig::ring_frames = %zu: a frame pipe needs at "
                  "least one slot",
                  config_.ring_frames);
+  DICI_CHECK_FMT(config_.retry_backoff_us >= 1,
+                 "ClusterConfig::retry_backoff_us = %u: the retry sweeper "
+                 "needs a nonzero base backoff",
+                 config_.retry_backoff_us);
 }
 
 ClusterConfig cluster_config_from(const core::ExperimentConfig& config) {
@@ -83,6 +88,9 @@ ClusterConfig cluster_config_from(const core::ExperimentConfig& config) {
   cluster.heartbeat_interval_ms = config.heartbeat_interval_ms;
   cluster.heartbeat_timeout_ms = config.heartbeat_timeout_ms;
   cluster.track_latency = config.track_latency;
+  cluster.max_retries = config.max_retries;
+  cluster.retry_backoff_us = config.retry_backoff_us;
+  cluster.failover = config.failover;
   return cluster;
 }
 
@@ -99,12 +107,18 @@ using namespace std::chrono_literals;
 /// channel — it aborts loudly.
 constexpr auto kBuildTimeout = 30s;
 
+/// Re-join patience. Unlike build, a re-join has an error channel (it
+/// returns false and the node goes back to DEAD), so it can afford to
+/// give up fast — e.g. when the operator re-joins into a still-
+/// partitioned link.
+constexpr auto kRejoinTimeout = 5s;
+
 /// Keys per kBuildShard chunk. 4 MiB of payload per frame — far under
 /// kMaxFramePayloadBytes, large enough that a build is a handful of
 /// frames per shard.
 constexpr std::size_t kBuildChunkKeys = 1u << 20;
 
-/// failed_node sentinel: no failure recorded.
+/// failed_node sentinel: no failure recorded / no routable node.
 constexpr std::uint32_t kNoFailure = 0xffffffffu;
 
 std::uint32_t clamped_shards(const ClusterConfig& config, std::size_t n) {
@@ -114,14 +128,42 @@ std::uint32_t clamped_shards(const ClusterConfig& config, std::size_t n) {
       std::max<std::size_t>(1, std::min<std::size_t>(want, n)));
 }
 
-/// Completion record for one submitted batch: the cluster twin of
-/// ParallelNativeEngine's Submission. `outstanding` starts at 1 (the
-/// submitter's hold) and counts un-replied kQueryBatch messages;
-/// whoever drops it to zero — the last receiver thread, or the failure
-/// path writing off a dead node's share — stamps the wall clock and
-/// signals done. Per-node stat slots are written only by that node's
-/// receiver thread (and the submitter, for the sent-side counters,
-/// before it releases its hold), so no slot is ever shared.
+/// Index-lifetime recovery accounting: re-join events and their wall
+/// time. Held by shared_ptr so a Completion can harvest (exchange-to-
+/// zero) after the index itself is gone; RunReport::merge adds, so
+/// events are reported exactly once however many batches a stream runs.
+struct RecoveryLedger {
+  std::atomic<std::uint64_t> rejoins{0};
+  std::atomic<std::uint64_t> recovery_ns{0};
+};
+
+/// One tracked dispatch message. The encoded request frame is RETAINED
+/// until exactly one reply claims the chunk — that copy is what the
+/// retry sweeper re-sends and what failover re-routes, and the chunk id
+/// it carries is what dedupes however many answers the fault schedule
+/// lets through. All fields are guarded by the owning submission's
+/// chunk_mu.
+struct Chunk {
+  net::Frame frame;           ///< encoded kQueryBatch (epoch re-stamped per send)
+  std::uint32_t shard = 0;    ///< kGlobalShard under kReplicate
+  std::uint32_t node = 0;     ///< current assignment
+  std::uint32_t attempts = 0; ///< sends on the current assignment
+  std::uint32_t hops = 0;     ///< failover re-assignments so far
+  Clock::time_point next_retry{};
+  bool done = false;          ///< claimed by a reply, or written off
+};
+
+/// Completion record for one submitted batch. `outstanding` starts at 1
+/// (the submitter's hold) plus one per chunk; every chunk finishes
+/// EXACTLY once — claimed by the first reply carrying its id, or
+/// written off by the failure path when no replica survives — so the
+/// countdown is immune to duplicated, delayed, and re-sent frames.
+///
+/// Locking: chunk_mu guards the chunk table, the per-node stat slots,
+/// and the sent-side counters (every send — submitter, sweeper,
+/// failover — happens under it, as does every reply claim). Lock order:
+/// chunk_mu -> link tx (innermost); subs_mu_ is only ever taken with
+/// chunk_mu RELEASED.
 struct ClusterSubmission {
   ClusterSubmission(std::uint64_t id_, std::uint32_t num_nodes,
                     bool track_latency_)
@@ -129,8 +171,7 @@ struct ClusterSubmission {
         node_busy_ns(num_nodes, 0), node_replies(num_nodes, 0),
         node_reply_bytes(num_nodes, 0), node_sent(num_nodes, 0),
         node_sent_bytes(num_nodes, 0),
-        node_latency(track_latency_ ? num_nodes : 0),
-        pending_per_node(num_nodes) {}
+        node_latency(track_latency_ ? num_nodes : 0) {}
 
   const std::uint64_t id;
   rank_t* out = nullptr;
@@ -146,8 +187,10 @@ struct ClusterSubmission {
   std::shared_ptr<const index::DeltaSnapshot> delta;
   std::vector<key_t> query_copy;
 
-  // Per-node stat slots (receiver-thread-owned, except node_sent*
-  // which the submitter fills before releasing its hold).
+  // --- Everything below here is guarded by chunk_mu -----------------------
+  std::mutex chunk_mu;
+  std::deque<Chunk> chunks;  ///< deque: stable addresses, indexed by chunk id
+
   std::vector<std::uint64_t> node_queries;
   std::vector<std::uint64_t> node_busy_ns;
   std::vector<std::uint64_t> node_replies;
@@ -156,17 +199,19 @@ struct ClusterSubmission {
   std::vector<std::uint64_t> node_sent_bytes;
   std::vector<Summary> node_latency;
 
-  /// Un-replied messages per node; the failure path exchanges a dead
-  /// node's count to zero and writes it off `outstanding` in one step.
-  std::vector<std::atomic<std::uint64_t>> pending_per_node;
+  std::uint64_t messages = 0;    ///< frames actually sent (retries included)
+  std::uint64_t wire_bytes = 0;  ///< request-hop serialized bytes
+  std::uint64_t retries = 0;     ///< re-sends of unanswered chunks
+  std::uint64_t failovers = 0;   ///< chunks re-routed to another replica
+  // --- End of chunk_mu protection -----------------------------------------
 
-  /// First node whose death touched this submission (kNoFailure = none).
+  /// First node whose unrecoverable death touched this submission
+  /// (kNoFailure = none). A recovered fault (retry or failover worked)
+  /// never sets this.
   std::atomic<std::uint32_t> failed_node{kNoFailure};
 
   // Filled by the submitter before it releases its hold.
   std::uint64_t num_queries = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t wire_bytes = 0;  ///< request-hop serialized bytes
   double dispatch_sec = 0.0;
 
   WallTimer timer;        ///< started at submit
@@ -204,16 +249,18 @@ struct ClusterSubmission {
   }
 };
 
-/// One coordinator->node link plus its ordering state. `tx` serializes
-/// senders (many clients, plus the coordinator's control frames); the
-/// failure path takes the same mutex before marking `dead`, so a
-/// submitter is always either entirely before the death (its pending
-/// increment is visible to the write-off) or entirely after (it sees
-/// `dead` and skips the send).
+/// One coordinator->node link. `tx` serializes senders; `dead` is set
+/// under tx (so a sender is always entirely before the death — its
+/// frame is on the wire — or entirely after, seeing `dead` and
+/// skipping) but readable lock-free by the routing paths. `epoch` is
+/// the link incarnation, bumped when a re-join replaces the endpoint;
+/// every frame the coordinator sends is stamped with it, and the
+/// receiver ignores rank frames from any other incarnation.
 struct Link {
   std::unique_ptr<net::Endpoint> endpoint;
   std::mutex tx;
-  bool dead = false;  ///< guarded by tx
+  std::atomic<bool> dead{false};
+  std::atomic<std::uint32_t> epoch{1};
 };
 
 class ClusterIndex : public Index {
@@ -223,46 +270,51 @@ class ClusterIndex : public Index {
         config_(config),
         partitioner_(keys(), clamped_shards(config, keys().size())),
         membership_(config.num_nodes),
-        links_(config.num_nodes) {
+        links_(config.num_nodes),
+        ledger_(std::make_shared<RecoveryLedger>()) {
     const std::uint32_t N = config_.num_nodes;
-    NodeConfig node_config;
-    node_config.kernel = config_.kernel;
-    node_config.interleave_width = config_.interleave_width;
-    node_config.heartbeat_interval_ms = config_.heartbeat_interval_ms;
-    node_config.num_nodes = N;
+    if (config_.faults.enabled())
+      controller_ = std::make_shared<net::FaultController>();  // healed
     nodes_.reserve(N);
     for (std::uint32_t i = 0; i < N; ++i) {
-      auto [coordinator_end, node_end] =
-          net::make_transport_pair(config_.transport, config_.ring_frames);
+      auto [coordinator_end, node_end] = make_link(i, /*epoch=*/1);
       links_[i] = std::make_unique<Link>();
       links_[i]->endpoint = std::move(coordinator_end);
-      nodes_.push_back(
-          std::make_unique<ClusterNode>(i, node_config, std::move(node_end)));
+      nodes_.push_back(std::make_unique<ClusterNode>(i, node_config(),
+                                                     std::move(node_end)));
     }
     join_all();
     broadcast_cluster_info();
     scatter_shards();
     await_build_acks();
     broadcast_cluster_info();
-    receivers_.reserve(N);
+    // The build ran on a clean wire; only now do the configured faults
+    // start biting (build retries are deliberately not a thing).
+    if (controller_ != nullptr && config_.faults.armed) controller_->arm();
+    receivers_.resize(N);
     for (std::uint32_t i = 0; i < N; ++i)
-      receivers_.emplace_back([this, i] { receiver_loop(i); });
+      receivers_[i] = std::thread([this, i] { receiver_loop(i); });
+    sweeper_ = std::thread([this] { sweeper_loop(); });
   }
 
   ~ClusterIndex() override {
     // No client outlives the Index, so every submission has completed
-    // (drained or failed). Stop the receivers, wave the nodes goodbye,
-    // and close the links — close unblocks every recv on both ends.
+    // (drained or failed). Stop the sweeper and receivers, wave the
+    // nodes goodbye on a clean wire, and close the links — close
+    // unblocks every recv on both ends.
     stop_.store(true, std::memory_order_release);
+    if (controller_ != nullptr) controller_->heal();
+    sweeper_.join();
     for (std::uint32_t i = 0; i < links_.size(); ++i) {
       std::lock_guard lock(links_[i]->tx);
-      if (!links_[i]->dead) {
+      if (!links_[i]->dead.load(std::memory_order_acquire)) {
         (void)links_[i]->endpoint->send(
             net::encode_shutdown(net::kCoordinatorId), 10ms);
       }
     }
     for (auto& link : links_) link->endpoint->close();
-    for (auto& receiver : receivers_) receiver.join();
+    for (auto& receiver : receivers_)
+      if (receiver.joinable()) receiver.join();
     nodes_.clear();  // joins each node's service thread
   }
 
@@ -277,8 +329,14 @@ class ClusterIndex : public Index {
     return membership_.status(node);
   }
 
+  std::shared_ptr<net::FaultController> fault_controller() const {
+    return controller_;
+  }
+
   /// Test hook: silence node `i` as if its machine lost power.
   void kill_node(std::uint32_t i) const { nodes_[i]->kill(); }
+
+  bool rejoin_node(std::uint32_t i) const;
 
   std::unique_ptr<Client::Completion> submit_batch(
       std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
@@ -291,11 +349,53 @@ class ClusterIndex : public Index {
     return shard % config_.num_nodes;
   }
 
+  NodeConfig node_config() const {
+    NodeConfig node;
+    node.kernel = config_.kernel;
+    node.interleave_width = config_.interleave_width;
+    node.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    node.num_nodes = config_.num_nodes;
+    return node;
+  }
+
   std::chrono::milliseconds send_timeout() const {
     return std::chrono::milliseconds(config_.heartbeat_timeout_ms);
   }
 
-  // --- Build phase (constructor only) -------------------------------------
+  /// Backoff before the (attempts+1)-th send of a chunk: base * 2^k,
+  /// exponent capped so a long outage polls, not overflows.
+  Clock::duration backoff_after(std::uint32_t attempts) const {
+    const std::uint32_t shift = std::min(attempts == 0 ? 0u : attempts - 1, 6u);
+    return std::chrono::microseconds(
+        static_cast<std::uint64_t>(config_.retry_backoff_us) << shift);
+  }
+
+  /// A fresh transport pair for node `i`, fault-decorated when the
+  /// config asks for it. The injection seed is salted with node and
+  /// epoch, so every link — and every re-join incarnation of a link —
+  /// draws its own reproducible schedule from one config seed.
+  std::pair<std::unique_ptr<net::Endpoint>, std::unique_ptr<net::Endpoint>>
+  make_link(std::uint32_t i, std::uint32_t epoch) const {
+    auto [coordinator_end, node_end] =
+        net::make_transport_pair(config_.transport, config_.ring_frames);
+    if (controller_ == nullptr)
+      return {std::move(coordinator_end), std::move(node_end)};
+    std::uint64_t state =
+        config_.faults.seed ^ (0x9e3779b97f4a7c15ull * (i + 1) + epoch);
+    const std::uint64_t to_node_seed = splitmix64(state);
+    const std::uint64_t to_coordinator_seed = splitmix64(state);
+    auto coordinator = std::make_unique<net::FaultInjectingEndpoint>(
+        std::move(coordinator_end), controller_,
+        net::FaultInjectingEndpoint::Direction::kToNode,
+        config_.faults.to_node, to_node_seed);
+    auto node = std::make_unique<net::FaultInjectingEndpoint>(
+        std::move(node_end), controller_,
+        net::FaultInjectingEndpoint::Direction::kToCoordinator,
+        config_.faults.to_coordinator, to_coordinator_seed);
+    return {std::move(coordinator), std::move(node)};
+  }
+
+  // --- Build phase (constructor, and re-join's re-scatter) ----------------
 
   /// Receive the next frame from node `i` during build, skipping (but
   /// recording) heartbeats. Aborts on timeout/close — build has no
@@ -319,7 +419,8 @@ class ClusterIndex : public Index {
     }
   }
 
-  void send_control(std::uint32_t i, const net::Frame& frame) {
+  void send_control(std::uint32_t i, net::Frame frame) {
+    frame.header.epoch = links_[i]->epoch.load(std::memory_order_acquire);
     std::lock_guard lock(links_[i]->tx);
     const auto result = links_[i]->endpoint->send(frame, kBuildTimeout);
     DICI_CHECK_FMT(result == net::Endpoint::SendResult::kOk,
@@ -361,12 +462,31 @@ class ClusterIndex : public Index {
       send_control(i, frame);
   }
 
-  /// Ship one shard replica (or the full array, for kReplicate) to a
-  /// node as chunked kBuildShard frames; `last` tags the node's final
-  /// build frame so it knows when to finalize and ack.
-  void send_shard_chunks(std::uint32_t node, std::uint32_t shard,
+  /// Best-effort cluster-info broadcast to the live nodes (used after a
+  /// re-join, when other nodes may be dead and the wire may be faulty —
+  /// a lost broadcast only stales a node's mirror, never correctness).
+  void broadcast_cluster_info_tolerant() const {
+    net::ClusterInfoMsg info;
+    {
+      std::lock_guard lock(membership_mu_);
+      info.nodes = membership_.to_entries();
+    }
+    const net::Frame frame =
+        net::encode_cluster_info(net::kCoordinatorId, info);
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+      net::Frame stamped = frame;
+      stamped.header.epoch = links_[i]->epoch.load(std::memory_order_acquire);
+      std::lock_guard lock(links_[i]->tx);
+      if (links_[i]->dead.load(std::memory_order_acquire)) continue;
+      (void)links_[i]->endpoint->send(stamped, 100ms);
+    }
+  }
+
+  /// Split one shard replica into chunk-tagged kBuildShard messages.
+  template <typename Emit>
+  void emit_shard_chunks(std::uint32_t shard,
                          std::span<const key_t> shard_keys, rank_t offset,
-                         bool final_shard_of_node) {
+                         bool final_shard_of_node, Emit&& emit) const {
     const std::size_t chunks =
         std::max<std::size_t>(1, (shard_keys.size() + kBuildChunkKeys - 1) /
                                      kBuildChunkKeys);
@@ -377,51 +497,62 @@ class ClusterIndex : public Index {
       net::BuildShardMsg msg;
       msg.shard = shard;
       msg.global_offset = offset + static_cast<rank_t>(begin);
+      msg.chunk = static_cast<std::uint32_t>(c);
       msg.last = final_shard_of_node && c + 1 == chunks;
       msg.keys.assign(shard_keys.begin() + static_cast<std::ptrdiff_t>(begin),
                       shard_keys.begin() +
                           static_cast<std::ptrdiff_t>(begin + count));
-      send_control(node, net::encode_build_shard(net::kCoordinatorId, msg));
+      emit(std::move(msg));
     }
   }
 
-  void scatter_shards() {
+  /// Enumerate node `i`'s full build-frame sequence (ship order, the
+  /// node's final frame last-flagged); returns the shard-replica count
+  /// of the assignment. Shared by the initial scatter and a re-join's
+  /// re-scatter, so a re-joined node is bit-identical to its first
+  /// incarnation.
+  template <typename Emit>
+  std::uint32_t for_each_build_shard(std::uint32_t i, Emit&& emit) const {
     const std::uint32_t N = config_.num_nodes;
     if (config_.placement == index::Placement::kReplicate) {
       // The paper's replicated strategy: every node holds the whole
-      // array (shipped once, as real bytes) and answers at offset 0.
-      for (std::uint32_t i = 0; i < N; ++i)
-        send_shard_chunks(i, net::kGlobalShard, keys(), 0,
-                          /*final_shard_of_node=*/true);
-      std::lock_guard lock(membership_mu_);
-      for (std::uint32_t i = 0; i < N; ++i) membership_.set_shards(i, 1);
-      return;
+      // array (shipped as real bytes) and answers at offset 0.
+      emit_shard_chunks(net::kGlobalShard, keys(), 0,
+                        /*final_shard_of_node=*/true, emit);
+      return 1;
     }
     // kInterleave / kNodeLocal: shard s lives on node s % N. On a wire
     // these are one assignment — a shipped replica is by construction
     // local to its node — so both placement names hit this path.
     const std::uint32_t S = partitioner_.parts();
-    for (std::uint32_t i = 0; i < N; ++i) {
-      std::vector<std::uint32_t> shards;
-      for (std::uint32_t s = i; s < S; s += N) shards.push_back(s);
-      if (shards.empty()) {
-        // More nodes than shards (tiny index): the node still needs its
-        // "build complete" marker to ack. An empty last-flagged frame
-        // is exactly that.
-        net::BuildShardMsg msg;
-        msg.shard = net::kGlobalShard;
-        msg.last = true;
-        send_control(i, net::encode_build_shard(net::kCoordinatorId, msg));
-      } else {
-        for (std::size_t j = 0; j < shards.size(); ++j) {
-          const std::uint32_t s = shards[j];
-          send_shard_chunks(i, s, partitioner_.keys_of(s),
-                            partitioner_.start_of(s),
-                            /*final_shard_of_node=*/j + 1 == shards.size());
-        }
-      }
+    std::vector<std::uint32_t> shards;
+    for (std::uint32_t s = i; s < S; s += N) shards.push_back(s);
+    if (shards.empty()) {
+      // More nodes than shards (tiny index): the node still needs its
+      // "build complete" marker to ack. An empty last-flagged frame is
+      // exactly that.
+      net::BuildShardMsg msg;
+      msg.shard = net::kGlobalShard;
+      msg.last = true;
+      emit(std::move(msg));
+      return 0;
+    }
+    for (std::size_t j = 0; j < shards.size(); ++j) {
+      const std::uint32_t s = shards[j];
+      emit_shard_chunks(s, partitioner_.keys_of(s), partitioner_.start_of(s),
+                        /*final_shard_of_node=*/j + 1 == shards.size(), emit);
+    }
+    return static_cast<std::uint32_t>(shards.size());
+  }
+
+  void scatter_shards() {
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+      const std::uint32_t shards =
+          for_each_build_shard(i, [&](net::BuildShardMsg&& msg) {
+            send_control(i, net::encode_build_shard(net::kCoordinatorId, msg));
+          });
       std::lock_guard lock(membership_mu_);
-      membership_.set_shards(i, static_cast<std::uint32_t>(shards.size()));
+      membership_.set_shards(i, shards);
     }
   }
 
@@ -440,43 +571,114 @@ class ClusterIndex : public Index {
     }
   }
 
+  // --- Routing -------------------------------------------------------------
+
+  /// Pick a live node holding `shard`, preferring anyone but `exclude`
+  /// (the current, suspect assignment — pass kNoFailure for none).
+  /// Under kReplicate every node holds everything, so the scan round-
+  /// robins the survivors; otherwise the shard's sole owner is the only
+  /// candidate. Returns kNoFailure when no (other) live holder exists.
+  std::uint32_t pick_target(std::uint32_t shard, std::uint32_t exclude) const {
+    const std::uint32_t N = config_.num_nodes;
+    if (shard == net::kGlobalShard &&
+        config_.placement == index::Placement::kReplicate) {
+      const std::uint64_t start =
+          round_robin_.fetch_add(1, std::memory_order_relaxed);
+      std::uint32_t fallback = kNoFailure;
+      for (std::uint32_t k = 0; k < N; ++k) {
+        const auto n = static_cast<std::uint32_t>((start + k) % N);
+        if (links_[n]->dead.load(std::memory_order_acquire)) continue;
+        if (n == exclude) {
+          fallback = n;  // the suspect may end up the only live holder
+          continue;
+        }
+        return n;
+      }
+      return fallback;
+    }
+    const std::uint32_t owner = node_of_shard(shard);
+    if (links_[owner]->dead.load(std::memory_order_acquire)) return kNoFailure;
+    return owner == exclude ? kNoFailure : owner;
+  }
+
+  /// Send `c` to its assigned node (chunk_mu held). A skipped or failed
+  /// send leaves the chunk unanswered — the sweeper or the failure path
+  /// covers it — so this can afford to be fire-and-forget.
+  void send_chunk(ClusterSubmission& sub, Chunk& c) const {
+    Link& link = *links_[c.node];
+    c.frame.header.epoch = link.epoch.load(std::memory_order_acquire);
+    const std::uint64_t frame_bytes =
+        net::kFrameHeaderBytes + c.frame.payload.size();
+    std::lock_guard lock(link.tx);
+    if (link.dead.load(std::memory_order_acquire)) return;  // fail_node re-routes
+    if (link.endpoint->send(c.frame, send_timeout()) !=
+        net::Endpoint::SendResult::kOk)
+      return;
+    sub.messages += 1;
+    sub.wire_bytes += frame_bytes;
+    sub.node_sent[c.node] += 1;
+    sub.node_sent_bytes[c.node] += frame_bytes;
+  }
+
+  /// Write a chunk off as unrecoverable (chunk_mu held): no surviving
+  /// replica holds its shard. The caller owns the finish(1).
+  static void fail_chunk(ClusterSubmission& sub, Chunk& c,
+                         std::uint32_t blame) {
+    c.done = true;
+    c.frame = {};
+    sub.record_failure(blame);
+  }
+
   // --- Failure path --------------------------------------------------------
 
-  /// Mark node `i` DEAD and fail its share of every in-flight
-  /// submission. Runs on node i's receiver thread (or, for send
-  /// failures, on a submitting client thread — the link tx mutex and
-  /// the idempotent membership edge make the two orderings safe).
+  /// Mark node `i` DEAD and re-route (failover on) or write off
+  /// (failover off / no surviving replica) its unanswered chunks in
+  /// every in-flight submission. Runs on node i's receiver thread.
   void fail_node(std::uint32_t i) const {
     {
-      // tx-mutex handshake with submitters: after this block, any
-      // submitter that did not already increment its pending count for
-      // this node will observe `dead` and skip the send.
+      // tx-mutex handshake with senders: after this block, any sender
+      // that did not already put its frame on the wire will observe
+      // `dead` and skip the send.
       std::lock_guard lock(links_[i]->tx);
-      if (links_[i]->dead) return;  // another path got here first
-      links_[i]->dead = true;
+      if (links_[i]->dead.exchange(true, std::memory_order_acq_rel))
+        return;  // another path got here first
     }
     {
       std::lock_guard lock(membership_mu_);
       membership_.transition(i, NodeStatus::kDead);
     }
     links_[i]->endpoint->close();
-    // Write the dead node's un-replied messages off every in-flight
-    // submission so their waiters unblock with a diagnosable error
-    // instead of hanging. Replies from live nodes keep landing — a
-    // failed submission still waits for those (its countdown holds
-    // their pending counts), so the caller's out_ranks is never written
-    // after wait() returns.
-    std::vector<std::shared_ptr<ClusterSubmission>> completed;
+    std::vector<std::shared_ptr<ClusterSubmission>> subs;
     {
       std::lock_guard lock(subs_mu_);
-      for (auto& [id, sub] : pending_) {
-        const std::uint64_t orphaned =
-            sub->pending_per_node[i].exchange(0, std::memory_order_acq_rel);
-        if (orphaned == 0) continue;
-        sub->record_failure(i);
-        if (sub->finish(orphaned)) completed.push_back(sub);
+      subs.reserve(pending_.size());
+      for (auto& [id, sub] : pending_) subs.push_back(sub);
+    }
+    for (const auto& sub : subs) {
+      std::uint64_t finished = 0;
+      {
+        std::lock_guard lock(sub->chunk_mu);
+        for (Chunk& c : sub->chunks) {
+          if (c.done || c.node != i) continue;
+          const std::uint32_t target =
+              config_.failover ? pick_target(c.shard, i) : kNoFailure;
+          if (target == kNoFailure || target == i) {
+            fail_chunk(*sub, c, i);
+            ++finished;
+            continue;
+          }
+          c.node = target;
+          c.attempts = 1;
+          ++c.hops;
+          sub->failovers += 1;
+          c.next_retry = Clock::now() + backoff_after(1);
+          send_chunk(*sub, c);
+        }
       }
-      for (const auto& sub : completed) pending_.erase(sub->id);
+      if (finished != 0 && sub->finish(finished)) {
+        std::lock_guard lock(subs_mu_);
+        pending_.erase(sub->id);
+      }
     }
   }
 
@@ -486,6 +688,8 @@ class ClusterIndex : public Index {
     net::RankBatchMsg msg;
     std::string error;
     if (!net::decode_rank_batch(frame, &msg, &error)) {
+      // The checksum passed, so this is a real protocol breach, not
+      // wire damage: stop trusting the node.
       fail_node(i);
       return;
     }
@@ -493,31 +697,44 @@ class ClusterIndex : public Index {
     {
       std::lock_guard lock(subs_mu_);
       const auto it = pending_.find(msg.submission);
-      if (it == pending_.end()) return;  // late reply of a failed batch
+      if (it == pending_.end()) return;  // reply to a completed/failed batch
       sub = it->second;
     }
-    // The order-preserving merge: scatter by query id. Safe against the
-    // failure path because THIS node's pending count is still >= 1 until
-    // the finish below, so the submission cannot complete mid-scatter.
-    for (std::size_t j = 0; j < msg.ids.size(); ++j)
-      sub->out[msg.ids[j]] = msg.ranks[j];
-    sub->node_queries[i] += msg.ids.size();
-    sub->node_busy_ns[i] += msg.busy_ns;
-    sub->node_replies[i] += 1;
-    sub->node_reply_bytes[i] += net::kFrameHeaderBytes + frame.payload.size();
-    if (sub->track_latency) {
-      // One arrival stamp for the whole reply (its queries' answers all
-      // exist on the coordinator now), read against the submit stamp.
-      const double resolved_ns = sub->timer.elapsed_ns();
-      if (sub->queued_ns.empty()) {
-        sub->node_latency[i].add_n(resolved_ns, msg.ids.size());
-      } else {
-        for (const std::uint32_t id : msg.ids)
-          sub->node_latency[i].add(resolved_ns + sub->queued_ns[id]);
+    bool claimed = false;
+    {
+      std::lock_guard lock(sub->chunk_mu);
+      if (msg.chunk >= sub->chunks.size()) return;
+      Chunk& c = sub->chunks[msg.chunk];
+      if (c.done) return;  // duplicate / late copy — already claimed
+      c.done = true;
+      c.frame = {};  // the retained request copy is no longer needed
+      claimed = true;
+      // The order-preserving merge: scatter by query id. The claim
+      // under chunk_mu makes this exactly-once however many duplicated
+      // or re-sent copies of the chunk were answered — and whichever
+      // node answered, the ranks are global, so a failover reply lands
+      // identically.
+      for (std::size_t j = 0; j < msg.ids.size(); ++j)
+        sub->out[msg.ids[j]] = msg.ranks[j];
+      sub->node_queries[i] += msg.ids.size();
+      sub->node_busy_ns[i] += msg.busy_ns;
+      sub->node_replies[i] += 1;
+      sub->node_reply_bytes[i] +=
+          net::kFrameHeaderBytes + frame.payload.size();
+      if (sub->track_latency) {
+        // One arrival stamp for the whole reply (its queries' answers
+        // all exist on the coordinator now), read against the submit
+        // stamp.
+        const double resolved_ns = sub->timer.elapsed_ns();
+        if (sub->queued_ns.empty()) {
+          sub->node_latency[i].add_n(resolved_ns, msg.ids.size());
+        } else {
+          for (const std::uint32_t id : msg.ids)
+            sub->node_latency[i].add(resolved_ns + sub->queued_ns[id]);
+        }
       }
     }
-    sub->pending_per_node[i].fetch_sub(1, std::memory_order_acq_rel);
-    if (sub->finish(1)) {
+    if (claimed && sub->finish(1)) {
       std::lock_guard lock(subs_mu_);
       pending_.erase(sub->id);
     }
@@ -539,13 +756,26 @@ class ClusterIndex : public Index {
             std::lock_guard lock(membership_mu_);
             membership_.record_alive(i, last_seen);
           }
-          if (frame.header.msg_type() == net::MsgType::kRankBatch) {
+          if (frame.header.msg_type() == net::MsgType::kRankBatch &&
+              frame.header.epoch ==
+                  links_[i]->epoch.load(std::memory_order_acquire)) {
             handle_rank_batch(i, frame);
           }
           // Heartbeats carry only liveness (recorded above); any other
-          // type from a joined node is ignorable noise.
+          // type — or a rank frame from a stale incarnation — is
+          // ignorable noise.
           continue;
         }
+        case net::Endpoint::RecvResult::kCorrupt:
+          // A damaged frame still proves the node's transmitter is
+          // alive; the frame itself is dropped and the sweeper's
+          // retries cover whatever it carried.
+          last_seen = Clock::now();
+          {
+            std::lock_guard lock(membership_mu_);
+            membership_.record_alive(i, last_seen);
+          }
+          continue;
         case net::Endpoint::RecvResult::kTimeout:
           if (Clock::now() - last_seen > timeout) {
             fail_node(i);
@@ -562,6 +792,147 @@ class ClusterIndex : public Index {
     }
   }
 
+  /// The retry sweeper: one coordinator thread that re-sends every
+  /// unanswered chunk whose backoff deadline passed. Retries cover
+  /// dropped/corrupted frames on a live link; exhausted retries
+  /// escalate to failover — which is what lets a batch complete BEFORE
+  /// the heartbeat verdict when a replica-holding node dies mid-stream.
+  void sweeper_loop() const {
+    const auto backoff = std::chrono::microseconds(config_.retry_backoff_us);
+    const auto tick = std::clamp<Clock::duration>(
+        backoff / 2, std::chrono::microseconds(500),
+        std::chrono::milliseconds(10));
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(tick);
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::vector<std::shared_ptr<ClusterSubmission>> subs;
+      {
+        std::lock_guard lock(subs_mu_);
+        if (pending_.empty()) continue;
+        subs.reserve(pending_.size());
+        for (auto& [id, sub] : pending_) subs.push_back(sub);
+      }
+      for (const auto& sub : subs) {
+        std::lock_guard lock(sub->chunk_mu);
+        const auto now = Clock::now();
+        for (Chunk& c : sub->chunks) {
+          if (c.done || now < c.next_retry) continue;
+          if (c.attempts <= config_.max_retries) {
+            // One more nudge at the same assignment.
+            ++c.attempts;
+            sub->retries += 1;
+            c.next_retry = now + backoff_after(c.attempts);
+            send_chunk(*sub, c);
+            continue;
+          }
+          // Retries exhausted: the assignment is suspect. Re-route to
+          // another live replica holder when one exists (hop-capped so
+          // two silent-but-alive nodes can't ping-pong a chunk
+          // forever); otherwise keep polling the sole owner at the
+          // backoff cap until the heartbeat verdict settles it.
+          const std::uint32_t target =
+              config_.failover && c.hops < config_.num_nodes
+                  ? pick_target(c.shard, c.node)
+                  : kNoFailure;
+          if (target != kNoFailure && target != c.node) {
+            c.node = target;
+            c.attempts = 1;
+            ++c.hops;
+            sub->failovers += 1;
+            c.next_retry = now + backoff_after(1);
+          } else {
+            sub->retries += 1;
+            c.next_retry = now + backoff_after(config_.max_retries + 1);
+          }
+          send_chunk(*sub, c);
+        }
+      }
+    }
+  }
+
+  // --- Re-join -------------------------------------------------------------
+
+  /// Tolerant receive for the re-join handshake: skips heartbeats and
+  /// corrupt frames, false on timeout/close/breach.
+  bool recv_rejoin_frame(std::uint32_t i, net::Frame* frame) const {
+    const auto deadline = Clock::now() + kRejoinTimeout;
+    for (;;) {
+      const auto now = Clock::now();
+      if (now >= deadline) return false;
+      std::string error;
+      switch (links_[i]->endpoint->recv(frame, deadline - now, &error)) {
+        case net::Endpoint::RecvResult::kFrame:
+          if (frame->header.msg_type() == net::MsgType::kHeartbeat) {
+            std::lock_guard lock(membership_mu_);
+            membership_.record_alive(i, Clock::now());
+            continue;
+          }
+          return true;
+        case net::Endpoint::RecvResult::kCorrupt:
+          continue;
+        case net::Endpoint::RecvResult::kTimeout:
+        case net::Endpoint::RecvResult::kClosed:
+        case net::Endpoint::RecvResult::kError:
+          return false;
+      }
+    }
+  }
+
+  bool send_rejoin_frame(std::uint32_t i, net::Frame frame,
+                         std::uint32_t epoch) const {
+    frame.header.epoch = epoch;
+    std::lock_guard lock(links_[i]->tx);
+    return links_[i]->endpoint->send(frame, kRejoinTimeout) ==
+           net::Endpoint::SendResult::kOk;
+  }
+
+  /// The DEAD -> JOINING -> ACK -> ALIVE ladder, walked again on the
+  /// fresh link: join handshake, shard re-scatter, build ack.
+  bool rejoin_handshake(std::uint32_t i, std::uint32_t epoch) const {
+    net::Frame frame;
+    if (!recv_rejoin_frame(i, &frame)) return false;
+    net::JoinRequestMsg request;
+    std::string error;
+    if (!net::decode_join_request(frame, &request, &error) ||
+        request.node_id != i)
+      return false;
+    {
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kJoining);
+      membership_.record_alive(i, Clock::now());
+    }
+    if (!send_rejoin_frame(i,
+                           net::encode_join_ack(net::kCoordinatorId,
+                                                {i, config_.num_nodes}),
+                           epoch))
+      return false;
+    {
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kAck);
+    }
+    // Re-scatter: the node's original shard assignment, re-shipped as
+    // the same chunked kBuildShard sequence the first build used.
+    bool sent_ok = true;
+    const std::uint32_t shards =
+        for_each_build_shard(i, [&](net::BuildShardMsg&& msg) {
+          sent_ok = sent_ok &&
+                    send_rejoin_frame(
+                        i, net::encode_build_shard(net::kCoordinatorId, msg),
+                        epoch);
+        });
+    if (!sent_ok) return false;
+    if (!recv_rejoin_frame(i, &frame)) return false;
+    net::BuildAckMsg ack;
+    if (!net::decode_build_ack(frame, &ack, &error)) return false;
+    {
+      std::lock_guard lock(membership_mu_);
+      membership_.transition(i, NodeStatus::kAlive);
+      membership_.record_alive(i, Clock::now());
+      membership_.set_shards(i, shards);
+    }
+    return true;
+  }
+
   std::unique_ptr<Client> do_connect(
       std::shared_ptr<const Index> self) const override;
 
@@ -570,25 +941,90 @@ class ClusterIndex : public Index {
   mutable std::mutex membership_mu_;
   mutable Membership membership_;
   mutable std::vector<std::unique_ptr<Link>> links_;
-  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  mutable std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::shared_ptr<net::FaultController> controller_;  ///< null: no faults
+  std::shared_ptr<RecoveryLedger> ledger_;
   mutable std::mutex subs_mu_;
   mutable std::unordered_map<std::uint64_t,
                              std::shared_ptr<ClusterSubmission>>
       pending_;
   mutable std::atomic<std::uint64_t> next_sub_id_{1};
+  mutable std::atomic<std::uint64_t> round_robin_{0};
   std::atomic<bool> stop_{false};
-  std::vector<std::thread> receivers_;
+  mutable std::vector<std::thread> receivers_;
+  std::thread sweeper_;
 };
 
+bool ClusterIndex::rejoin_node(std::uint32_t i) const {
+  {
+    std::lock_guard lock(membership_mu_);
+    DICI_CHECK_FMT(membership_.status(i) == NodeStatus::kDead,
+                   "cluster_rejoin_node: node %u is %s, not DEAD — only a "
+                   "dead node can re-join",
+                   i, node_status_name(membership_.status(i)));
+  }
+  WallTimer recovery;
+  recovery.start();
+  // Retire the old incarnation. The receiver exited right after it ran
+  // fail_node (which set the DEAD status gating this call), and the old
+  // node object's service thread is parked (killed) or gone — both
+  // joins are quick.
+  if (receivers_[i].joinable()) receivers_[i].join();
+  nodes_[i].reset();
+
+  const std::uint32_t epoch =
+      links_[i]->epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // The re-scatter runs on a healed wire, like the original build —
+  // build frames have no retry layer, deliberately. Re-arm afterwards.
+  const bool rearm = controller_ != nullptr && controller_->armed();
+  if (controller_ != nullptr) controller_->heal();
+
+  auto [coordinator_end, node_end] = make_link(i, epoch);
+  {
+    // `dead` is still true, so no sender touches the endpoint while it
+    // is swapped; the handshake below is the link's only user until the
+    // node is ALIVE again.
+    std::lock_guard lock(links_[i]->tx);
+    links_[i]->endpoint = std::move(coordinator_end);
+  }
+  nodes_[i] =
+      std::make_unique<ClusterNode>(i, node_config(), std::move(node_end));
+
+  const bool ok = rejoin_handshake(i, epoch);
+  if (rearm) controller_->arm();
+  if (!ok) {
+    // Back to DEAD (legal from kJoining/kAck/kAlive; no-op from kDead).
+    // The fresh node object idles until the next attempt replaces it or
+    // the index tears down.
+    std::lock_guard lock(membership_mu_);
+    membership_.transition(i, NodeStatus::kDead);
+    return false;
+  }
+  {
+    std::lock_guard lock(links_[i]->tx);
+    links_[i]->dead.store(false, std::memory_order_release);
+  }
+  receivers_[i] = std::thread([this, i] { receiver_loop(i); });
+  broadcast_cluster_info_tolerant();
+  ledger_->rejoins.fetch_add(1, std::memory_order_relaxed);
+  ledger_->recovery_ns.fetch_add(
+      static_cast<std::uint64_t>(recovery.elapsed_ns()),
+      std::memory_order_relaxed);
+  return true;
+}
+
 /// Waits one submission and assembles its RunReport — or throws
-/// NodeFailureError when a node died under it. Self-contained: holds
-/// only the submission record, safe to await during client teardown.
+/// NodeFailureError when a node died under it with no surviving
+/// replica. Self-contained: holds only the submission record and the
+/// recovery ledger, safe to await during client teardown.
 class ClusterIndex::ClusterCompletion : public Client::Completion {
  public:
   ClusterCompletion(std::shared_ptr<ClusterSubmission> sub,
+                    std::shared_ptr<RecoveryLedger> ledger,
                     const ClusterConfig& config)
-      : sub_(std::move(sub)), num_nodes_(config.num_nodes),
-        batch_bytes_(config.batch_bytes) {}
+      : sub_(std::move(sub)), ledger_(std::move(ledger)),
+        num_nodes_(config.num_nodes), batch_bytes_(config.batch_bytes) {}
 
   bool ready() const override {
     return sub_->done_flag.load(std::memory_order_acquire);
@@ -603,8 +1039,8 @@ class ClusterIndex::ClusterCompletion : public Client::Completion {
       throw NodeFailureError(
           failed, "cluster submission " + std::to_string(sub.id) +
                       " failed: node " + std::to_string(failed) +
-                      " is DEAD (heartbeat timeout or link failure) with "
-                      "its replies outstanding");
+                      " is DEAD (heartbeat timeout or link failure) and no "
+                      "surviving replica holds its shards");
     }
     // Coordinator-side delta fold, after every rank has landed.
     if (sub.delta != nullptr)
@@ -618,7 +1054,16 @@ class ClusterIndex::ClusterCompletion : public Client::Completion {
     report.batch_bytes = batch_bytes_;
     report.raw_makespan = ns_to_ps(sub.wall_sec * 1e9);
     report.makespan = report.raw_makespan;
+    // Frames that actually left the coordinator — retries and failover
+    // re-sends included, so under faults messages > chunk count.
     report.messages = sub.messages;
+    report.retries = sub.retries;
+    report.failovers = sub.failovers;
+    // Re-join events are index-lifetime, harvested exactly once by the
+    // first successful await after they happen (merge adds them up).
+    report.rejoins = ledger_->rejoins.exchange(0, std::memory_order_acq_rel);
+    report.recovery_ns =
+        ledger_->recovery_ns.exchange(0, std::memory_order_acq_rel);
     // Unlike ParallelNativeEngine (request hop only, to match the
     // simulator), wire_bytes here is MEASURED traffic on both hops —
     // these bytes actually crossed a transport.
@@ -664,6 +1109,7 @@ class ClusterIndex::ClusterCompletion : public Client::Completion {
 
  private:
   std::shared_ptr<ClusterSubmission> sub_;
+  std::shared_ptr<RecoveryLedger> ledger_;
   std::uint32_t num_nodes_;
   std::uint64_t batch_bytes_;
 };
@@ -691,7 +1137,8 @@ std::unique_ptr<Client::Completion> ClusterIndex::submit_batch(
     sub->queued_ns.assign(options.queued_ns.begin(), options.queued_ns.end());
 
   // Registered BEFORE any frame leaves, so a node death during the
-  // dispatch loop already finds (and fails) this submission.
+  // dispatch loop already finds (and re-routes or fails) this
+  // submission — and the sweeper starts covering its chunks.
   {
     std::lock_guard lock(subs_mu_);
     pending_.emplace(sub->id, sub);
@@ -703,59 +1150,53 @@ std::unique_ptr<Client::Completion> ClusterIndex::submit_batch(
 
   sub->timer.start();
   WallTimer dispatch_timer;
-  sub->messages = core::dispatch_master_rounds(
+  dispatch_timer.start();
+  core::dispatch_master_rounds(
       queries, config_.batch_bytes, lanes,
       [&](key_t q) -> std::uint32_t {
-        // kReplicate balances by turn, not by key range: any node can
-        // answer any query on its full copy.
+        // kReplicate balances by turn, not by key range: lanes are just
+        // round groupings, the serving node is chosen per-chunk at
+        // flush (so the rotation skips dead nodes).
         return replicate ? static_cast<std::uint32_t>(round_robin++ % N)
                          : partitioner_.route(q);
       },
       [&](std::uint32_t lane, DispatchBatch&& batch) {
-        const std::uint32_t node = replicate ? lane : node_of_shard(lane);
         net::QueryBatchMsg msg;
         msg.submission = sub->id;
         msg.shard = replicate ? net::kGlobalShard : lane;
         msg.keys = std::move(batch.keys);
         msg.ids = std::move(batch.ids);
-        const net::Frame frame =
-            net::encode_query_batch(net::kCoordinatorId, msg);
-        const std::uint64_t frame_bytes =
-            net::kFrameHeaderBytes + frame.payload.size();
-        std::lock_guard lock(links_[node]->tx);
-        if (links_[node]->dead) {
-          // Submitting into a grave: fail this submission immediately
-          // (no countdown hold was taken for the message).
-          sub->record_failure(node);
-          return;
-        }
+        std::lock_guard lock(sub->chunk_mu);
+        msg.chunk = static_cast<std::uint32_t>(sub->chunks.size());
+        Chunk& c = sub->chunks.emplace_back();
+        c.shard = msg.shard;
+        c.frame = net::encode_query_batch(net::kCoordinatorId, msg);
         // Hold taken BEFORE the send so the countdown can never hit
-        // zero while messages are still leaving; the failure path's
-        // tx-mutex handshake guarantees it sees this increment.
-        sub->pending_per_node[node].fetch_add(1, std::memory_order_acq_rel);
+        // zero while chunks are still being created; the submitter's
+        // own hold keeps a failed first chunk from completing early.
         sub->outstanding.fetch_add(1, std::memory_order_relaxed);
-        const auto result = links_[node]->endpoint->send(frame, send_timeout());
-        if (result != net::Endpoint::SendResult::kOk) {
-          // The node's ring/socket is wedged or closed: treat exactly
-          // like a death, but only un-count OUR message — the receiver
-          // thread owns the full fail_node sweep.
-          sub->pending_per_node[node].fetch_sub(1, std::memory_order_acq_rel);
-          sub->outstanding.fetch_sub(1, std::memory_order_acq_rel);
-          sub->record_failure(node);
+        const std::uint32_t target = pick_target(c.shard, kNoFailure);
+        if (target == kNoFailure) {
+          // No live holder for this shard: submitting into a grave.
+          fail_chunk(*sub, c,
+                     replicate ? 0 : node_of_shard(c.shard));
+          sub->finish(1);  // cannot complete: the submitter's hold is out
           return;
         }
-        sub->node_sent[node] += 1;
-        sub->node_sent_bytes[node] += frame_bytes;
-        sub->wire_bytes += frame_bytes;
+        c.node = target;
+        c.attempts = 1;
+        c.next_retry = Clock::now() + backoff_after(1);
+        send_chunk(*sub, c);
       });
   sub->dispatch_sec = dispatch_timer.elapsed_sec();
   // Release the submitter's hold; completes immediately on zero work
-  // (or when every message was skipped into a dead node).
+  // (or when every chunk was written off at submit time).
   if (sub->finish(1)) {
     std::lock_guard lock(subs_mu_);
     pending_.erase(sub->id);
   }
-  return std::make_unique<ClusterCompletion>(std::move(sub), config_);
+  return std::make_unique<ClusterCompletion>(std::move(sub), ledger_,
+                                             config_);
 }
 
 /// One master stream into the cluster. All the machinery lives in the
@@ -786,6 +1227,21 @@ std::unique_ptr<Client> ClusterIndex::do_connect(
   return std::make_unique<ClusterClient>(std::move(self), this);
 }
 
+const ClusterIndex* as_cluster(const core::Index& index, const char* who) {
+  const auto* cluster = dynamic_cast<const ClusterIndex*>(&index);
+  DICI_CHECK_FMT(cluster != nullptr,
+                 "%s: index backend is %s, not a cluster index", who,
+                 index.backend());
+  return cluster;
+}
+
+void check_node_range(const ClusterIndex& cluster, std::uint32_t node,
+                      const char* who) {
+  DICI_CHECK_FMT(node < cluster.config().num_nodes,
+                 "%s: node %u out of range (cluster has %u nodes)", who, node,
+                 cluster.config().num_nodes);
+}
+
 }  // namespace
 
 std::shared_ptr<const core::Index> ClusterEngine::build(
@@ -794,16 +1250,27 @@ std::shared_ptr<const core::Index> ClusterEngine::build(
 }
 
 void cluster_kill_node_for_test(const core::Index& index, std::uint32_t node) {
-  const auto* cluster = dynamic_cast<const ClusterIndex*>(&index);
-  DICI_CHECK_FMT(cluster != nullptr,
-                 "cluster_kill_node_for_test: index backend is %s, not a "
-                 "cluster index",
-                 index.backend());
-  DICI_CHECK_FMT(node < cluster->config().num_nodes,
-                 "cluster_kill_node_for_test: node %u out of range (cluster "
-                 "has %u nodes)",
-                 node, cluster->config().num_nodes);
+  const ClusterIndex* cluster =
+      as_cluster(index, "cluster_kill_node_for_test");
+  check_node_range(*cluster, node, "cluster_kill_node_for_test");
   cluster->kill_node(node);
+}
+
+bool cluster_rejoin_node(const core::Index& index, std::uint32_t node) {
+  const ClusterIndex* cluster = as_cluster(index, "cluster_rejoin_node");
+  check_node_range(*cluster, node, "cluster_rejoin_node");
+  return cluster->rejoin_node(node);
+}
+
+NodeStatus cluster_node_status(const core::Index& index, std::uint32_t node) {
+  const ClusterIndex* cluster = as_cluster(index, "cluster_node_status");
+  check_node_range(*cluster, node, "cluster_node_status");
+  return cluster->node_status(node);
+}
+
+std::shared_ptr<net::FaultController> cluster_fault_controller(
+    const core::Index& index) {
+  return as_cluster(index, "cluster_fault_controller")->fault_controller();
 }
 
 }  // namespace dici::cluster

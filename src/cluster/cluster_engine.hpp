@@ -25,13 +25,24 @@
 //
 // Failure semantics (the part simulators get for free and real
 // clusters must earn): each node heartbeats the coordinator; a per-node
-// receiver thread marks a silent node DEAD after heartbeat_timeout_ms
-// and FAILS that node's share of every in-flight submission. wait()
-// then throws NodeFailureError naming the node instead of hanging;
-// replies already scattered from live nodes are unaffected, and new
-// submits to a dead node fail immediately. A node killed mid-batch
-// (ClusterNode::kill) is indistinguishable from a powered-off machine,
-// which is exactly the case the kill-one-node test pins.
+// receiver thread marks a silent node DEAD after heartbeat_timeout_ms.
+// Every dispatched message is a tracked CHUNK that the coordinator
+// re-sends with capped exponential backoff (max_retries, then failover)
+// until exactly one reply claims it — so dropped, delayed, duplicated,
+// and corrupted frames (see net/fault.hpp) all converge to a complete
+// batch with exact ranks. When a node dies outright:
+//   * failover on  + a surviving replica holds the chunk's shard
+//     (always true under kReplicate) — the chunk is re-routed to a live
+//     holder and the batch completes with zero caller-visible errors;
+//   * no surviving replica (kInterleave/kNodeLocal own each shard
+//     exactly once), or failover off — wait() throws NodeFailureError
+//     naming the node instead of hanging. Replies already scattered
+//     from live nodes are unaffected either way.
+// A node killed mid-batch (ClusterNode::kill) is indistinguishable from
+// a powered-off machine; cluster_rejoin_node re-admits it afterwards:
+// DEAD -> JOINING handshake on a FRESH link (epoch bumped, so stale
+// incarnations can never be mistaken for current traffic), shards
+// re-shipped via chunked kBuildShard, then back into routing rotation.
 //
 // What stays coordinator-side: SubmitOptions::delta (rank corrections
 // are applied as a post-pass over the returned ranks, like
@@ -40,11 +51,14 @@
 // reply-arrival stamp, per-node Summary slots).
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "src/cluster/membership.hpp"
 #include "src/core/engine.hpp"
 #include "src/index/fast_search.hpp"
+#include "src/net/fault.hpp"
 #include "src/net/transport.hpp"
 #include "src/util/bytes.hpp"
 
@@ -85,6 +99,22 @@ struct ClusterConfig {
   /// In-flight frame capacity per direction of a kRing link.
   std::size_t ring_frames = 1024;
   bool track_latency = false;
+  /// Re-sends of an unanswered chunk to the SAME node before the
+  /// coordinator gives up on that assignment and considers failover.
+  /// 0 disables retries (first silence escalates immediately).
+  std::uint32_t max_retries = 3;
+  /// Base backoff before the first re-send; doubles per attempt
+  /// (capped) — attempt k waits retry_backoff_us * 2^(k-1).
+  std::uint32_t retry_backoff_us = 20'000;
+  /// Re-route a dead (or retry-exhausted) node's unanswered chunks to a
+  /// live replica holder when one exists. Off = the seed's fail-fast
+  /// semantics: any death with chunks outstanding throws
+  /// NodeFailureError.
+  bool failover = true;
+  /// Fault injection on every coordinator<->node link (off by default:
+  /// FaultConfig::enabled() is false when all rates are zero). The
+  /// build phase always runs healed; faults arm once serving starts.
+  net::FaultConfig faults;
 };
 
 class ClusterEngine : public core::Engine {
@@ -118,5 +148,29 @@ ClusterConfig cluster_config_from(const core::ExperimentConfig& config);
 /// Aborts (field+value diagnostic) if `index` is not a cluster index
 /// or `node` is out of range.
 void cluster_kill_node_for_test(const core::Index& index, std::uint32_t node);
+
+/// Re-admit a DEAD node: fresh transport link (epoch bumped), a new
+/// node incarnation, the DEAD -> JOINING -> ACK -> ALIVE ladder walked
+/// again, and the node's shard assignment re-shipped via chunked
+/// kBuildShard — after which it serves queries and (under kReplicate)
+/// takes failover traffic again. Returns false, with the node back in
+/// DEAD, if the handshake or re-scatter fails (e.g. the link is
+/// partitioned); true once the node is ALIVE and routable. Call from
+/// one thread at a time per index (tests and operators, not the hot
+/// path). Aborts if `index` is not a cluster index, `node` is out of
+/// range, or the node is not DEAD.
+bool cluster_rejoin_node(const core::Index& index, std::uint32_t node);
+
+/// The coordinator's current membership view of `node` (test
+/// observability — e.g. polling for kDead after a kill, or kAlive after
+/// a re-join). Aborts on a non-cluster index or out-of-range node.
+NodeStatus cluster_node_status(const core::Index& index, std::uint32_t node);
+
+/// The live fault switchboard shared by every link of a cluster built
+/// with ClusterConfig::faults enabled — arm()/heal()/partition() flip
+/// injection at runtime, stats() counts what was done to the traffic.
+/// Null when the cluster was built without fault injection.
+std::shared_ptr<net::FaultController> cluster_fault_controller(
+    const core::Index& index);
 
 }  // namespace dici::cluster

@@ -1,5 +1,6 @@
 #include "src/cluster/node.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "src/index/batched_search.hpp"
@@ -47,6 +48,7 @@ void ClusterNode::serve() {
     net::JoinAckMsg ack;
     if (!net::decode_join_ack(frame, &ack, &error) || ack.node_id != id_)
       return;
+    epoch_ = std::max(epoch_, frame.header.epoch);
   }
 
   const auto interval =
@@ -59,8 +61,9 @@ void ClusterNode::serve() {
       const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                           now.time_since_epoch())
                           .count();
-      const net::Frame beat = net::encode_heartbeat(
+      net::Frame beat = net::encode_heartbeat(
           id_, {static_cast<std::uint64_t>(ns)});
+      beat.header.epoch = epoch_;
       if (link_->send(beat, kControlTimeout) !=
           net::Endpoint::SendResult::kOk)
         return;
@@ -72,6 +75,8 @@ void ClusterNode::serve() {
     switch (link_->recv(&frame, interval, &error)) {
       case net::Endpoint::RecvResult::kTimeout:
         continue;  // loop sends the next heartbeat
+      case net::Endpoint::RecvResult::kCorrupt:
+        continue;  // wire damage ate one frame; the stream stays framed
       case net::Endpoint::RecvResult::kClosed:
       case net::Endpoint::RecvResult::kError:
         return;
@@ -79,6 +84,7 @@ void ClusterNode::serve() {
         break;
     }
     if (killed_.load(std::memory_order_acquire)) return;
+    epoch_ = std::max(epoch_, frame.header.epoch);
 
     switch (frame.header.msg_type()) {
       case net::MsgType::kClusterInfo: {
@@ -115,6 +121,9 @@ bool ClusterNode::handle_build_shard(const net::Frame& frame) {
     auto [it, inserted] = replicas_.try_emplace(msg.shard);
     Replica& replica = it->second;
     if (inserted) replica.global_offset = msg.global_offset;
+    if (msg.chunk < replica.next_chunk) return true;   // duplicate: drop
+    if (msg.chunk > replica.next_chunk) return false;  // gap: stream broken
+    ++replica.next_chunk;
     replica.keys.insert(replica.keys.end(), msg.keys.begin(), msg.keys.end());
     replica_keys_.fetch_add(msg.keys.size(), std::memory_order_acq_rel);
   }
@@ -131,7 +140,8 @@ bool ClusterNode::handle_build_shard(const net::Frame& frame) {
     net::BuildAckMsg ack;
     ack.shards_received = static_cast<std::uint32_t>(replicas_.size());
     ack.replica_keys = replica_keys_.load(std::memory_order_acquire);
-    const net::Frame reply = net::encode_build_ack(id_, ack);
+    net::Frame reply = net::encode_build_ack(id_, ack);
+    reply.header.epoch = epoch_;
     if (link_->send(reply, kControlTimeout) != net::Endpoint::SendResult::kOk)
       return false;
   }
@@ -155,6 +165,8 @@ bool ClusterNode::handle_query_batch(const net::Frame& frame) {
   net::RankBatchMsg reply;
   reply.submission = msg.submission;
   reply.shard = msg.shard;
+  reply.chunk = msg.chunk;  // the claim ticket: echoes which dispatch
+                            // chunk these answers settle
   reply.ids = std::move(msg.ids);
   reply.ranks.resize(msg.keys.size());
   index::resolve_batch(config_.kernel, replica.keys, replica.layout.get(),
@@ -163,7 +175,8 @@ bool ClusterNode::handle_query_batch(const net::Frame& frame) {
   for (rank_t& r : reply.ranks) r += replica.global_offset;
   reply.busy_ns = static_cast<std::uint64_t>(busy.elapsed_ns());
 
-  const net::Frame out = net::encode_rank_batch(id_, reply);
+  net::Frame out = net::encode_rank_batch(id_, reply);
+  out.header.epoch = epoch_;
   return link_->send(out, kControlTimeout) == net::Endpoint::SendResult::kOk;
 }
 

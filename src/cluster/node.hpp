@@ -84,6 +84,11 @@ class ClusterNode {
     std::vector<key_t> keys;
     rank_t global_offset = 0;
     std::unique_ptr<index::EytzingerLayout> layout;
+    /// Next build chunk this replica expects: an already-appended chunk
+    /// (a duplicated frame) is skipped, a skipped-ahead chunk (a
+    /// dropped frame) breaks the stream — so a replica can never be
+    /// silently assembled from damaged goods.
+    std::uint32_t next_chunk = 0;
   };
 
   void serve();
@@ -93,6 +98,11 @@ class ClusterNode {
   const std::uint32_t id_;
   const NodeConfig config_;
   std::unique_ptr<net::Endpoint> link_;
+  /// Highest link epoch seen from the coordinator, echoed on every send
+  /// — so after a re-join the node's replies carry the fresh
+  /// incarnation and the coordinator's stale-epoch filter passes them.
+  /// Service-thread-only.
+  std::uint32_t epoch_ = 0;
   std::atomic<bool> killed_{false};
   std::atomic<std::uint64_t> replica_keys_{0};
   Membership membership_;  ///< service-thread-only mirror of broadcasts

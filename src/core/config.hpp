@@ -147,6 +147,20 @@ struct ExperimentConfig {
   /// 2 * heartbeat_interval_ms (validated), so one delayed beat never
   /// kills a healthy node.
   std::uint32_t heartbeat_timeout_ms = 250;
+  /// Re-sends of an unanswered cluster chunk to the same node before
+  /// the coordinator escalates to failover. 0 disables retries. Must be
+  /// <= 1000 (validated) — beyond that the backoff cap makes extra
+  /// attempts indistinguishable from polling.
+  std::uint32_t max_retries = 3;
+  /// Base retry backoff in microseconds; attempt k waits
+  /// retry_backoff_us * 2^(k-1), exponent capped. In [100, 10'000'000]
+  /// (validated): below 100us the sweeper would outpace any real
+  /// transport, above 10s a retry could outlive the heartbeat verdict.
+  std::uint32_t retry_backoff_us = 20'000;
+  /// Re-route a dead node's unanswered chunks to a surviving replica
+  /// holder (always possible under Placement::kReplicate). Off = fail
+  /// fast: any death with chunks in flight throws NodeFailureError.
+  bool failover = true;
 
   /// Node layout used by the replicated tree (Methods A/B): a classic
   /// B+-tree whose leaves hold (key, record-pointer) pairs — this is what

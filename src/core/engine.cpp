@@ -72,12 +72,6 @@ Ticket Client::submit(std::span<const key_t> queries,
   return Ticket(this, next_id_++);
 }
 
-Ticket Client::submit(std::span<const key_t> queries,
-                      std::vector<rank_t>* out_ranks,
-                      std::span<const double> queued_ns) {
-  return submit(queries, out_ranks, SubmitOptions{.queued_ns = queued_ns});
-}
-
 bool Client::ready(const Ticket& ticket) const {
   DICI_CHECK_MSG(ticket.owner_ == this,
                  "Ticket belongs to a different Client (or was "
@@ -186,6 +180,17 @@ void validate(const ExperimentConfig& config) {
       "heartbeat_interval_ms = %u: the timeout must be at least twice the "
       "interval, or one delayed beat kills a healthy node",
       config.heartbeat_timeout_ms, config.heartbeat_interval_ms);
+  DICI_CHECK_FMT(config.max_retries <= 1000,
+                 "ExperimentConfig::max_retries = %u: beyond 1000 attempts "
+                 "the capped backoff makes retries pure polling — raise "
+                 "retry_backoff_us instead",
+                 config.max_retries);
+  DICI_CHECK_FMT(
+      config.retry_backoff_us >= 100 && config.retry_backoff_us <= 10'000'000,
+      "ExperimentConfig::retry_backoff_us = %u: must be in [100, 10'000'000] "
+      "— below 100us the retry sweeper outpaces any real transport, above "
+      "10s a retry outlives the heartbeat verdict",
+      config.retry_backoff_us);
   if (is_distributed(config.method)) {
     DICI_CHECK_FMT(config.num_masters >= 1,
                    "ExperimentConfig::num_masters = %u: Method C needs at "

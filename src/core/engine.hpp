@@ -32,10 +32,11 @@
 //
 // The v1 Session surface (Engine::open / Session::run_batch) is GONE —
 // removed on the schedule README's migration table promised, two PRs
-// after its PR 7 deprecation. Engine::run survives as the one-shot
-// convenience (build + connect + submit + wait in one call), and the
-// PR 6 positional submit overload remains deprecated-but-present for
-// one more cycle. out_ranks always receives the global std::upper_bound
+// after its PR 7 deprecation — and so is PR 6's positional
+// submit(queries, out_ranks, queued_ns) overload (deprecated in PR 7;
+// pass SubmitOptions instead). Engine::run survives as the one-shot
+// convenience (build + connect + submit + wait in one call).
+// out_ranks always receives the global std::upper_bound
 // rank of every query in query order — the invariant every backend is
 // tested against; when a delta rides along, the rank is over
 // (base \ erased) ∪ inserted instead.
@@ -188,14 +189,6 @@ class Client {
   /// see SubmitOptions).
   Ticket submit(std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
                 const SubmitOptions& options);
-
-  /// PR 6's positional form, superseded the PR after it shipped: every
-  /// new per-submit knob would have grown the argument list again.
-  [[deprecated(
-      "pass SubmitOptions: submit(queries, out_ranks, "
-      "{.queued_ns = ...})")]] Ticket
-  submit(std::span<const key_t> queries, std::vector<rank_t>* out_ranks,
-         std::span<const double> queued_ns);
 
   /// Non-blocking: would wait(ticket) return without blocking? Aborts
   /// on foreign or already-waited tickets exactly like wait().

@@ -60,6 +60,22 @@ struct RunReport {
   /// when stealing is off or the load never skews).
   std::uint64_t stolen_messages = 0;
 
+  // Recovery events (cluster backend; 0 elsewhere and on a healthy
+  // run). `messages` above counts actual sends, so under faults
+  // messages > the no-fault chunk count by roughly retries + failovers.
+  /// Re-sends of unanswered chunks (covers dropped/corrupted/delayed
+  /// frames and nudges at suspect nodes).
+  std::uint64_t retries = 0;
+  /// Chunks re-routed to a surviving replica after their node died or
+  /// exhausted its retries.
+  std::uint64_t failovers = 0;
+  /// DEAD nodes re-admitted (join handshake + shard re-scatter) during
+  /// this report's window. Index-lifetime events, attributed to the
+  /// first batch waited after they happened.
+  std::uint64_t rejoins = 0;
+  /// Wall time those re-joins took, end to end.
+  std::uint64_t recovery_ns = 0;
+
   /// Per-query response time in ns (read by the dispatcher -> result
   /// delivered), populated when ExperimentConfig::track_latency is set.
   /// This is what the paper's "response time" axis means: how long a
@@ -108,6 +124,10 @@ struct RunReport {
     messages += other.messages;
     wire_bytes += other.wire_bytes;
     stolen_messages += other.stolen_messages;
+    retries += other.retries;
+    failovers += other.failovers;
+    rejoins += other.rejoins;
+    recovery_ns += other.recovery_ns;
     // Idle fraction is a rate, not a counter: weight each batch's value
     // by the wall (raw) time over which it was observed. When both
     // makespans are zero there is no observation time to reweight over,

@@ -1,0 +1,227 @@
+#include "src/net/fault.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace dici::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace std::chrono_literals;
+
+/// Patience for a delayed/duplicated frame's actual send: if the inner
+/// link is wedged past this, the frame is simply lost — which is a
+/// legal outcome of a faulty link anyway.
+constexpr auto kInjectedSendTimeout = 100ms;
+
+}  // namespace
+
+FaultStats FaultController::stats() const {
+  FaultStats total;
+  for (const DirectionCounters* dir : {&to_node_, &to_coordinator_}) {
+    total.forwarded += dir->forwarded.load(std::memory_order_relaxed);
+    total.dropped += dir->dropped.load(std::memory_order_relaxed);
+    total.delayed += dir->delayed.load(std::memory_order_relaxed);
+    total.duplicated += dir->duplicated.load(std::memory_order_relaxed);
+    total.corrupted += dir->corrupted.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+struct FaultInjectingEndpoint::Impl {
+  std::unique_ptr<Endpoint> inner;
+  std::shared_ptr<FaultController> controller;
+  FaultController::DirectionCounters* counters = nullptr;
+  FaultRates rates;
+
+  /// Serializes senders into `inner` (the caller's thread and the delay
+  /// thread) and guards the decision stream — one rng, one schedule.
+  std::mutex mu;
+  Rng rng{0};
+
+  // Delayed-delivery queue, ordered by due time. Only populated when
+  // rates.delay > 0 (the thread is started lazily with the endpoint).
+  std::mutex delay_mu;
+  std::condition_variable delay_cv;
+  std::multimap<Clock::time_point, Frame> delayed;
+  bool stop = false;
+  std::thread delayer;
+
+  void deliver_loop() {
+    std::unique_lock lock(delay_mu);
+    while (!stop) {
+      if (delayed.empty()) {
+        delay_cv.wait(lock);
+        continue;
+      }
+      const auto due = delayed.begin()->first;
+      if (delay_cv.wait_until(lock, due, [&] { return stop; })) break;
+      const auto now = Clock::now();
+      while (!stop && !delayed.empty() && delayed.begin()->first <= now) {
+        Frame frame = std::move(delayed.begin()->second);
+        delayed.erase(delayed.begin());
+        lock.unlock();
+        {
+          std::lock_guard send_lock(mu);
+          (void)inner->send(frame, kInjectedSendTimeout);
+        }
+        lock.lock();
+      }
+    }
+  }
+
+  void enqueue_delayed(Frame frame, Clock::time_point due) {
+    {
+      std::lock_guard lock(delay_mu);
+      delayed.emplace(due, std::move(frame));
+    }
+    delay_cv.notify_one();
+  }
+};
+
+FaultInjectingEndpoint::FaultInjectingEndpoint(
+    std::unique_ptr<Endpoint> inner,
+    std::shared_ptr<FaultController> controller, Direction direction,
+    const FaultRates& rates, std::uint64_t seed)
+    : impl_(std::make_unique<Impl>()) {
+  DICI_CHECK(inner != nullptr && controller != nullptr);
+  DICI_CHECK_FMT(rates.delay == 0.0 || rates.delay_ns >= 1,
+                 "FaultRates::delay_ns = %llu with a nonzero delay rate: a "
+                 "delayed frame needs a positive lateness bound",
+                 static_cast<unsigned long long>(rates.delay_ns));
+  impl_->inner = std::move(inner);
+  impl_->counters = direction == Direction::kToNode
+                        ? &controller->to_node_
+                        : &controller->to_coordinator_;
+  impl_->controller = std::move(controller);
+  impl_->rates = rates;
+  impl_->rng.reseed(seed);
+  if (rates.delay > 0.0)
+    impl_->delayer = std::thread([impl = impl_.get()] { impl->deliver_loop(); });
+}
+
+FaultInjectingEndpoint::~FaultInjectingEndpoint() {
+  if (impl_->delayer.joinable()) {
+    {
+      std::lock_guard lock(impl_->delay_mu);
+      impl_->stop = true;
+    }
+    impl_->delay_cv.notify_all();
+    impl_->delayer.join();
+  }
+}
+
+Endpoint::SendResult FaultInjectingEndpoint::send(
+    const Frame& frame, std::chrono::nanoseconds timeout) {
+  Impl& im = *impl_;
+  if (im.controller->partitioned()) {
+    // The wire is cut: the frame vanishes and the sender is none the
+    // wiser — partition is indistinguishable from very aggressive drop.
+    im.counters->dropped.fetch_add(1, std::memory_order_relaxed);
+    return SendResult::kOk;
+  }
+  std::lock_guard lock(im.mu);
+  if (!im.controller->armed() || !im.rates.any())
+    return im.inner->send(frame, timeout);
+
+  // Four independent draws per frame, always in this order, so the
+  // decision schedule is a pure function of (seed, frame index) — the
+  // rates only decide which decisions fire, never how many bits the
+  // stream consumes.
+  const double u_drop = im.rng.uniform01();
+  const double u_corrupt = im.rng.uniform01();
+  const double u_duplicate = im.rng.uniform01();
+  const double u_delay = im.rng.uniform01();
+
+  if (u_drop < im.rates.drop) {
+    im.counters->dropped.fetch_add(1, std::memory_order_relaxed);
+    return SendResult::kOk;
+  }
+  const bool corrupt =
+      u_corrupt < im.rates.corrupt && !frame.payload.empty();
+  const bool duplicate = u_duplicate < im.rates.duplicate;
+  const bool delay = u_delay < im.rates.delay;
+
+  Frame damaged;
+  const Frame* outgoing = &frame;
+  if (corrupt) {
+    // Flip 1-4 payload bytes AFTER the checksum was sealed; the header
+    // stays intact so the receiver's stream stays framed and reports
+    // kCorrupt for exactly this frame.
+    damaged = frame;
+    const std::uint64_t flips = im.rng.between(1, 4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          static_cast<std::size_t>(im.rng.below(damaged.payload.size()));
+      damaged.payload[pos] ^=
+          static_cast<std::uint8_t>(im.rng.between(1, 255));
+    }
+    outgoing = &damaged;
+    im.counters->corrupted.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (duplicate)
+    im.counters->duplicated.fetch_add(1, std::memory_order_relaxed);
+
+  if (delay) {
+    const auto lateness =
+        std::chrono::nanoseconds(im.rng.between(1, im.rates.delay_ns));
+    const auto due = Clock::now() + lateness;
+    im.enqueue_delayed(*outgoing, due);
+    if (duplicate) im.enqueue_delayed(*outgoing, due + lateness);
+    im.counters->delayed.fetch_add(1, std::memory_order_relaxed);
+    return SendResult::kOk;
+  }
+
+  const SendResult result = im.inner->send(*outgoing, timeout);
+  if (duplicate && result == SendResult::kOk)
+    (void)im.inner->send(*outgoing, kInjectedSendTimeout);
+  if (!corrupt && !duplicate)
+    im.counters->forwarded.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Endpoint::RecvResult FaultInjectingEndpoint::recv(
+    Frame* frame, std::chrono::nanoseconds timeout, std::string* error) {
+  // All injection happens sender-side (decorate both ends of a pair to
+  // cover both directions), so receive is a pass-through.
+  return impl_->inner->recv(frame, timeout, error);
+}
+
+void FaultInjectingEndpoint::close() { impl_->inner->close(); }
+
+SendStats FaultInjectingEndpoint::send_stats() const {
+  // Inner stats: what actually crossed the wire (duplicates and late
+  // deliveries included, dropped frames not).
+  return impl_->inner->send_stats();
+}
+
+FaultyPair make_faulty_transport_pair(TransportKind kind,
+                                      const FaultConfig& config,
+                                      std::size_t ring_frames) {
+  auto [coordinator_end, node_end] = make_transport_pair(kind, ring_frames);
+  auto controller = std::make_shared<FaultController>();
+  if (config.armed) controller->arm();
+  std::uint64_t state = config.seed;
+  const std::uint64_t to_node_seed = splitmix64(state);
+  const std::uint64_t to_coordinator_seed = splitmix64(state);
+  FaultyPair pair;
+  pair.coordinator = std::make_unique<FaultInjectingEndpoint>(
+      std::move(coordinator_end), controller,
+      FaultInjectingEndpoint::Direction::kToNode, config.to_node,
+      to_node_seed);
+  pair.node = std::make_unique<FaultInjectingEndpoint>(
+      std::move(node_end), controller,
+      FaultInjectingEndpoint::Direction::kToCoordinator,
+      config.to_coordinator, to_coordinator_seed);
+  pair.controller = std::move(controller);
+  return pair;
+}
+
+}  // namespace dici::net

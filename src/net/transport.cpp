@@ -21,6 +21,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+std::string checksum_error(const FrameHeader& header) {
+  return std::string("transport: payload checksum mismatch on ") +
+         msg_type_name(header.msg_type()) + " seq " +
+         std::to_string(header.seq) + " from src " +
+         std::to_string(header.src) + " — frame dropped";
+}
+
 // --- Ring transport -------------------------------------------------------
 
 /// One direction of the ring link: an SPSC ring of fully serialized
@@ -103,6 +110,10 @@ class RingEndpoint final : public Endpoint {
     const auto outcome = wait_pop(bytes, timeout);
     if (outcome != RecvResult::kFrame) return outcome;
     if (!decode_frame(bytes, frame, error)) return RecvResult::kError;
+    if (!frame_checksum_ok(*frame)) {
+      *error = checksum_error(frame->header);
+      return RecvResult::kCorrupt;
+    }
     return RecvResult::kFrame;
   }
 
@@ -238,6 +249,13 @@ class SocketEndpoint final : public Endpoint {
     frame->payload.assign(buffer_.begin() + kFrameHeaderBytes,
                           buffer_.begin() + static_cast<std::ptrdiff_t>(total));
     buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    if (!frame_checksum_ok(*frame)) {
+      // The header was valid, so the frame boundary is trustworthy: the
+      // damaged frame is already consumed from the buffer and the next
+      // recv starts clean at the following header.
+      *error = checksum_error(frame->header);
+      return RecvResult::kCorrupt;
+    }
     return RecvResult::kFrame;
   }
 

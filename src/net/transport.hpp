@@ -56,7 +56,7 @@ struct SendStats {
 class Endpoint {
  public:
   enum class SendResult { kOk, kTimeout, kClosed };
-  enum class RecvResult { kFrame, kTimeout, kClosed, kError };
+  enum class RecvResult { kFrame, kTimeout, kClosed, kError, kCorrupt };
 
   virtual ~Endpoint() = default;
 
@@ -70,7 +70,11 @@ class Endpoint {
   /// Receive the next frame. kTimeout after `timeout` with no frame;
   /// kClosed when the peer closed and everything buffered is drained;
   /// kError (with the diagnostic in *error) when the byte stream fails
-  /// to decode — a protocol breach, not a transient.
+  /// to decode — a protocol breach, not a transient. kCorrupt when the
+  /// frame was intact enough to stay framed (valid header) but its
+  /// payload fails the header's checksum: the stream is still usable,
+  /// the caller should drop this frame and keep receiving (the sender's
+  /// retry layer covers the loss).
   virtual RecvResult recv(Frame* frame, std::chrono::nanoseconds timeout,
                           std::string* error) = 0;
 

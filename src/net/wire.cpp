@@ -118,6 +118,7 @@ Frame make_frame(std::uint32_t src, MsgType type,
   frame.header.src = src;
   frame.header.payload_bytes = static_cast<std::uint32_t>(payload.size());
   frame.payload = std::move(payload);
+  frame.header.checksum = wire_checksum(frame.payload);
   return frame;
 }
 
@@ -178,6 +179,17 @@ const char* msg_type_name(MsgType type) {
   return "unknown";
 }
 
+std::uint32_t wire_checksum(std::span<const std::uint8_t> payload) {
+  // FNV-1a 32-bit: tiny, endian-free, and plenty to catch the flipped
+  // bytes a link (or the fault injector) produces.
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
 void encode_frame_header(const FrameHeader& header, std::uint8_t* out) {
   std::vector<std::uint8_t> bytes;
   bytes.reserve(kFrameHeaderBytes);
@@ -187,6 +199,8 @@ void encode_frame_header(const FrameHeader& header, std::uint8_t* out) {
   put_u32(bytes, header.src);
   put_u32(bytes, header.payload_bytes);
   put_u64(bytes, header.seq);
+  put_u32(bytes, header.epoch);
+  put_u32(bytes, header.checksum);
   DICI_CHECK(bytes.size() == kFrameHeaderBytes);
   std::memcpy(out, bytes.data(), kFrameHeaderBytes);
 }
@@ -206,6 +220,8 @@ bool decode_frame_header(std::span<const std::uint8_t> bytes,
   reader.read_u32(&h.src);
   reader.read_u32(&h.payload_bytes);
   reader.read_u64(&h.seq);
+  reader.read_u32(&h.epoch);
+  reader.read_u32(&h.checksum);
   DICI_CHECK(reader.exhausted());
   if (h.magic != kWireMagic) {
     char buf[64];
@@ -258,6 +274,10 @@ bool decode_frame(std::span<const std::uint8_t> bytes, Frame* frame,
   frame->header = header;
   frame->payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
   return true;
+}
+
+bool frame_checksum_ok(const Frame& frame) {
+  return wire_checksum(frame.payload) == frame.header.checksum;
 }
 
 // --- Control messages -----------------------------------------------------
@@ -338,9 +358,10 @@ bool decode_heartbeat(const Frame& frame, HeartbeatMsg* msg,
 
 Frame encode_build_shard(std::uint32_t src, const BuildShardMsg& msg) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(13 + 4 * msg.keys.size());
+  payload.reserve(17 + 4 * msg.keys.size());
   put_u32(payload, msg.shard);
   put_u32(payload, msg.global_offset);
+  put_u32(payload, msg.chunk);
   payload.push_back(msg.last ? 1 : 0);
   put_u32_array(payload, msg.keys);
   return make_frame(src, MsgType::kBuildShard, std::move(payload));
@@ -353,6 +374,7 @@ bool decode_build_shard(const Frame& frame, BuildShardMsg* msg,
   std::uint8_t last = 0;
   reader.read_u32(&msg->shard);
   reader.read_u32(&msg->global_offset);
+  reader.read_u32(&msg->chunk);
   reader.read_u8(&last);
   msg->last = last != 0;
   reader.read_u32_array(&msg->keys);
@@ -380,9 +402,10 @@ bool decode_build_ack(const Frame& frame, BuildAckMsg* msg,
 Frame encode_query_batch(std::uint32_t src, const QueryBatchMsg& msg) {
   DICI_CHECK(msg.keys.size() == msg.ids.size());
   std::vector<std::uint8_t> payload;
-  payload.reserve(20 + 8 * msg.keys.size());
+  payload.reserve(24 + 8 * msg.keys.size());
   put_u64(payload, msg.submission);
   put_u32(payload, msg.shard);
+  put_u32(payload, msg.chunk);
   put_u32_array(payload, msg.keys);
   put_u32_array(payload, msg.ids);
   return make_frame(src, MsgType::kQueryBatch, std::move(payload));
@@ -394,6 +417,7 @@ bool decode_query_batch(const Frame& frame, QueryBatchMsg* msg,
   Reader reader(frame.payload);
   reader.read_u64(&msg->submission);
   reader.read_u32(&msg->shard);
+  reader.read_u32(&msg->chunk);
   reader.read_u32_array(&msg->keys);
   reader.read_u32_array(&msg->ids);
   if (!finish(reader, MsgType::kQueryBatch, error)) return false;
@@ -409,9 +433,10 @@ bool decode_query_batch(const Frame& frame, QueryBatchMsg* msg,
 Frame encode_rank_batch(std::uint32_t src, const RankBatchMsg& msg) {
   DICI_CHECK(msg.ids.size() == msg.ranks.size());
   std::vector<std::uint8_t> payload;
-  payload.reserve(28 + 8 * msg.ids.size());
+  payload.reserve(32 + 8 * msg.ids.size());
   put_u64(payload, msg.submission);
   put_u32(payload, msg.shard);
+  put_u32(payload, msg.chunk);
   put_u64(payload, msg.busy_ns);
   put_u32_array(payload, msg.ids);
   put_u32_array(payload, msg.ranks);
@@ -424,6 +449,7 @@ bool decode_rank_batch(const Frame& frame, RankBatchMsg* msg,
   Reader reader(frame.payload);
   reader.read_u64(&msg->submission);
   reader.read_u32(&msg->shard);
+  reader.read_u32(&msg->chunk);
   reader.read_u64(&msg->busy_ns);
   reader.read_u32_array(&msg->ids);
   reader.read_u32_array(&msg->ranks);

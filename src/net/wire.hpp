@@ -1,7 +1,7 @@
 // The cluster wire format: versioned, length-prefixed, bounds-checked.
 //
 // Everything two cluster nodes say to each other travels as one Frame —
-// a fixed 24-byte header followed by `payload_bytes` of message payload,
+// a fixed 32-byte header followed by `payload_bytes` of message payload,
 // byte-serialized explicitly (little-endian, no struct memcpy) so the
 // format is stable across compilers and, later, across machines. This
 // is the point where net/link.hpp's LinkModel stops being a model:
@@ -15,6 +15,21 @@
 // diagnostic string, never an out-of-bounds read or an abort
 // (net_wire_test pins each rejection). Encoders are in-process and
 // DICI_CHECK their own invariants instead.
+//
+// v2 (the fault-tolerance PR) adds two header fields:
+//   checksum — FNV-1a over the payload, sealed by make_frame at encode
+//              time and verified by every transport recv. A frame whose
+//              bytes were damaged in flight keeps a VALID header (the
+//              stream stays framed) but fails the checksum, so the
+//              receiver can drop exactly that frame and keep serving —
+//              the retry layer re-sends it. Header fields themselves
+//              (seq, epoch) are stamped after sealing and are
+//              deliberately outside the sum.
+//   epoch    — the link's incarnation number. The coordinator bumps it
+//              when a DEAD node re-joins on a fresh link and stamps it
+//              into everything it sends; a node echoes the newest epoch
+//              it has seen, so a reply from a pre-death incarnation can
+//              never be mistaken for current traffic.
 //
 // Message vocabulary (the pocv2/Pilevisor cluster-port pattern):
 //   control  — kJoinRequest/kJoinAck (the join handshake),
@@ -37,7 +52,7 @@
 namespace dici::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x44494349;  // "DICI"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Hard cap a decoder accepts for one frame's payload. Large enough for
 /// any build chunk or dispatch batch this system sends (encoders chunk
@@ -71,7 +86,8 @@ const char* msg_type_name(MsgType type);
 /// The fixed preamble of every frame. `payload_bytes` is the length
 /// prefix a receiver trusts only after bounds-checking; `seq` is the
 /// sender's monotonic frame counter (assigned by Endpoint::send), for
-/// ordering diagnostics in error messages.
+/// ordering diagnostics in error messages; `epoch` is the link
+/// incarnation (see the header comment); `checksum` seals the payload.
 struct FrameHeader {
   std::uint32_t magic = kWireMagic;
   std::uint16_t version = kWireVersion;
@@ -79,11 +95,19 @@ struct FrameHeader {
   std::uint32_t src = kCoordinatorId;
   std::uint32_t payload_bytes = 0;
   std::uint64_t seq = 0;
+  std::uint32_t epoch = 0;
+  std::uint32_t checksum = 0;
 
   MsgType msg_type() const { return static_cast<MsgType>(type); }
 };
 
-inline constexpr std::size_t kFrameHeaderBytes = 24;
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
+/// FNV-1a over a payload — the integrity seal carried in
+/// FrameHeader::checksum. Not cryptographic: the threat model is flipped
+/// bits on a link (or the fault injector imitating them), not an
+/// adversary forging frames.
+std::uint32_t wire_checksum(std::span<const std::uint8_t> payload);
 
 /// One decoded (or to-be-encoded) message: header + raw payload bytes.
 struct Frame {
@@ -108,9 +132,15 @@ bool decode_frame_header(std::span<const std::uint8_t> bytes,
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
 /// Total decode of a whole buffered frame (header checks above, plus
-/// "buffer holds exactly header + payload_bytes").
+/// "buffer holds exactly header + payload_bytes"). Framing only — the
+/// checksum is verified separately (frame_checksum_ok) so a transport
+/// can distinguish "stream poisoned" (kError) from "this one frame was
+/// damaged, drop it and keep reading" (kCorrupt).
 bool decode_frame(std::span<const std::uint8_t> bytes, Frame* frame,
                   std::string* error);
+
+/// Does the frame's payload match the checksum its header carries?
+bool frame_checksum_ok(const Frame& frame);
 
 // --- Control messages -----------------------------------------------------
 
@@ -145,6 +175,9 @@ struct HeartbeatMsg {
 struct BuildShardMsg {
   std::uint32_t shard = 0;
   rank_t global_offset = 0;  ///< rank of the shard's first key
+  std::uint32_t chunk = 0;   ///< 0-based chunk index within the shard —
+                             ///< lets a node drop duplicated chunks and
+                             ///< detect gaps during a faulty re-scatter
   bool last = false;         ///< final build frame for this node
   std::vector<key_t> keys;
 };
@@ -159,6 +192,10 @@ struct BuildAckMsg {
 struct QueryBatchMsg {
   std::uint64_t submission = 0;  ///< coordinator's submission id
   std::uint32_t shard = 0;       ///< kGlobalShard = full-replica resolve
+  std::uint32_t chunk = 0;       ///< chunk index within the submission —
+                                 ///< echoed in the reply so the retry
+                                 ///< layer can claim each chunk exactly
+                                 ///< once however many copies answer
   std::vector<key_t> keys;
   std::vector<std::uint32_t> ids;  ///< query indexes within the submission
 };
@@ -166,14 +203,17 @@ struct QueryBatchMsg {
 struct RankBatchMsg {
   std::uint64_t submission = 0;
   std::uint32_t shard = 0;
+  std::uint32_t chunk = 0;    ///< echo of QueryBatchMsg::chunk
   std::uint64_t busy_ns = 0;  ///< node-side resolve time for this batch
   std::vector<std::uint32_t> ids;
   std::vector<rank_t> ranks;  ///< global ranks (shard offset applied)
 };
 
-// Encoders fill a Frame with the right type and payload; `src` is the
-// sender id stamped into the header. seq is left 0 — Endpoint::send
-// assigns it.
+// Encoders fill a Frame with the right type and payload, and seal the
+// payload checksum; `src` is the sender id stamped into the header. seq
+// is left 0 (Endpoint::send assigns it) and epoch is left 0 (the
+// membership layer stamps the link incarnation) — both are outside the
+// checksum, so stamping them does not break the seal.
 Frame encode_join_request(std::uint32_t src, const JoinRequestMsg& msg);
 Frame encode_join_ack(std::uint32_t src, const JoinAckMsg& msg);
 Frame encode_cluster_info(std::uint32_t src, const ClusterInfoMsg& msg);

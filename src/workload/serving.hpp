@@ -6,7 +6,7 @@
 //     fixed offered load, independent of how fast the engine answers;
 //   - core::AdaptiveBatcher accumulates arrivals into size-or-deadline
 //     rounds, reporting each query's accrued wait;
-//   - Client::submit(queries, ranks, queued_ns) dispatches each round
+//   - Client::submit(queries, ranks, {.queued_ns = ...}) dispatches each round
 //     asynchronously, and Client::ready() lets the loop stamp
 //     completions without stalling the arrival clock.
 //

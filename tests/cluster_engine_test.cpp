@@ -3,12 +3,18 @@
 // frame. The cases that matter: rank agreement with the shared-memory
 // backends on every placement x transport cell, the v3 delta path
 // (Store over a cluster), multi-client pipelining, and — the part a
-// simulator never exercises — a node killed mid-stream failing its
-// in-flight batches with a NodeFailureError that NAMES the node,
-// instead of hanging the waiter.
+// simulator never exercises — the fault-tolerance story: a node killed
+// mid-stream either fails its in-flight batches with a NodeFailureError
+// that NAMES the node (sole-owner placements, or failover=false), or is
+// papered over entirely by query failover to a surviving replica; a
+// DEAD node re-joins and gets its shards re-scattered in the same run;
+// and a seeded drop/delay/duplicate/corrupt storm on every link still
+// converges every batch to exact ranks.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -16,6 +22,7 @@
 #include "src/cluster/cluster_engine.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/store.hpp"
+#include "src/net/fault.hpp"
 #include "src/util/bytes.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/workload.hpp"
@@ -265,6 +272,232 @@ TEST(ClusterEngine, DrainOnDestroySurvivesNodeFailure) {
   SUCCEED();
 }
 
+// --- Failover: a death under kReplicate is invisible to callers -----------
+
+TEST(ClusterEngine, FailoverCompletesBatchesWhenNodeDiesUnderReplicate) {
+  // The acceptance bar: kill one node mid-stream under kReplicate and
+  // every in-flight batch still completes with exact ranks — zero
+  // NodeFailureError reaches the caller, because every chunk the dead
+  // node left unanswered is re-routed to a surviving replica holder.
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(3);
+  cfg.placement = index::Placement::kReplicate;
+  cfg.retry_backoff_us = 2'000;  // exhaust retries in ~1 heartbeat
+  const auto index = ClusterEngine(cfg).build(fx.keys);
+  const auto client = index->connect();
+  std::vector<rank_t> warm;
+  client->wait(client->submit(fx.queries, &warm));
+  expect_exact(warm, "pre-kill");
+
+  constexpr std::size_t kBatches = 12;
+  std::vector<std::vector<rank_t>> ranks(kBatches);
+  std::vector<Ticket> tickets(kBatches);
+  std::uint64_t failovers = 0;
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    tickets[i] = client->submit(fx.queries, &ranks[i]);
+    if (i == 3) cluster_kill_node_for_test(*index, 1);
+  }
+  for (std::size_t i = 0; i < kBatches; ++i) {
+    const RunReport report = client->wait(tickets[i]);  // must not throw
+    expect_exact(ranks[i], "failover batch");
+    failovers += report.failovers;
+  }
+  EXPECT_GT(failovers, 0u) << "node 1 died mid-stream; some chunk must "
+                              "have been re-routed";
+  EXPECT_EQ(cluster_node_status(*index, 1), NodeStatus::kDead);
+  // The survivors keep serving.
+  std::vector<rank_t> after;
+  client->wait(client->submit(fx.queries, &after));
+  expect_exact(after, "post-kill");
+}
+
+TEST(ClusterEngine, NoFailoverConfigStillFailsFast) {
+  // failover = false restores the seed's fail-fast contract even under
+  // kReplicate: a death with chunks in flight surfaces as
+  // NodeFailureError naming the node, never a hang.
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(2);
+  cfg.placement = index::Placement::kReplicate;
+  cfg.failover = false;
+  const auto index = ClusterEngine(cfg).build(fx.keys);
+  const auto client = index->connect();
+  std::vector<rank_t> warm;
+  client->wait(client->submit(fx.queries, &warm));
+  expect_exact(warm, "pre-kill");
+
+  cluster_kill_node_for_test(*index, 0);
+  bool failed = false;
+  for (int attempt = 0; attempt < 200 && !failed; ++attempt) {
+    std::vector<rank_t> ranks;
+    const Ticket t = client->submit(fx.queries, &ranks);
+    try {
+      client->wait(t);
+    } catch (const NodeFailureError& e) {
+      failed = true;
+      EXPECT_EQ(e.node(), 0u);
+    }
+  }
+  EXPECT_TRUE(failed) << "failover=false must keep fail-fast semantics";
+}
+
+// --- Re-join: DEAD -> JOINING -> ALIVE with shards re-scattered -----------
+
+bool wait_for_status(const core::Index& index, std::uint32_t node,
+                     NodeStatus want) {
+  for (int i = 0; i < 800; ++i) {
+    if (cluster_node_status(index, node) == want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+TEST(ClusterEngine, KillRejoinRescatterServeLifecycle) {
+  // The full recovery story on the placement with NO surviving replica:
+  // kill a node (its shards become unservable), watch the detector mark
+  // it DEAD, re-admit it via cluster_rejoin_node (fresh link, join
+  // handshake, chunked shard re-scatter), then serve rank-verified
+  // queries through it again — all in one index lifetime.
+  const auto& fx = fixture();
+  const auto index = ClusterEngine(quick_config(3)).build(fx.keys);
+  const auto client = index->connect();
+  std::vector<rank_t> warm;
+  client->wait(client->submit(fx.queries, &warm));
+  expect_exact(warm, "pre-kill");
+
+  cluster_kill_node_for_test(*index, 1);
+  ASSERT_TRUE(wait_for_status(*index, 1, NodeStatus::kDead))
+      << "heartbeat timeout never fired";
+  // Its shards are gone: a batch routed at them fails fast.
+  {
+    std::vector<rank_t> ranks;
+    EXPECT_THROW(client->wait(client->submit(fx.queries, &ranks)),
+                 NodeFailureError);
+  }
+
+  ASSERT_TRUE(cluster_rejoin_node(*index, 1));
+  EXPECT_EQ(cluster_node_status(*index, 1), NodeStatus::kAlive);
+
+  // Back in rotation: exact ranks through the re-scattered replicas,
+  // and the report carries the recovery events.
+  std::vector<rank_t> after;
+  const RunReport report = client->wait(client->submit(fx.queries, &after));
+  expect_exact(after, "post-rejoin");
+  EXPECT_EQ(report.rejoins, 1u);
+  EXPECT_GT(report.recovery_ns, 0u);
+
+  // Events are harvested exactly once.
+  std::vector<rank_t> again;
+  const RunReport next = client->wait(client->submit(fx.queries, &again));
+  expect_exact(again, "post-rejoin steady state");
+  EXPECT_EQ(next.rejoins, 0u);
+}
+
+TEST(ClusterEngine, RejoinAfterFailoverRestoresFullRotation) {
+  // Under kReplicate the death was invisible; the re-join still brings
+  // the node back as a failover target and routing peer.
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(2);
+  cfg.placement = index::Placement::kReplicate;
+  cfg.retry_backoff_us = 2'000;
+  const auto index = ClusterEngine(cfg).build(fx.keys);
+  const auto client = index->connect();
+
+  cluster_kill_node_for_test(*index, 0);
+  ASSERT_TRUE(wait_for_status(*index, 0, NodeStatus::kDead));
+  std::vector<rank_t> degraded;
+  client->wait(client->submit(fx.queries, &degraded));
+  expect_exact(degraded, "one-replica degraded serving");
+
+  ASSERT_TRUE(cluster_rejoin_node(*index, 0));
+  std::vector<rank_t> restored;
+  const RunReport report = client->wait(client->submit(fx.queries, &restored));
+  expect_exact(restored, "restored rotation");
+  EXPECT_EQ(report.rejoins, 1u);
+}
+
+// --- Fault soak: drop + delay + duplicate + corrupt under load ------------
+
+std::uint64_t fault_seed() {
+  if (const char* s = std::getenv("DICI_FAULT_SEED"))
+    return std::strtoull(s, nullptr, 0);
+  return 0x5eed;
+}
+
+TEST(ClusterEngine, FaultSoakDropDelayCorruptEveryRankExact) {
+  // A seeded storm on every link — frames dropped, delivered late,
+  // delivered twice, and payload-corrupted in BOTH directions — while
+  // batches stream through. The retry/dedup machinery must converge
+  // every batch to exact ranks; the report must show the recovery work.
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(3);
+  cfg.placement = index::Placement::kReplicate;
+  cfg.retry_backoff_us = 2'000;
+  cfg.faults.seed = fault_seed();
+  cfg.faults.to_node = {.drop = 0.05, .delay = 0.03, .duplicate = 0.05,
+                        .corrupt = 0.05};
+  cfg.faults.to_coordinator = {.drop = 0.05, .delay = 0.03, .duplicate = 0.05,
+                               .corrupt = 0.05};
+  const auto index = ClusterEngine(cfg).build(fx.keys);
+  const auto client = index->connect();
+
+  std::uint64_t retries = 0;
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<rank_t> ranks;
+    const RunReport report = client->wait(client->submit(fx.queries, &ranks));
+    expect_exact(ranks, "fault soak");
+    retries += report.retries;
+  }
+  EXPECT_GT(retries, 0u) << "a 5% drop rate must have cost some retries "
+                            "(seed " << cfg.faults.seed << ")";
+
+  const auto controller = cluster_fault_controller(*index);
+  ASSERT_NE(controller, nullptr);
+  const net::FaultStats stats = controller->stats();
+  EXPECT_GT(stats.dropped + stats.corrupted + stats.delayed +
+                stats.duplicated,
+            0u);
+
+  // Heal and confirm the cluster serves a clean batch afterwards.
+  controller->heal();
+  std::vector<rank_t> clean;
+  client->wait(client->submit(fx.queries, &clean));
+  expect_exact(clean, "post-heal");
+}
+
+TEST(ClusterEngine, FaultPartitionHealsBeforeTimeoutAndBatchCompletes) {
+  // A short full partition (shorter than the heartbeat timeout): every
+  // frame in both directions black-holed, then the wire restored. The
+  // in-flight batch must complete exactly via retries — no death, no
+  // error, just a latency bubble.
+  const auto& fx = fixture();
+  ClusterConfig cfg = quick_config(2);
+  cfg.placement = index::Placement::kReplicate;
+  cfg.heartbeat_timeout_ms = 500;  // outlives the bubble below
+  cfg.retry_backoff_us = 2'000;
+  cfg.faults.armed = false;  // no random faults; the partition is manual
+  cfg.faults.to_node.drop = 1.0;  // rates only bite while armed
+  const auto index = ClusterEngine(cfg).build(fx.keys);
+  const auto controller = cluster_fault_controller(*index);
+  ASSERT_NE(controller, nullptr);
+  const auto client = index->connect();
+
+  controller->partition(true);
+  std::vector<rank_t> ranks;
+  const Ticket t = client->submit(fx.queries, &ranks);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  controller->partition(false);
+  client->wait(t);
+  expect_exact(ranks, "post-partition");
+  EXPECT_EQ(cluster_node_status(*index, 0), NodeStatus::kAlive);
+  EXPECT_EQ(cluster_node_status(*index, 1), NodeStatus::kAlive);
+}
+
+TEST(ClusterEngine, FaultControllerNullWithoutFaultConfig) {
+  const auto& fx = fixture();
+  const auto index = ClusterEngine(quick_config(2)).build(fx.keys);
+  EXPECT_EQ(cluster_fault_controller(*index), nullptr);
+}
+
 // --- Config guard rails ---------------------------------------------------
 
 TEST(ClusterEngineDeath, RejectsClusterIncompatibleConfigs) {
@@ -278,6 +511,11 @@ TEST(ClusterEngineDeath, RejectsClusterIncompatibleConfigs) {
     ClusterConfig cfg;
     cfg.heartbeat_timeout_ms = cfg.heartbeat_interval_ms;  // < 2x interval
     EXPECT_DEATH(ClusterEngine{cfg}, "twice");
+  }
+  {
+    ClusterConfig cfg;
+    cfg.retry_backoff_us = 0;  // the sweeper would spin
+    EXPECT_DEATH(ClusterEngine{cfg}, "retry_backoff_us");
   }
   {
     ExperimentConfig cfg;

@@ -129,6 +129,46 @@ TEST(ReportInvariants, MergePreservesIdleFractionAtZeroMakespan) {
   EXPECT_DOUBLE_EQ(a.slave_idle_fraction, before);
 }
 
+// The recovery counters (cluster backend) are plain event counts:
+// merge() must ADD them, never max/overwrite, so a client's total()
+// over a faulty stream equals the sum of its per-batch reports.
+TEST(ReportInvariants, MergeAddsRecoveryCounters) {
+  RunReport acc;
+  acc.method = Method::kC3;
+  acc.retries = 3;
+  acc.failovers = 1;
+  acc.rejoins = 1;
+  acc.recovery_ns = 5'000'000;
+
+  RunReport batch;
+  batch.method = Method::kC3;
+  batch.retries = 7;
+  batch.failovers = 2;
+  batch.rejoins = 0;
+  batch.recovery_ns = 0;
+  acc.merge(batch);
+  EXPECT_EQ(acc.retries, 10u);
+  EXPECT_EQ(acc.failovers, 3u);
+  EXPECT_EQ(acc.rejoins, 1u);
+  EXPECT_EQ(acc.recovery_ns, 5'000'000u);
+
+  RunReport rejoin_batch;
+  rejoin_batch.method = Method::kC3;
+  rejoin_batch.rejoins = 1;
+  rejoin_batch.recovery_ns = 2'000'000;
+  acc.merge(rejoin_batch);
+  EXPECT_EQ(acc.rejoins, 2u);
+  EXPECT_EQ(acc.recovery_ns, 7'000'000u);
+
+  // A healthy run contributes zeros and the totals are untouched.
+  RunReport healthy;
+  healthy.method = Method::kC3;
+  acc.merge(healthy);
+  EXPECT_EQ(acc.retries, 10u);
+  EXPECT_EQ(acc.failovers, 3u);
+  EXPECT_EQ(acc.rejoins, 2u);
+}
+
 TEST(ReportInvariants, BusyPlusIdleBoundsFinishOnSlaves) {
   const auto& fx = fixture();
   ExperimentConfig cfg;

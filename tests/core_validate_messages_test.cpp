@@ -61,6 +61,18 @@ TEST_F(ValidateDeath, AllMastersNoSlaveNamesBothFields) {
   EXPECT_DEATH(validate(cfg), "num_nodes = 3 with num_masters = 3");
 }
 
+TEST_F(ValidateDeath, RetryKnobsNameFieldAndValue) {
+  auto cfg = good_config();
+  cfg.max_retries = 1001;
+  EXPECT_DEATH(validate(cfg), "max_retries = 1001");
+  auto low = good_config();
+  low.retry_backoff_us = 50;
+  EXPECT_DEATH(validate(low), "retry_backoff_us = 50");
+  auto high = good_config();
+  high.retry_backoff_us = 20'000'000;
+  EXPECT_DEATH(validate(high), "retry_backoff_us = 20000000");
+}
+
 TEST_F(ValidateDeath, NativeFlushPolicyNamesFieldAndValue) {
   auto cfg = good_config();
   cfg.flush_policy = FlushPolicy::kPerSlaveThreshold;

@@ -1,0 +1,250 @@
+// FaultInjectingEndpoint contract: deterministic per-seed schedules,
+// each failure mode observable from the receiving end exactly as a real
+// flaky link would present it (drop = silence, corrupt = kCorrupt with
+// a clean stream after, duplicate = two arrivals, delay = late
+// arrival), and the FaultController switchboard (arm/heal/partition)
+// flipping injection at runtime.
+#include "src/net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/transport.hpp"
+#include "src/net/wire.hpp"
+
+namespace dici::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Frame ping(std::uint64_t i) {
+  QueryBatchMsg msg;
+  msg.submission = i;
+  msg.chunk = static_cast<std::uint32_t>(i);
+  msg.keys = {static_cast<key_t>(i), static_cast<key_t>(i + 1)};
+  msg.ids = {0, 1};
+  return encode_query_batch(kCoordinatorId, msg);
+}
+
+/// One ring link whose coordinator->node direction is decorated.
+struct Rig {
+  std::shared_ptr<FaultController> controller;
+  std::unique_ptr<Endpoint> sender;  ///< decorated
+  std::unique_ptr<Endpoint> receiver;
+
+  Rig(const FaultRates& rates, std::uint64_t seed, bool armed = true) {
+    auto [coordinator, node] = make_transport_pair(TransportKind::kRing, 4096);
+    controller = std::make_shared<FaultController>();
+    if (armed) controller->arm();
+    sender = std::make_unique<FaultInjectingEndpoint>(
+        std::move(coordinator), controller,
+        FaultInjectingEndpoint::Direction::kToNode, rates, seed);
+    receiver = std::move(node);
+  }
+};
+
+TEST(Fault, SameSeedSameSchedule) {
+  const FaultRates rates{.drop = 0.2, .delay = 0.0, .duplicate = 0.1,
+                         .corrupt = 0.15};
+  FaultStats stats[2];
+  for (int run = 0; run < 2; ++run) {
+    Rig rig(rates, /*seed=*/0xabcdef);
+    for (std::uint64_t i = 0; i < 500; ++i)
+      ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+    stats[run] = rig.controller->stats();
+  }
+  EXPECT_EQ(stats[0].dropped, stats[1].dropped);
+  EXPECT_EQ(stats[0].duplicated, stats[1].duplicated);
+  EXPECT_EQ(stats[0].corrupted, stats[1].corrupted);
+  EXPECT_EQ(stats[0].forwarded, stats[1].forwarded);
+  EXPECT_GT(stats[0].dropped, 0u);  // the schedule actually fired
+  EXPECT_GT(stats[0].corrupted, 0u);
+}
+
+TEST(Fault, DifferentSeedsDifferentSchedules) {
+  const FaultRates rates{.drop = 0.5};
+  std::vector<std::uint64_t> first_drop;
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    Rig rig(rates, seed);
+    std::string error;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+      Frame got;
+      if (rig.receiver->recv(&got, 10ms, &error) ==
+          Endpoint::RecvResult::kTimeout) {
+        first_drop.push_back(i);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(first_drop.size(), 2u);
+  EXPECT_NE(first_drop[0], first_drop[1]);
+}
+
+TEST(Fault, DropRateIsStatisticallyHonored) {
+  const FaultRates rates{.drop = 0.3};
+  Rig rig(rates, 7);
+  constexpr std::uint64_t kFrames = 2000;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+  const FaultStats stats = rig.controller->stats();
+  // Binomial(2000, 0.3): mean 600, sd ~20. Six sigma on either side.
+  EXPECT_GT(stats.dropped, 480u);
+  EXPECT_LT(stats.dropped, 720u);
+  // Everything not dropped arrived.
+  std::uint64_t arrived = 0;
+  Frame got;
+  std::string error;
+  while (rig.receiver->recv(&got, 10ms, &error) ==
+         Endpoint::RecvResult::kFrame)
+    ++arrived;
+  EXPECT_EQ(arrived, kFrames - stats.dropped);
+}
+
+TEST(Fault, CorruptAlwaysSurfacesAsCorruptFrames) {
+  const FaultRates rates{.corrupt = 1.0};
+  Rig rig(rates, 11);
+  constexpr std::uint64_t kFrames = 50;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+  std::string error;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    Frame got;
+    EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+              Endpoint::RecvResult::kCorrupt)
+        << "frame " << i;
+  }
+  EXPECT_EQ(rig.controller->stats().corrupted, kFrames);
+}
+
+TEST(Fault, DuplicateDeliversTwice) {
+  const FaultRates rates{.duplicate = 1.0};
+  Rig rig(rates, 13);
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  std::string error;
+  for (int copy = 0; copy < 2; ++copy) {
+    Frame got;
+    ASSERT_EQ(rig.receiver->recv(&got, 1s, &error),
+              Endpoint::RecvResult::kFrame)
+        << "copy " << copy << ": " << error;
+    QueryBatchMsg m;
+    ASSERT_TRUE(decode_query_batch(got, &m, &error)) << error;
+    EXPECT_EQ(m.submission, 0u);
+  }
+  Frame got;
+  EXPECT_EQ(rig.receiver->recv(&got, 20ms, &error),
+            Endpoint::RecvResult::kTimeout);
+  EXPECT_EQ(rig.controller->stats().duplicated, 1u);
+}
+
+TEST(Fault, DelayedFramesStillArrive) {
+  const FaultRates rates{.delay = 1.0, .delay_ns = 5'000'000};  // <= 5ms late
+  Rig rig(rates, 17);
+  constexpr std::uint64_t kFrames = 20;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+  std::string error;
+  std::uint64_t arrived = 0;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    Frame got;
+    if (rig.receiver->recv(&got, 1s, &error) == Endpoint::RecvResult::kFrame)
+      ++arrived;
+  }
+  EXPECT_EQ(arrived, kFrames);
+  EXPECT_EQ(rig.controller->stats().delayed, kFrames);
+}
+
+TEST(Fault, HealedInjectorPassesEverythingThrough) {
+  const FaultRates rates{.drop = 1.0};  // would eat every frame if armed
+  Rig rig(rates, 19, /*armed=*/false);
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kFrame)
+      << error;
+  EXPECT_EQ(rig.controller->stats().dropped, 0u);
+
+  // arm() turns the faucet: now the same rate eats the frame.
+  rig.controller->arm();
+  ASSERT_EQ(rig.sender->send(ping(1), 1s), Endpoint::SendResult::kOk);
+  EXPECT_EQ(rig.receiver->recv(&got, 20ms, &error),
+            Endpoint::RecvResult::kTimeout);
+
+  // heal() restores the clean wire.
+  rig.controller->heal();
+  ASSERT_EQ(rig.sender->send(ping(2), 1s), Endpoint::SendResult::kOk);
+  EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kFrame)
+      << error;
+}
+
+TEST(Fault, PartitionBlackHolesEvenWhenHealed) {
+  // Partition cuts the wire regardless of armed(): zero rates, healed
+  // controller — and still nothing gets through until the partition
+  // lifts.
+  Rig rig(FaultRates{}, 23, /*armed=*/false);
+  rig.controller->partition(true);
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.receiver->recv(&got, 20ms, &error),
+            Endpoint::RecvResult::kTimeout);
+  EXPECT_EQ(rig.controller->stats().dropped, 1u);
+
+  rig.controller->partition(false);
+  ASSERT_EQ(rig.sender->send(ping(1), 1s), Endpoint::SendResult::kOk);
+  EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kFrame)
+      << error;
+
+  // heal() also lifts a partition (the one-call "make it all stop").
+  rig.controller->partition(true);
+  rig.controller->heal();
+  EXPECT_FALSE(rig.controller->partitioned());
+}
+
+TEST(Fault, FaultyPairDecoratesBothDirections) {
+  FaultConfig config;
+  config.seed = 31;
+  config.to_node.corrupt = 1.0;
+  config.to_coordinator.drop = 1.0;
+  FaultyPair pair = make_faulty_transport_pair(TransportKind::kRing, config);
+  ASSERT_NE(pair.controller, nullptr);
+  EXPECT_TRUE(pair.controller->armed());
+
+  // coordinator -> node: corrupted.
+  ASSERT_EQ(pair.coordinator->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(pair.node->recv(&got, 1s, &error), Endpoint::RecvResult::kCorrupt);
+
+  // node -> coordinator: dropped.
+  ASSERT_EQ(pair.node->send(ping(1), 1s), Endpoint::SendResult::kOk);
+  EXPECT_EQ(pair.coordinator->recv(&got, 20ms, &error),
+            Endpoint::RecvResult::kTimeout);
+
+  const FaultStats stats = pair.controller->stats();
+  EXPECT_EQ(stats.corrupted, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(Fault, StatsCountPerDirectionIntoOneTotal) {
+  const FaultRates rates{.drop = 1.0};
+  Rig rig(rates, 37);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+  const FaultStats stats = rig.controller->stats();
+  EXPECT_EQ(stats.dropped, 5u);
+  EXPECT_EQ(stats.forwarded, 0u);
+  EXPECT_EQ(stats.corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace dici::net

@@ -80,6 +80,7 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
     BuildShardMsg msg;
     msg.shard = 6;
     msg.global_offset = 40'000;
+    msg.chunk = 3;
     msg.last = true;
     msg.keys = {1, 5, 9, 1u << 30};
     const Frame f = encode_build_shard(kCoordinatorId, msg);
@@ -87,6 +88,7 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
     ASSERT_TRUE(decode_build_shard(f, &m, &error)) << error;
     EXPECT_EQ(m.shard, 6u);
     EXPECT_EQ(m.global_offset, 40'000u);
+    EXPECT_EQ(m.chunk, 3u);
     EXPECT_TRUE(m.last);
     EXPECT_EQ(m.keys, msg.keys);
   }
@@ -102,6 +104,7 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
     QueryBatchMsg msg;
     msg.submission = 41;
     msg.shard = kGlobalShard;
+    msg.chunk = 17;
     msg.keys = {10, 20, 30};
     msg.ids = {2, 0, 1};
     const Frame f = encode_query_batch(kCoordinatorId, msg);
@@ -109,6 +112,7 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
     ASSERT_TRUE(decode_query_batch(f, &m, &error)) << error;
     EXPECT_EQ(m.submission, 41u);
     EXPECT_EQ(m.shard, kGlobalShard);
+    EXPECT_EQ(m.chunk, 17u);
     EXPECT_EQ(m.keys, msg.keys);
     EXPECT_EQ(m.ids, msg.ids);
   }
@@ -116,12 +120,14 @@ TEST(Wire, EveryMessageTypeRoundTrips) {
     RankBatchMsg msg;
     msg.submission = 41;
     msg.shard = 3;
+    msg.chunk = 17;
     msg.busy_ns = 5555;
     msg.ids = {2, 0, 1};
     msg.ranks = {7, 8, 9};
     const Frame f = encode_rank_batch(1, msg);
     RankBatchMsg m;
     ASSERT_TRUE(decode_rank_batch(f, &m, &error)) << error;
+    EXPECT_EQ(m.chunk, 17u);
     EXPECT_EQ(m.busy_ns, 5555u);
     EXPECT_EQ(m.ids, msg.ids);
     EXPECT_EQ(m.ranks, msg.ranks);
@@ -177,7 +183,7 @@ TEST(Wire, RejectsVersionMismatchNamingBothVersions) {
   EXPECT_FALSE(decode_frame(bytes, &out, &error));
   EXPECT_NE(error.find("version"), std::string::npos) << error;
   EXPECT_NE(error.find("127"), std::string::npos) << error;  // theirs
-  EXPECT_NE(error.find("1"), std::string::npos) << error;    // ours
+  EXPECT_NE(error.find("2"), std::string::npos) << error;    // ours
 }
 
 TEST(Wire, RejectsUnknownMessageType) {
@@ -227,12 +233,12 @@ TEST(Wire, RejectsLyingElementCountWithoutAllocating) {
   msg.keys = {1, 2};
   msg.ids = {0, 1};
   Frame f = encode_query_batch(0, msg);
-  // keys count lives right after submission(8) + shard(4).
+  // keys count lives right after submission(8) + shard(4) + chunk(4).
   const std::uint32_t lie = 1'000'000'000;
-  f.payload[12] = static_cast<std::uint8_t>(lie);
-  f.payload[13] = static_cast<std::uint8_t>(lie >> 8);
-  f.payload[14] = static_cast<std::uint8_t>(lie >> 16);
-  f.payload[15] = static_cast<std::uint8_t>(lie >> 24);
+  f.payload[16] = static_cast<std::uint8_t>(lie);
+  f.payload[17] = static_cast<std::uint8_t>(lie >> 8);
+  f.payload[18] = static_cast<std::uint8_t>(lie >> 16);
+  f.payload[19] = static_cast<std::uint8_t>(lie >> 24);
   QueryBatchMsg out;
   std::string error;
   EXPECT_FALSE(decode_query_batch(f, &out, &error));
@@ -264,6 +270,51 @@ TEST(Wire, RejectsHeaderPayloadLengthDisagreement) {
   std::string error;
   EXPECT_FALSE(decode_heartbeat(f, &out, &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --- Checksums and epochs (wire v2) ---------------------------------------
+
+TEST(Wire, EncodersSealAVerifiableChecksum) {
+  QueryBatchMsg msg;
+  msg.submission = 11;
+  msg.keys = {4, 8, 15, 16, 23, 42};
+  msg.ids = {0, 1, 2, 3, 4, 5};
+  Frame f = encode_query_batch(kCoordinatorId, msg);
+  EXPECT_EQ(f.header.checksum, wire_checksum(f.payload));
+  EXPECT_TRUE(frame_checksum_ok(f));
+  // seq and epoch are stamped OUTSIDE the sum: changing them must not
+  // invalidate a sealed frame (the transport stamps seq per send, the
+  // coordinator re-stamps epoch per retry).
+  f.header.seq = 999;
+  f.header.epoch = 7;
+  EXPECT_TRUE(frame_checksum_ok(f));
+  // One flipped payload bit is caught.
+  f.payload[f.payload.size() / 2] ^= 0x01;
+  EXPECT_FALSE(frame_checksum_ok(f));
+}
+
+TEST(Wire, EmptyPayloadChecksumHolds) {
+  const Frame f = encode_shutdown(kCoordinatorId);
+  EXPECT_TRUE(frame_checksum_ok(f));
+}
+
+TEST(Transport, EpochSurvivesTheWireAndSeqIsStamped) {
+  for (const TransportKind kind :
+       {TransportKind::kRing, TransportKind::kSocket}) {
+    auto [coordinator, node] = make_transport_pair(kind, 16);
+    Frame f = encode_heartbeat(3, {.send_ns = 1});
+    f.header.epoch = 42;
+    ASSERT_EQ(coordinator->send(f, 1s), Endpoint::SendResult::kOk);
+    Frame got;
+    std::string error;
+    ASSERT_EQ(node->recv(&got, 1s, &error), Endpoint::RecvResult::kFrame)
+        << transport_name(kind) << ": " << error;
+    // The endpoint stamps ONLY seq; the caller's epoch and the sealed
+    // checksum cross untouched.
+    EXPECT_EQ(got.header.epoch, 42u) << transport_name(kind);
+    EXPECT_EQ(got.header.seq, 0u) << transport_name(kind);
+    EXPECT_TRUE(frame_checksum_ok(got)) << transport_name(kind);
+  }
 }
 
 // --- Transports carry identical bytes -------------------------------------
@@ -304,6 +355,29 @@ TEST(Transport, BothKindsCarryIdenticalFrames) {
     const SendStats stats = coordinator->send_stats();
     EXPECT_EQ(stats.messages, 100u);
     EXPECT_GT(stats.bytes, 100 * kFrameHeaderBytes);
+  }
+}
+
+TEST(Transport, CorruptPayloadIsReportedAndStreamStaysClean) {
+  // A frame whose payload was damaged after sealing (what the fault
+  // injector's corrupt mode does) must surface as kCorrupt — consumed,
+  // diagnosed, and the NEXT frame must arrive intact.
+  for (const TransportKind kind :
+       {TransportKind::kRing, TransportKind::kSocket}) {
+    auto [coordinator, node] = make_transport_pair(kind, 16);
+    Frame damaged = test_frame(0);
+    damaged.payload[3] ^= 0xff;  // post-seal damage
+    ASSERT_EQ(coordinator->send(damaged, 1s), Endpoint::SendResult::kOk);
+    ASSERT_EQ(coordinator->send(test_frame(1), 1s), Endpoint::SendResult::kOk);
+    Frame got;
+    std::string error;
+    EXPECT_EQ(node->recv(&got, 1s, &error), Endpoint::RecvResult::kCorrupt)
+        << transport_name(kind);
+    ASSERT_EQ(node->recv(&got, 1s, &error), Endpoint::RecvResult::kFrame)
+        << transport_name(kind) << ": " << error;
+    QueryBatchMsg m;
+    ASSERT_TRUE(decode_query_batch(got, &m, &error)) << error;
+    EXPECT_EQ(m.submission, 1u) << transport_name(kind);
   }
 }
 
