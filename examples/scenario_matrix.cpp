@@ -130,7 +130,8 @@ int main(int argc, char** argv) {
   cli.add_string("backends", "comma list of "
                  "sim|native|parallel-native|cluster, or 'all'", "all");
   cli.add_string("transport", "frame transport for cluster cells: "
-                 "ring|socket", "ring");
+                 "ring|socket|fork|tcp (fork/tcp spawn real dici_node "
+                 "processes)", "ring");
   cli.add_string("kernels", "comma list of search kernels (see "
                  "fast_search.hpp), or 'all'", "all");
   cli.add_string("placements", "comma list of "
@@ -174,11 +175,8 @@ int main(int argc, char** argv) {
     return 2;
   if (!parse_placements(cli.get_string("placements"), &options.placements))
     return 2;
-  if (!net::transport_parse(cli.get_string("transport"), &options.transport)) {
-    std::fprintf(stderr, "unknown transport '%s' (want ring|socket)\n",
-                 cli.get_string("transport").c_str());
-    return 2;
-  }
+  options.transport =
+      net::transport_from_flag(cli.get_string("transport"), "--transport");
   options.numa_nodes = static_cast<std::uint32_t>(
       std::max<std::int64_t>(0, cli.get_int("numa-nodes")));
   if (!parse_write_fractions(cli.get_string("write-fractions"),

@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "src/cluster/node.hpp"
+#include "src/cluster/process_node.hpp"
 #include "src/core/dispatch.hpp"
 #include "src/index/delta.hpp"
 #include "src/index/partitioner.hpp"
+#include "src/net/fd_endpoint.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
@@ -277,11 +279,10 @@ class ClusterIndex : public Index {
       controller_ = std::make_shared<net::FaultController>();  // healed
     nodes_.reserve(N);
     for (std::uint32_t i = 0; i < N; ++i) {
-      auto [coordinator_end, node_end] = make_link(i, /*epoch=*/1);
+      auto spawned = spawn_node(i, /*epoch=*/1);
       links_[i] = std::make_unique<Link>();
-      links_[i]->endpoint = std::move(coordinator_end);
-      nodes_.push_back(std::make_unique<ClusterNode>(i, node_config(),
-                                                     std::move(node_end)));
+      links_[i]->endpoint = std::move(spawned.endpoint);
+      nodes_.push_back(std::move(spawned.peer));
     }
     join_all();
     broadcast_cluster_info();
@@ -315,7 +316,7 @@ class ClusterIndex : public Index {
     for (auto& link : links_) link->endpoint->close();
     for (auto& receiver : receivers_)
       if (receiver.joinable()) receiver.join();
-    nodes_.clear();  // joins each node's service thread
+    nodes_.clear();  // joins each service thread / reaps each child
   }
 
   const char* backend() const override {
@@ -336,6 +337,14 @@ class ClusterIndex : public Index {
   /// Test hook: silence node `i` as if its machine lost power.
   void kill_node(std::uint32_t i) const { nodes_[i]->kill(); }
 
+  /// The spawned children's pids (empty for in-process transports).
+  std::vector<int> node_pids() const {
+    std::vector<int> pids;
+    for (const auto& node : nodes_)
+      if (node != nullptr && node->pid() > 0) pids.push_back(node->pid());
+    return pids;
+  }
+
   bool rejoin_node(std::uint32_t i) const;
 
   std::unique_ptr<Client::Completion> submit_batch(
@@ -349,13 +358,16 @@ class ClusterIndex : public Index {
     return shard % config_.num_nodes;
   }
 
-  NodeConfig node_config() const {
-    NodeConfig node;
-    node.kernel = config_.kernel;
-    node.interleave_width = config_.interleave_width;
-    node.heartbeat_interval_ms = config_.heartbeat_interval_ms;
-    node.num_nodes = config_.num_nodes;
-    return node;
+  /// The wire-carried node configuration (sent as kNodeConfig right
+  /// after each join ack — same frame whether the node is a thread here
+  /// or an exec'd dici_node).
+  net::NodeConfigMsg node_config_msg() const {
+    net::NodeConfigMsg msg;
+    msg.kernel = static_cast<std::uint8_t>(config_.kernel);
+    msg.interleave_width = config_.interleave_width;
+    msg.heartbeat_interval_ms = config_.heartbeat_interval_ms;
+    msg.num_nodes = config_.num_nodes;
+    return msg;
   }
 
   std::chrono::milliseconds send_timeout() const {
@@ -393,6 +405,70 @@ class ClusterIndex : public Index {
         net::FaultInjectingEndpoint::Direction::kToCoordinator,
         config_.faults.to_coordinator, to_coordinator_seed);
     return {std::move(coordinator), std::move(node)};
+  }
+
+  /// Fault decoration for a process link, where only the coordinator's
+  /// end of the wire lives in this address space: the node-bound rates
+  /// inject on send (as usual), and the coordinator-bound rates inject
+  /// at INTAKE (Mode::kRecvSide) on the same endpoint — so the child's
+  /// traffic faces the same schedule an in-process node's would,
+  /// drawn from the identical node/epoch-salted seeds.
+  std::unique_ptr<net::Endpoint> decorate_coordinator_end(
+      std::unique_ptr<net::Endpoint> raw, std::uint32_t i,
+      std::uint32_t epoch) const {
+    if (controller_ == nullptr) return raw;
+    std::uint64_t state =
+        config_.faults.seed ^ (0x9e3779b97f4a7c15ull * (i + 1) + epoch);
+    const std::uint64_t to_node_seed = splitmix64(state);
+    const std::uint64_t to_coordinator_seed = splitmix64(state);
+    auto intake = std::make_unique<net::FaultInjectingEndpoint>(
+        std::move(raw), controller_,
+        net::FaultInjectingEndpoint::Direction::kToCoordinator,
+        config_.faults.to_coordinator, to_coordinator_seed,
+        net::FaultInjectingEndpoint::Mode::kRecvSide);
+    return std::make_unique<net::FaultInjectingEndpoint>(
+        std::move(intake), controller_,
+        net::FaultInjectingEndpoint::Direction::kToNode,
+        config_.faults.to_node, to_node_seed);
+  }
+
+  /// One node slot, spawned per the configured transport: the
+  /// coordinator's (fault-decorated) endpoint plus the peer handle it
+  /// can kill and destroy. Shared by the constructor and re-join, so a
+  /// re-joined process node is a genuinely fresh child.
+  struct SpawnedNode {
+    std::unique_ptr<net::Endpoint> endpoint;
+    std::unique_ptr<NodePeer> peer;
+  };
+
+  SpawnedNode spawn_node(std::uint32_t i, std::uint32_t epoch) const {
+    if (net::transport_is_process(config_.transport)) {
+      const std::string binary = config_.node_binary.empty()
+                                     ? ProcessNode::default_binary()
+                                     : config_.node_binary;
+      std::unique_ptr<net::Endpoint> raw;
+      std::unique_ptr<NodePeer> peer;
+      if (config_.transport == net::TransportKind::kFork) {
+        int fds[2];
+        net::cloexec_socketpair(fds);
+        peer = ProcessNode::spawn_fd(binary, i, fds[1]);
+        raw = std::make_unique<net::FdEndpoint>(fds[0]);
+      } else {
+        net::TcpListener listener;
+        peer = ProcessNode::spawn_connect(binary, i, listener.port());
+        std::string error;
+        raw = listener.accept(kBuildTimeout, &error);
+        DICI_CHECK_FMT(raw != nullptr,
+                       "cluster build: spawned node %u never connected back "
+                       "to the coordinator's listener (%s)",
+                       i, error.c_str());
+      }
+      return {decorate_coordinator_end(std::move(raw), i, epoch),
+              std::move(peer)};
+    }
+    auto [coordinator_end, node_end] = make_link(i, epoch);
+    return {std::move(coordinator_end),
+            std::make_unique<ClusterNode>(i, std::move(node_end))};
   }
 
   // --- Build phase (constructor, and re-join's re-scatter) ----------------
@@ -445,6 +521,11 @@ class ClusterIndex : public Index {
       }
       send_control(i, net::encode_join_ack(net::kCoordinatorId,
                                            {i, config_.num_nodes}));
+      // The wire IS the configuration channel: an exec'd dici_node
+      // learns its kernel/cadence/cluster size from this frame, and an
+      // in-process node takes the identical path.
+      send_control(
+          i, net::encode_node_config(net::kCoordinatorId, node_config_msg()));
       std::lock_guard lock(membership_mu_);
       membership_.transition(i, NodeStatus::kAck);
     }
@@ -906,6 +987,11 @@ class ClusterIndex : public Index {
                                                 {i, config_.num_nodes}),
                            epoch))
       return false;
+    if (!send_rejoin_frame(i,
+                           net::encode_node_config(net::kCoordinatorId,
+                                                   node_config_msg()),
+                           epoch))
+      return false;
     {
       std::lock_guard lock(membership_mu_);
       membership_.transition(i, NodeStatus::kAck);
@@ -941,7 +1027,7 @@ class ClusterIndex : public Index {
   mutable std::mutex membership_mu_;
   mutable Membership membership_;
   mutable std::vector<std::unique_ptr<Link>> links_;
-  mutable std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  mutable std::vector<std::unique_ptr<NodePeer>> nodes_;
   std::shared_ptr<net::FaultController> controller_;  ///< null: no faults
   std::shared_ptr<RecoveryLedger> ledger_;
   mutable std::mutex subs_mu_;
@@ -980,16 +1066,15 @@ bool ClusterIndex::rejoin_node(std::uint32_t i) const {
   const bool rearm = controller_ != nullptr && controller_->armed();
   if (controller_ != nullptr) controller_->heal();
 
-  auto [coordinator_end, node_end] = make_link(i, epoch);
+  auto spawned = spawn_node(i, epoch);
   {
     // `dead` is still true, so no sender touches the endpoint while it
     // is swapped; the handshake below is the link's only user until the
     // node is ALIVE again.
     std::lock_guard lock(links_[i]->tx);
-    links_[i]->endpoint = std::move(coordinator_end);
+    links_[i]->endpoint = std::move(spawned.endpoint);
   }
-  nodes_[i] =
-      std::make_unique<ClusterNode>(i, node_config(), std::move(node_end));
+  nodes_[i] = std::move(spawned.peer);
 
   const bool ok = rejoin_handshake(i, epoch);
   if (rearm) controller_->arm();
@@ -1266,6 +1351,10 @@ NodeStatus cluster_node_status(const core::Index& index, std::uint32_t node) {
   const ClusterIndex* cluster = as_cluster(index, "cluster_node_status");
   check_node_range(*cluster, node, "cluster_node_status");
   return cluster->node_status(node);
+}
+
+std::vector<int> cluster_node_pids(const core::Index& index) {
+  return as_cluster(index, "cluster_node_pids")->node_pids();
 }
 
 std::shared_ptr<net::FaultController> cluster_fault_controller(

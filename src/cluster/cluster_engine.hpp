@@ -9,10 +9,13 @@
 // length-prefixed kQueryBatch frame on a net::Endpoint and its answers
 // come back as a kRankBatch frame that a per-node receiver thread
 // scatters into the caller's out_ranks by query id (the
-// order-preserving merge). Two transports plug into the seam — the
-// in-process SpscRing pair and a UNIX-domain socketpair — and both
-// carry identical bytes, so bench_cluster can put a real number on what
-// LinkModel::message_ps simulates.
+// order-preserving merge). Four transports plug into the seam — the
+// in-process SpscRing pair, a UNIX-domain socketpair, a socketpair
+// inherited across fork/exec into a spawned dici_node child (kFork),
+// and a loopback TCP connection to a spawned child (kTcp) — and all
+// four carry identical wire-v2 bytes, so bench_cluster can put a real
+// number on what LinkModel::message_ps simulates, and the SAME test
+// suite runs against threads and against real processes.
 //
 // Placement (reusing the index/placement vocabulary):
 //   kInterleave / kNodeLocal — shard s lives on node s % N. On a wire
@@ -54,6 +57,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "src/cluster/membership.hpp"
 #include "src/core/engine.hpp"
@@ -98,6 +102,10 @@ struct ClusterConfig {
   std::uint32_t heartbeat_timeout_ms = 250;
   /// In-flight frame capacity per direction of a kRing link.
   std::size_t ring_frames = 1024;
+  /// The dici_node binary the process transports (kFork/kTcp) spawn.
+  /// Empty = the DICI_NODE_BIN env override if set, else "dici_node"
+  /// next to the running executable (ProcessNode::default_binary).
+  std::string node_binary;
   bool track_latency = false;
   /// Re-sends of an unanswered chunk to the SAME node before the
   /// coordinator gives up on that assignment and considers failover.
@@ -165,6 +173,13 @@ bool cluster_rejoin_node(const core::Index& index, std::uint32_t node);
 /// observability — e.g. polling for kDead after a kill, or kAlive after
 /// a re-join). Aborts on a non-cluster index or out-of-range node.
 NodeStatus cluster_node_status(const core::Index& index, std::uint32_t node);
+
+/// The pids of the spawned dici_node children backing a cluster built
+/// with a process transport (kFork/kTcp) — empty for the in-process
+/// transports. Test observability: after the index is destroyed, every
+/// returned pid must be gone (kill(pid, 0) == ESRCH), or the reaper
+/// leaked a zombie. Aborts on a non-cluster index.
+std::vector<int> cluster_node_pids(const core::Index& index);
 
 /// The live fault switchboard shared by every link of a cluster built
 /// with ClusterConfig::faults enabled — arm()/heal()/partition() flip

@@ -21,38 +21,65 @@ constexpr auto kControlTimeout = 10s;
 
 }  // namespace
 
-ClusterNode::ClusterNode(std::uint32_t id, const NodeConfig& config,
-                         std::unique_ptr<net::Endpoint> link)
-    : id_(id), config_(config), link_(std::move(link)),
-      membership_(config.num_nodes) {
-  DICI_CHECK(link_ != nullptr);
-  thread_ = std::thread([this] { serve(); });
+NodeService::NodeService(std::uint32_t id, net::Endpoint& link)
+    : id_(id), link_(link) {}
+
+void NodeService::run() {
+  if (!join()) return;
+  if (!await_config()) return;
+  serve();
 }
 
-ClusterNode::~ClusterNode() {
-  link_->close();
-  thread_.join();
-}
-
-void ClusterNode::serve() {
-  // Join handshake: announce, then wait for the ack before serving.
+bool NodeService::join() {
+  // Join handshake: announce, then wait for the ack before anything.
   const net::Frame join = net::encode_join_request(id_, {id_});
-  if (link_->send(join, kControlTimeout) != net::Endpoint::SendResult::kOk)
-    return;
-  {
+  if (link_.send(join, kControlTimeout) != net::Endpoint::SendResult::kOk)
+    return false;
+  net::Frame frame;
+  std::string error;
+  if (link_.recv(&frame, kControlTimeout, &error) !=
+      net::Endpoint::RecvResult::kFrame)
+    return false;
+  net::JoinAckMsg ack;
+  if (!net::decode_join_ack(frame, &ack, &error) || ack.node_id != id_)
+    return false;
+  epoch_ = std::max(epoch_, frame.header.epoch);
+  return true;
+}
+
+bool NodeService::await_config() {
+  // The coordinator sends kNodeConfig right after the ack — the wire IS
+  // the configuration channel, for exec'd children and in-process nodes
+  // alike. Anything else here is a protocol breach.
+  for (;;) {
     net::Frame frame;
     std::string error;
-    if (link_->recv(&frame, kControlTimeout, &error) !=
-        net::Endpoint::RecvResult::kFrame)
-      return;
-    net::JoinAckMsg ack;
-    if (!net::decode_join_ack(frame, &ack, &error) || ack.node_id != id_)
-      return;
+    switch (link_.recv(&frame, kControlTimeout, &error)) {
+      case net::Endpoint::RecvResult::kFrame:
+        break;
+      case net::Endpoint::RecvResult::kCorrupt:
+        continue;  // wire damage ate one frame; keep waiting
+      default:
+        return false;
+    }
+    if (frame.header.msg_type() != net::MsgType::kNodeConfig) return false;
+    net::NodeConfigMsg msg;
+    if (!net::decode_node_config(frame, &msg, &error)) return false;
+    // The wire promised only a byte; the kernel menu decides validity.
+    const auto kernel = static_cast<index::SearchKernel>(msg.kernel);
+    if (!index::search_kernel_valid(kernel)) return false;
+    if (msg.num_nodes == 0) return false;
     epoch_ = std::max(epoch_, frame.header.epoch);
+    kernel_ = kernel;
+    if (msg.interleave_width >= 1) interleave_width_ = msg.interleave_width;
+    heartbeat_interval_ms_ = std::max<std::uint32_t>(1u, msg.heartbeat_interval_ms);
+    membership_ = Membership(msg.num_nodes);
+    return true;
   }
+}
 
-  const auto interval =
-      std::chrono::milliseconds(config_.heartbeat_interval_ms);
+void NodeService::serve() {
+  const auto interval = std::chrono::milliseconds(heartbeat_interval_ms_);
   auto last_heartbeat = std::chrono::steady_clock::now() - interval;
   for (;;) {
     if (killed_.load(std::memory_order_acquire)) return;  // silent hang
@@ -64,7 +91,7 @@ void ClusterNode::serve() {
       net::Frame beat = net::encode_heartbeat(
           id_, {static_cast<std::uint64_t>(ns)});
       beat.header.epoch = epoch_;
-      if (link_->send(beat, kControlTimeout) !=
+      if (link_.send(beat, kControlTimeout) !=
           net::Endpoint::SendResult::kOk)
         return;
       last_heartbeat = now;
@@ -72,7 +99,7 @@ void ClusterNode::serve() {
 
     net::Frame frame;
     std::string error;
-    switch (link_->recv(&frame, interval, &error)) {
+    switch (link_.recv(&frame, interval, &error)) {
       case net::Endpoint::RecvResult::kTimeout:
         continue;  // loop sends the next heartbeat
       case net::Endpoint::RecvResult::kCorrupt:
@@ -104,14 +131,15 @@ void ClusterNode::serve() {
       case net::MsgType::kShutdown:
         return;
       default:
-        // A frame type a serving node never receives: protocol breach —
+        // A frame type a serving node never receives mid-serve
+        // (kNodeConfig included — bootstrap only): protocol breach —
         // stop answering and let the coordinator's timeout name us dead.
         return;
     }
   }
 }
 
-bool ClusterNode::handle_build_shard(const net::Frame& frame) {
+bool NodeService::handle_build_shard(const net::Frame& frame) {
   net::BuildShardMsg msg;
   std::string error;
   if (!net::decode_build_shard(frame, &msg, &error)) return false;
@@ -131,7 +159,7 @@ bool ClusterNode::handle_build_shard(const net::Frame& frame) {
     // Finalize: the kernels that probe BFS order need the layout built
     // once per replica, exactly like PlacedShards does for the parallel
     // backend's shard copies.
-    if (index::kernel_layout(config_.kernel) == index::KeyLayout::kEytzinger) {
+    if (index::kernel_layout(kernel_) == index::KeyLayout::kEytzinger) {
       for (auto& [shard, replica] : replicas_)
         if (replica.layout == nullptr)
           replica.layout =
@@ -142,13 +170,13 @@ bool ClusterNode::handle_build_shard(const net::Frame& frame) {
     ack.replica_keys = replica_keys_.load(std::memory_order_acquire);
     net::Frame reply = net::encode_build_ack(id_, ack);
     reply.header.epoch = epoch_;
-    if (link_->send(reply, kControlTimeout) != net::Endpoint::SendResult::kOk)
+    if (link_.send(reply, kControlTimeout) != net::Endpoint::SendResult::kOk)
       return false;
   }
   return true;
 }
 
-bool ClusterNode::handle_query_batch(const net::Frame& frame) {
+bool NodeService::handle_query_batch(const net::Frame& frame) {
   net::QueryBatchMsg msg;
   std::string error;
   if (!net::decode_query_batch(frame, &msg, &error)) return false;
@@ -169,15 +197,27 @@ bool ClusterNode::handle_query_batch(const net::Frame& frame) {
                             // chunk these answers settle
   reply.ids = std::move(msg.ids);
   reply.ranks.resize(msg.keys.size());
-  index::resolve_batch(config_.kernel, replica.keys, replica.layout.get(),
-                       msg.keys, reply.ranks.data(),
-                       config_.interleave_width);
+  index::resolve_batch(kernel_, replica.keys, replica.layout.get(),
+                       msg.keys, reply.ranks.data(), interleave_width_);
   for (rank_t& r : reply.ranks) r += replica.global_offset;
   reply.busy_ns = static_cast<std::uint64_t>(busy.elapsed_ns());
 
   net::Frame out = net::encode_rank_batch(id_, reply);
   out.header.epoch = epoch_;
-  return link_->send(out, kControlTimeout) == net::Endpoint::SendResult::kOk;
+  return link_.send(out, kControlTimeout) == net::Endpoint::SendResult::kOk;
+}
+
+// --- ClusterNode (the in-process peer) ------------------------------------
+
+ClusterNode::ClusterNode(std::uint32_t id, std::unique_ptr<net::Endpoint> link)
+    : id_(id), link_(std::move(link)), service_(id, *link_) {
+  DICI_CHECK(link_ != nullptr);
+  thread_ = std::thread([this] { service_.run(); });
+}
+
+ClusterNode::~ClusterNode() {
+  link_->close();
+  thread_.join();
 }
 
 }  // namespace dici::cluster

@@ -1,0 +1,84 @@
+// dici_node — one cluster serving node as a standalone process.
+//
+// The coordinator (ClusterEngine with a fork/tcp transport) spawns one
+// of these per node slot. Everything the node needs beyond its identity
+// and its link arrives over the wire (kNodeConfig), so the argv surface
+// is exactly the bootstrap:
+//
+//   dici_node --id N --fd 3                   fork transport: serve the
+//                                             inherited socketpair fd
+//   dici_node --id N --connect 127.0.0.1:PORT tcp transport: connect
+//                                             back to the coordinator
+//
+// Exit is driven by the protocol: kShutdown, a closed link (the
+// coordinator died or tore the index down), or a breach. As a backstop,
+// PR_SET_PDEATHSIG delivers SIGKILL if the parent vanishes without
+// closing — a child never outlives its coordinator.
+
+#include <signal.h>
+#include <sys/prctl.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/cluster/node.hpp"
+#include "src/net/fd_endpoint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N (--fd FD | --connect HOST:PORT)\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long id = -1;
+  long fd = -1;
+  std::string connect_to;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--id" && i + 1 < argc) {
+      id = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--fd" && i + 1 < argc) {
+      fd = std::strtol(argv[++i], nullptr, 10);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_to = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (id < 0 || (fd < 0) == connect_to.empty()) return usage(argv[0]);
+
+  // If the coordinator dies without closing our link (SIGKILL'd itself,
+  // crashed pre-close), die with it rather than linger as an orphan.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+
+  std::unique_ptr<dici::net::Endpoint> link;
+  if (fd >= 0) {
+    link = std::make_unique<dici::net::FdEndpoint>(static_cast<int>(fd));
+  } else {
+    const auto colon = connect_to.rfind(':');
+    if (colon == std::string::npos) return usage(argv[0]);
+    const std::string host = connect_to.substr(0, colon);
+    const long port = std::strtol(connect_to.c_str() + colon + 1, nullptr, 10);
+    if (port <= 0 || port > 65535) return usage(argv[0]);
+    std::string error;
+    link = dici::net::tcp_connect(host, static_cast<std::uint16_t>(port),
+                                  std::chrono::seconds(10), &error);
+    if (link == nullptr) {
+      std::fprintf(stderr, "dici_node %ld: %s\n", id, error.c_str());
+      return 1;
+    }
+  }
+
+  dici::cluster::NodeService service(static_cast<std::uint32_t>(id), *link);
+  service.run();
+  return 0;
+}

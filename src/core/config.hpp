@@ -137,8 +137,12 @@ struct ExperimentConfig {
   // nodes behind a net::Transport. The other backends ignore all three.
 
   /// How frames physically move between coordinator and nodes: the
-  /// in-process SpscRing pair, or a UNIX-domain socketpair (same bytes
-  /// either way — the ring is not allowed to pass pointers).
+  /// in-process SpscRing pair, a UNIX-domain socketpair, a socketpair
+  /// inherited across fork/exec by a spawned dici_node process (kFork),
+  /// or a loopback TCP connection to a spawned process (kTcp). Same
+  /// wire-v2 bytes in all four — the ring is not allowed to pass
+  /// pointers, so crossing a process boundary changes nothing above
+  /// the transport.
   net::TransportKind transport = net::TransportKind::kRing;
   /// Node -> coordinator heartbeat cadence. Must be >= 1 (validated).
   std::uint32_t heartbeat_interval_ms = 25;

@@ -1,13 +1,24 @@
 // Deterministic fault injection over any net::Endpoint.
 //
-// FaultInjectingEndpoint decorates an Endpoint and perturbs its SEND
-// side: every outgoing frame is independently dropped, delayed,
-// duplicated, and/or payload-corrupted according to per-direction rates
-// drawn from a seeded xoshiro stream — the same seed always produces
-// the same schedule of decisions, so every failure a test or bench
-// observes is reproducible. Injecting only on send keeps one source of
-// randomness per direction (decorate both ends of a pair and you cover
-// both directions) and means the receive path needs no special cases.
+// FaultInjectingEndpoint decorates an Endpoint and perturbs one side of
+// the traffic, chosen by Mode:
+//
+//  * kSendSide (the default) — every outgoing frame is independently
+//    dropped, delayed, duplicated, and/or payload-corrupted according
+//    to per-direction rates drawn from a seeded xoshiro stream — the
+//    same seed always produces the same schedule of decisions, so every
+//    failure a test or bench observes is reproducible. Decorate both
+//    ends of an in-process pair and you cover both directions.
+//  * kRecvSide — the same four decisions applied to frames as they
+//    ARRIVE (send is a pass-through). This exists for the process
+//    transports (fork/tcp), where the node end of the link lives in a
+//    spawned child and cannot be decorated: the coordinator's endpoint
+//    is double-decorated instead — an inner kRecvSide injector playing
+//    the node→coordinator direction at intake, wrapped by an outer
+//    kSendSide injector playing coordinator→node on the way out. The
+//    decision schedule is a pure function of (seed, arrival index), so
+//    runs are reproducible per-receive-order rather than per-send-order
+//    — the soak tests assert convergence, not schedule equality.
 //
 // Failure modes and how the system above survives them:
 //   drop      — frame vanishes (returns kOk to the caller, like a
@@ -132,11 +143,15 @@ class FaultController {
 class FaultInjectingEndpoint final : public Endpoint {
  public:
   enum class Direction { kToNode, kToCoordinator };
+  /// Which side of the traffic the four decisions apply to (see the
+  /// header comment; kRecvSide is for links whose far end is a spawned
+  /// process).
+  enum class Mode { kSendSide, kRecvSide };
 
   FaultInjectingEndpoint(std::unique_ptr<Endpoint> inner,
                          std::shared_ptr<FaultController> controller,
                          Direction direction, const FaultRates& rates,
-                         std::uint64_t seed);
+                         std::uint64_t seed, Mode mode = Mode::kSendSide);
   ~FaultInjectingEndpoint() override;
 
   SendResult send(const Frame& frame,

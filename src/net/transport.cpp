@@ -1,18 +1,13 @@
 #include "src/net/transport.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/net/fd_endpoint.hpp"
 #include "src/net/spsc_ring.hpp"
 #include "src/util/assert.hpp"
 
@@ -182,142 +177,11 @@ class RingEndpoint final : public Endpoint {
   std::atomic<std::uint64_t> stats_bytes_{0};
 };
 
-// --- Socket transport -----------------------------------------------------
-
-/// One side of a UNIX-domain SOCK_STREAM socketpair. The fd is kept
-/// blocking-off so poll() bounds every wait; writes use MSG_NOSIGNAL so
-/// a dead peer surfaces as EPIPE (→ kClosed), never SIGPIPE.
-class SocketEndpoint final : public Endpoint {
- public:
-  explicit SocketEndpoint(int fd) : fd_(fd) {}
-
-  ~SocketEndpoint() override {
-    close();
-    ::close(fd_);  // fd released only here, so a racing send/recv can
-                   // never hit a recycled descriptor
-  }
-
-  SendResult send(const Frame& frame, std::chrono::nanoseconds timeout) override {
-    FrameHeader header = frame.header;
-    header.seq = seq_++;
-    std::vector<std::uint8_t> bytes(kFrameHeaderBytes + frame.payload.size());
-    encode_frame_header(header, bytes.data());
-    if (!frame.payload.empty()) {
-      std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
-                  frame.payload.size());
-    }
-
-    const auto deadline = Clock::now() + timeout;
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-      if (closed_.load(std::memory_order_acquire)) return SendResult::kClosed;
-      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                               MSG_NOSIGNAL | MSG_DONTWAIT);
-      if (n > 0) {
-        sent += static_cast<std::size_t>(n);
-        continue;
-      }
-      if (n < 0 && (errno == EPIPE || errno == ECONNRESET || errno == EBADF))
-        return SendResult::kClosed;
-      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
-        return SendResult::kClosed;
-      if (!poll_for(POLLOUT, deadline)) return SendResult::kTimeout;
-    }
-    stats_messages_.fetch_add(1, std::memory_order_relaxed);
-    stats_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
-    return SendResult::kOk;
-  }
-
-  RecvResult recv(Frame* frame, std::chrono::nanoseconds timeout,
-                  std::string* error) override {
-    const auto deadline = Clock::now() + timeout;
-    // Phase 1: a full header. Phase 2: the payload it promises. A
-    // header that fails the bounds checks poisons the stream (we can no
-    // longer find frame boundaries), so it is kError, not a skip.
-    while (buffer_.size() < kFrameHeaderBytes) {
-      const auto r = fill(deadline);
-      if (r != RecvResult::kFrame) return r;
-    }
-    FrameHeader header;
-    if (!decode_frame_header(buffer_, &header, error)) return RecvResult::kError;
-    const std::size_t total = kFrameHeaderBytes + header.payload_bytes;
-    while (buffer_.size() < total) {
-      const auto r = fill(deadline);
-      if (r != RecvResult::kFrame) return r;
-    }
-    frame->header = header;
-    frame->payload.assign(buffer_.begin() + kFrameHeaderBytes,
-                          buffer_.begin() + static_cast<std::ptrdiff_t>(total));
-    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total));
-    if (!frame_checksum_ok(*frame)) {
-      // The header was valid, so the frame boundary is trustworthy: the
-      // damaged frame is already consumed from the buffer and the next
-      // recv starts clean at the following header.
-      *error = checksum_error(frame->header);
-      return RecvResult::kCorrupt;
-    }
-    return RecvResult::kFrame;
-  }
-
-  void close() override {
-    bool expected = false;
-    if (closed_.compare_exchange_strong(expected, true)) {
-      // Shut down both directions so blocked poll()s on either end
-      // return promptly. The fd itself is released in the destructor.
-      ::shutdown(fd_, SHUT_RDWR);
-    }
-  }
-
-  SendStats send_stats() const override {
-    return {stats_messages_.load(std::memory_order_relaxed),
-            stats_bytes_.load(std::memory_order_relaxed)};
-  }
-
- private:
-  /// Pull more bytes into buffer_, waiting (bounded) for readability.
-  /// Returns kFrame when progress was made.
-  RecvResult fill(Clock::time_point deadline) {
-    if (closed_.load(std::memory_order_acquire)) return RecvResult::kClosed;
-    std::uint8_t chunk[64 << 10];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
-    if (n > 0) {
-      buffer_.insert(buffer_.end(), chunk, chunk + n);
-      return RecvResult::kFrame;
-    }
-    if (n == 0) return RecvResult::kClosed;  // orderly peer shutdown
-    if (errno == ECONNRESET || errno == EBADF) return RecvResult::kClosed;
-    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
-      return RecvResult::kClosed;
-    if (!poll_for(POLLIN, deadline)) return RecvResult::kTimeout;
-    return RecvResult::kFrame;  // readable (or racing close) — loop retries
-  }
-
-  /// Wait for `events` on fd_ until `deadline`; false on timeout.
-  bool poll_for(short events, Clock::time_point deadline) {
-    for (;;) {
-      const auto now = Clock::now();
-      if (now >= deadline) return false;
-      const auto left =
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-      struct pollfd pfd = {fd_, events, 0};
-      const int ms = static_cast<int>(std::min<std::int64_t>(
-          std::max<std::int64_t>(left.count(), 1), 60'000));
-      const int rc = ::poll(&pfd, 1, ms);
-      if (rc > 0) return true;
-      if (rc < 0 && errno != EINTR && errno != EAGAIN) return true;
-      // timeout slice or EINTR: loop re-checks the deadline
-    }
-  }
-
-  int fd_;
-  std::atomic<bool> closed_{false};
-  std::vector<std::uint8_t> buffer_;  // partial-frame reassembly
-  std::uint64_t seq_ = 0;
-  std::atomic<std::uint64_t> stats_messages_{0};
-  std::atomic<std::uint64_t> stats_bytes_{0};
-};
-
 }  // namespace
+
+// The fd-backed endpoint (the socket/fork/tcp transports) lives in
+// fd_endpoint.{hpp,cpp} — one implementation of poll timeouts, partial
+// I/O framing, and EINTR retry shared by every descriptor transport.
 
 const char* transport_name(TransportKind kind) {
   switch (kind) {
@@ -325,6 +189,10 @@ const char* transport_name(TransportKind kind) {
       return "ring";
     case TransportKind::kSocket:
       return "socket";
+    case TransportKind::kFork:
+      return "fork";
+    case TransportKind::kTcp:
+      return "tcp";
   }
   return "unknown";
 }
@@ -338,7 +206,23 @@ bool transport_parse(const std::string& text, TransportKind* kind) {
     *kind = TransportKind::kSocket;
     return true;
   }
+  if (text == "fork") {
+    *kind = TransportKind::kFork;
+    return true;
+  }
+  if (text == "tcp") {
+    *kind = TransportKind::kTcp;
+    return true;
+  }
   return false;
+}
+
+TransportKind transport_from_flag(const std::string& text, const char* field) {
+  TransportKind kind = TransportKind::kRing;
+  DICI_CHECK_FMT(transport_parse(text, &kind),
+                 "%s = \"%s\" is not a transport (want %s)", field,
+                 text.c_str(), kTransportChoices);
+  return kind;
 }
 
 std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>
@@ -352,13 +236,30 @@ make_transport_pair(TransportKind kind, std::size_t ring_frames) {
                                                  &link->to_node);
       return {std::move(coordinator), std::move(node)};
     }
-    case TransportKind::kSocket: {
+    case TransportKind::kSocket:
+    case TransportKind::kFork: {
+      // Mechanically the same link: a CLOEXEC socketpair. kFork's node
+      // end is normally inherited by a spawned child (cluster layer);
+      // in-process it prices identically to kSocket.
       int fds[2] = {-1, -1};
-      const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
-      DICI_CHECK_FMT(rc == 0, "socketpair failed: errno=%d (%s)", errno,
-                     std::strerror(errno));
-      return {std::make_unique<SocketEndpoint>(fds[0]),
-              std::make_unique<SocketEndpoint>(fds[1])};
+      cloexec_socketpair(fds);
+      return {std::make_unique<FdEndpoint>(fds[0]),
+              std::make_unique<FdEndpoint>(fds[1])};
+    }
+    case TransportKind::kTcp: {
+      // Loopback listener + connector in one thread: the connect lands
+      // in the listener's backlog, so accept() after connect() is safe
+      // without concurrency.
+      TcpListener listener;
+      std::string error;
+      auto node = tcp_connect("127.0.0.1", listener.port(),
+                              std::chrono::seconds(10), &error);
+      DICI_CHECK_FMT(node != nullptr, "tcp pair connect failed: %s",
+                     error.c_str());
+      auto coordinator = listener.accept(std::chrono::seconds(10), &error);
+      DICI_CHECK_FMT(coordinator != nullptr, "tcp pair accept failed: %s",
+                     error.c_str());
+      return {std::move(coordinator), std::move(node)};
     }
   }
   DICI_CHECK(false);

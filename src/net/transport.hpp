@@ -2,7 +2,7 @@
 // cluster coordinator and a node.
 //
 // An Endpoint is one side of a bidirectional, ordered, reliable link
-// that carries whole wire.hpp Frames. Two implementations, chosen by
+// that carries whole wire.hpp Frames. Four implementations, chosen by
 // TransportKind:
 //
 //  * kRing   — an in-process pair of SpscRing<byte-buffer> pipes with
@@ -12,12 +12,22 @@
 //              coordinator's process but their states share NOTHING —
 //              only serialized bytes cross the pipe. ~100ns/message.
 //  * kSocket — a UNIX-domain socketpair (SOCK_STREAM): the kernel
-//              carries the bytes, so the two ends could be forked into
-//              separate processes without changing a line above the
-//              seam. 1-2µs/message syscall overhead; bench_cluster
-//              measures the gap against LinkModel::message_ps.
+//              carries the bytes between two in-process ends.
+//              1-2µs/message syscall overhead; bench_cluster measures
+//              the gap against LinkModel::message_ps.
+//  * kFork   — the same socketpair, but the node end is inherited
+//              across fork/exec by a spawned dici_node process
+//              (src/cluster/process_node.hpp). Identical bytes and
+//              syscall cost to kSocket; what changes is that the peer
+//              can now REALLY die (SIGKILL closes its fds, the
+//              coordinator sees kClosed).
+//  * kTcp    — loopback TCP: the coordinator listens on 127.0.0.1:0,
+//              spawns the child with `--connect host:port`, and accepts
+//              with a deadline (fd_endpoint.hpp's TcpListener). The
+//              rung below multi-host: same connector code would reach a
+//              remote address.
 //
-// Both transports move the SAME encode_frame() bytes and feed the same
+// All four transports move the SAME encode_frame() bytes and feed the same
 // bounds-checked decoders — the ring doesn't get to cheat by passing
 // pointers. Failure semantics are explicit results, never exceptions:
 // a send to a full/dead peer times out or reports closed, which the
@@ -40,12 +50,26 @@ namespace dici::net {
 
 enum class TransportKind : std::uint8_t {
   kRing,    ///< in-process SpscRing byte pipes
-  kSocket,  ///< UNIX-domain socketpair
+  kSocket,  ///< UNIX-domain socketpair, both ends in-process
+  kFork,    ///< socketpair inherited by a fork/exec'd dici_node child
+  kTcp,     ///< loopback TCP listener/connector to a dici_node child
 };
 
 const char* transport_name(TransportKind kind);
-/// Parse "ring" / "socket"; false on anything else.
+/// Parse "ring" / "socket" / "fork" / "tcp"; false on anything else.
 bool transport_parse(const std::string& text, TransportKind* kind);
+/// The valid spellings, for diagnostics and CLI help.
+inline constexpr const char* kTransportChoices = "ring|socket|fork|tcp";
+/// Parse or abort with a field+value diagnostic enumerating the valid
+/// set (the DICI_CHECK_FMT house style) — for config/CLI surfaces where
+/// an unknown transport is a caller bug, not a recoverable condition.
+TransportKind transport_from_flag(const std::string& text, const char* field);
+
+/// Do the two ends of this transport live in different processes (the
+/// node end served by a spawned dici_node child)?
+constexpr bool transport_is_process(TransportKind kind) {
+  return kind == TransportKind::kFork || kind == TransportKind::kTcp;
+}
 
 struct SendStats {
   std::uint64_t messages = 0;
@@ -89,8 +113,12 @@ class Endpoint {
 
 /// A connected pair of endpoints: `first` is the coordinator side,
 /// `second` the node side. `ring_frames` bounds the in-flight frame
-/// count per direction for kRing (ignored by kSocket, where the kernel
-/// socket buffer is the bound).
+/// count per direction for kRing (ignored by the fd transports, where
+/// the kernel socket buffer is the bound). For kFork/kTcp this builds
+/// the IN-PROCESS analogue of the link (the same fds/sockets, nobody
+/// spawned) — the mechanism bench_cluster's ping-pong uses to price a
+/// transport without paying process-scheduling noise; the cluster layer
+/// does the actual spawning (src/cluster/process_node.hpp).
 std::pair<std::unique_ptr<Endpoint>, std::unique_ptr<Endpoint>>
 make_transport_pair(TransportKind kind, std::size_t ring_frames = 1024);
 

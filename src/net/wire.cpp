@@ -105,7 +105,7 @@ class Reader {
 
 bool known_type(std::uint16_t type) {
   return type >= static_cast<std::uint16_t>(MsgType::kJoinRequest) &&
-         type <= static_cast<std::uint16_t>(MsgType::kShutdown);
+         type <= static_cast<std::uint16_t>(MsgType::kNodeConfig);
 }
 
 Frame make_frame(std::uint32_t src, MsgType type,
@@ -175,6 +175,8 @@ const char* msg_type_name(MsgType type) {
       return "rank_batch";
     case MsgType::kShutdown:
       return "shutdown";
+    case MsgType::kNodeConfig:
+      return "node_config";
   }
   return "unknown";
 }
@@ -352,6 +354,26 @@ bool decode_heartbeat(const Frame& frame, HeartbeatMsg* msg,
   Reader reader(frame.payload);
   reader.read_u64(&msg->send_ns);
   return finish(reader, MsgType::kHeartbeat, error);
+}
+
+Frame encode_node_config(std::uint32_t src, const NodeConfigMsg& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(msg.kernel);
+  put_u32(payload, msg.interleave_width);
+  put_u32(payload, msg.heartbeat_interval_ms);
+  put_u32(payload, msg.num_nodes);
+  return make_frame(src, MsgType::kNodeConfig, std::move(payload));
+}
+
+bool decode_node_config(const Frame& frame, NodeConfigMsg* msg,
+                        std::string* error) {
+  if (!check_frame(frame, MsgType::kNodeConfig, error)) return false;
+  Reader reader(frame.payload);
+  reader.read_u8(&msg->kernel);
+  reader.read_u32(&msg->interleave_width);
+  reader.read_u32(&msg->heartbeat_interval_ms);
+  reader.read_u32(&msg->num_nodes);
+  return finish(reader, MsgType::kNodeConfig, error);
 }
 
 // --- Build messages -------------------------------------------------------

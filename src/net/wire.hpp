@@ -33,6 +33,12 @@
 //
 // Message vocabulary (the pocv2/Pilevisor cluster-port pattern):
 //   control  — kJoinRequest/kJoinAck (the join handshake),
+//              kNodeConfig (the coordinator's bootstrap config: a
+//              freshly exec'd dici_node process learns its kernel,
+//              interleave width, heartbeat cadence, and cluster size
+//              from this frame rather than from argv or a shared
+//              struct — in-process nodes get the identical frame so
+//              both modes run one bootstrap path),
 //              kClusterInfo (the broadcast node table),
 //              kHeartbeat, kShutdown
 //   build    — kBuildShard (a shard replica's keys scattered to its
@@ -79,6 +85,7 @@ enum class MsgType : std::uint16_t {
   kQueryBatch = 7,
   kRankBatch = 8,
   kShutdown = 9,
+  kNodeConfig = 10,
 };
 
 const char* msg_type_name(MsgType type);
@@ -170,6 +177,17 @@ struct HeartbeatMsg {
   std::uint64_t send_ns = 0;  ///< sender steady-clock, diagnostics only
 };
 
+/// The coordinator's bootstrap configuration, sent right after kJoinAck
+/// (join and re-join alike). `kernel` is core::SearchKernel carried as a
+/// byte — like ClusterInfoEntry::status the wire promises only a byte;
+/// the node validates it against the kernel menu before building.
+struct NodeConfigMsg {
+  std::uint8_t kernel = 0;
+  std::uint32_t interleave_width = 0;
+  std::uint32_t heartbeat_interval_ms = 0;
+  std::uint32_t num_nodes = 0;
+};
+
 // --- Build messages (the shard scatter) -----------------------------------
 
 struct BuildShardMsg {
@@ -218,6 +236,7 @@ Frame encode_join_request(std::uint32_t src, const JoinRequestMsg& msg);
 Frame encode_join_ack(std::uint32_t src, const JoinAckMsg& msg);
 Frame encode_cluster_info(std::uint32_t src, const ClusterInfoMsg& msg);
 Frame encode_heartbeat(std::uint32_t src, const HeartbeatMsg& msg);
+Frame encode_node_config(std::uint32_t src, const NodeConfigMsg& msg);
 Frame encode_build_shard(std::uint32_t src, const BuildShardMsg& msg);
 Frame encode_build_ack(std::uint32_t src, const BuildAckMsg& msg);
 Frame encode_query_batch(std::uint32_t src, const QueryBatchMsg& msg);
@@ -233,6 +252,8 @@ bool decode_cluster_info(const Frame& frame, ClusterInfoMsg* msg,
                          std::string* error);
 bool decode_heartbeat(const Frame& frame, HeartbeatMsg* msg,
                       std::string* error);
+bool decode_node_config(const Frame& frame, NodeConfigMsg* msg,
+                        std::string* error);
 bool decode_build_shard(const Frame& frame, BuildShardMsg* msg,
                         std::string* error);
 bool decode_build_ack(const Frame& frame, BuildAckMsg* msg,

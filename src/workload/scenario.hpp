@@ -182,7 +182,8 @@ struct MatrixOptions {
   /// rank-verified like any other, pinning the "placement moves bytes,
   /// never answers" invariant.
   std::vector<core::Placement> placements = {core::Placement::kInterleave};
-  /// Frame transport cluster cells run over (ring | socket); the other
+  /// Frame transport cluster cells run over (ring | socket | fork |
+  /// tcp — the last two spawn real dici_node processes); the other
   /// backends never serialize a frame and ignore it.
   net::TransportKind transport = net::TransportKind::kRing;
   /// Forced NUMA node count for the native engines' topology (0 =

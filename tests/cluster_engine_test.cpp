@@ -11,8 +11,11 @@
 // and a seeded drop/delay/duplicate/corrupt storm on every link still
 // converges every batch to exact ranks.
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -78,8 +81,12 @@ void expect_exact(const std::vector<rank_t>& ranks, const char* tag) {
 
 TEST(ClusterEngine, RanksExactEveryPlacementAndTransport) {
   const auto& fx = fixture();
+  // The in-process transports AND the process ones: fork and tcp cells
+  // spawn three real dici_node children each, and must agree bit-exactly
+  // with the thread-backed cells on every placement.
   for (const net::TransportKind transport :
-       {net::TransportKind::kRing, net::TransportKind::kSocket}) {
+       {net::TransportKind::kRing, net::TransportKind::kSocket,
+        net::TransportKind::kFork, net::TransportKind::kTcp}) {
     for (const index::Placement placement :
          {index::Placement::kInterleave, index::Placement::kNodeLocal,
           index::Placement::kReplicate}) {
@@ -423,13 +430,22 @@ std::uint64_t fault_seed() {
   return 0x5eed;
 }
 
+/// CI's chaos matrix also soaks the process transports: the env picks
+/// the wire the storm rides on (default ring). On fork/tcp the faults
+/// bite via the coordinator end's recv-side intake decoration.
+net::TransportKind fault_transport() {
+  if (const char* s = std::getenv("DICI_FAULT_TRANSPORT"))
+    return net::transport_from_flag(s, "DICI_FAULT_TRANSPORT");
+  return net::TransportKind::kRing;
+}
+
 TEST(ClusterEngine, FaultSoakDropDelayCorruptEveryRankExact) {
   // A seeded storm on every link — frames dropped, delivered late,
   // delivered twice, and payload-corrupted in BOTH directions — while
   // batches stream through. The retry/dedup machinery must converge
   // every batch to exact ranks; the report must show the recovery work.
   const auto& fx = fixture();
-  ClusterConfig cfg = quick_config(3);
+  ClusterConfig cfg = quick_config(3, fault_transport());
   cfg.placement = index::Placement::kReplicate;
   cfg.retry_backoff_us = 2'000;
   cfg.faults.seed = fault_seed();
@@ -496,6 +512,155 @@ TEST(ClusterEngine, FaultControllerNullWithoutFaultConfig) {
   const auto& fx = fixture();
   const auto index = ClusterEngine(quick_config(2)).build(fx.keys);
   EXPECT_EQ(cluster_fault_controller(*index), nullptr);
+}
+
+// --- Real processes: SIGKILL a spawned dici_node child --------------------
+
+/// Both process transports — every suite below runs the same story over
+/// a socketpair inherited across fork/exec and a loopback TCP link.
+constexpr net::TransportKind kProcessTransports[] = {
+    net::TransportKind::kFork, net::TransportKind::kTcp};
+
+TEST(ClusterProcess, SpawnsRealChildrenAndRanksStayExact) {
+  const auto& fx = fixture();
+  for (const net::TransportKind transport : kProcessTransports) {
+    const auto index =
+        ClusterEngine(quick_config(3, transport)).build(fx.keys);
+    // Three real children, all alive (kill(pid, 0) probes existence).
+    const std::vector<int> pids = cluster_node_pids(*index);
+    ASSERT_EQ(pids.size(), 3u) << net::transport_name(transport);
+    for (const int pid : pids) {
+      EXPECT_GT(pid, 0);
+      EXPECT_NE(pid, ::getpid());
+      EXPECT_EQ(::kill(pid, 0), 0)
+          << net::transport_name(transport) << " child " << pid << " gone";
+    }
+    const auto client = index->connect();
+    std::vector<rank_t> ranks;
+    client->wait(client->submit(fx.queries, &ranks));
+    expect_exact(ranks, net::transport_name(transport));
+  }
+}
+
+TEST(ClusterProcess, SigkilledChildFailoverCompletesEveryInFlightBatch) {
+  // The acceptance bar with nothing faked: SIGKILL a real child process
+  // mid-stream under kReplicate. The coordinator sees its fds collapse
+  // (kClosed), fails the node, and re-routes every chunk the corpse
+  // left unanswered — all in-flight batches complete with exact ranks
+  // and zero caller-visible errors.
+  const auto& fx = fixture();
+  for (const net::TransportKind transport : kProcessTransports) {
+    ClusterConfig cfg = quick_config(3, transport);
+    cfg.placement = index::Placement::kReplicate;
+    cfg.retry_backoff_us = 2'000;
+    const auto index = ClusterEngine(cfg).build(fx.keys);
+    const auto client = index->connect();
+    std::vector<rank_t> warm;
+    client->wait(client->submit(fx.queries, &warm));
+    expect_exact(warm, "pre-kill");
+
+    const std::vector<int> pids = cluster_node_pids(*index);
+    ASSERT_EQ(pids.size(), 3u);
+
+    constexpr std::size_t kBatches = 12;
+    std::vector<std::vector<rank_t>> ranks(kBatches);
+    std::vector<Ticket> tickets(kBatches);
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      tickets[i] = client->submit(fx.queries, &ranks[i]);
+      if (i == 3) cluster_kill_node_for_test(*index, 1);  // real SIGKILL
+    }
+    std::uint64_t failovers = 0;
+    for (std::size_t i = 0; i < kBatches; ++i) {
+      const RunReport report = client->wait(tickets[i]);  // must not throw
+      expect_exact(ranks[i], "failover batch");
+      failovers += report.failovers;
+    }
+    EXPECT_GT(failovers, 0u)
+        << net::transport_name(transport)
+        << ": child SIGKILLed mid-stream; some chunk must have re-routed";
+    EXPECT_TRUE(wait_for_status(*index, 1, NodeStatus::kDead));
+    // The corpse is really dead (not our child to probe once reaped —
+    // but a SIGKILLed pid must at minimum no longer serve: survivors
+    // answer without it).
+    std::vector<rank_t> after;
+    client->wait(client->submit(fx.queries, &after));
+    expect_exact(after, "post-kill");
+  }
+}
+
+TEST(ClusterProcess, SigkilledChildRejoinSpawnsFreshProcess) {
+  // Re-join over a process transport is a genuinely fresh child: new
+  // pid, new link, shards re-shipped over the wire (kNodeConfig and
+  // all), then rank-exact serving through the respawned process.
+  const auto& fx = fixture();
+  for (const net::TransportKind transport : kProcessTransports) {
+    ClusterConfig cfg = quick_config(3, transport);
+    cfg.placement = index::Placement::kReplicate;
+    cfg.retry_backoff_us = 2'000;
+    const auto index = ClusterEngine(cfg).build(fx.keys);
+    const auto client = index->connect();
+    const std::vector<int> before = cluster_node_pids(*index);
+    ASSERT_EQ(before.size(), 3u);
+
+    cluster_kill_node_for_test(*index, 1);
+    ASSERT_TRUE(wait_for_status(*index, 1, NodeStatus::kDead))
+        << net::transport_name(transport);
+    std::vector<rank_t> degraded;
+    client->wait(client->submit(fx.queries, &degraded));
+    expect_exact(degraded, "degraded");
+
+    ASSERT_TRUE(cluster_rejoin_node(*index, 1))
+        << net::transport_name(transport);
+    EXPECT_EQ(cluster_node_status(*index, 1), NodeStatus::kAlive);
+    const std::vector<int> after = cluster_node_pids(*index);
+    ASSERT_EQ(after.size(), 3u);
+    EXPECT_NE(after[1], before[1])
+        << net::transport_name(transport)
+        << ": a re-join must spawn a fresh child, not resurrect the pid";
+    // The SIGKILLed incarnation was reaped when its slot was replaced.
+    EXPECT_EQ(::kill(before[1], 0), -1);
+    EXPECT_EQ(errno, ESRCH) << "old child " << before[1] << " still exists";
+
+    std::vector<rank_t> restored;
+    const RunReport report =
+        client->wait(client->submit(fx.queries, &restored));
+    expect_exact(restored, "post-rejoin");
+    EXPECT_EQ(report.rejoins, 1u);
+  }
+}
+
+TEST(ClusterProcess, TeardownReapsEveryChildNoZombies) {
+  // Destroying the index must leave NOTHING behind: every spawned child
+  // reaped (a zombie would still answer kill(pid, 0) with 0). Runs the
+  // whole lifecycle — serve, SIGKILL one child, destroy with the corpse
+  // unreaped — to pin the destructor's grace-then-reap path too.
+  const auto& fx = fixture();
+  for (const net::TransportKind transport : kProcessTransports) {
+    std::vector<int> pids;
+    {
+      const auto index =
+          ClusterEngine(quick_config(3, transport)).build(fx.keys);
+      pids = cluster_node_pids(*index);
+      ASSERT_EQ(pids.size(), 3u);
+      const auto client = index->connect();
+      std::vector<rank_t> ranks;
+      client->wait(client->submit(fx.queries, &ranks));
+      expect_exact(ranks, net::transport_name(transport));
+      cluster_kill_node_for_test(*index, 2);  // corpse left for teardown
+    }
+    for (const int pid : pids) {
+      EXPECT_EQ(::kill(pid, 0), -1)
+          << net::transport_name(transport) << " pid " << pid
+          << " survived teardown";
+      EXPECT_EQ(errno, ESRCH);
+    }
+  }
+}
+
+TEST(ClusterProcess, InProcessTransportsReportNoPids) {
+  const auto& fx = fixture();
+  const auto index = ClusterEngine(quick_config(2)).build(fx.keys);
+  EXPECT_TRUE(cluster_node_pids(*index).empty());
 }
 
 // --- Config guard rails ---------------------------------------------------

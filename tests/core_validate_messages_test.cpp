@@ -205,6 +205,26 @@ TEST_F(ValidateDeath, ClusterHeartbeatKnobsNameFieldAndValue) {
                "heartbeat_timeout_ms = 25 with heartbeat_interval_ms = 25");
 }
 
+TEST_F(ValidateDeath, BadTransportFlagNamesValueAndChoices) {
+  // The CLI-facing transport parse: a typo'd flag dies naming the bad
+  // VALUE and enumerating the full valid set, so the fix is a
+  // copy-paste away.
+  EXPECT_DEATH(net::transport_from_flag("carrier-pigeon", "--transport"),
+               "--transport = \"carrier-pigeon\" is not a transport "
+               "\\(want ring\\|socket\\|fork\\|tcp\\)");
+}
+
+TEST(ValidateAccepts, EveryTransportFlagParses) {
+  EXPECT_EQ(net::transport_from_flag("ring", "--transport"),
+            net::TransportKind::kRing);
+  EXPECT_EQ(net::transport_from_flag("socket", "--transport"),
+            net::TransportKind::kSocket);
+  EXPECT_EQ(net::transport_from_flag("fork", "--transport"),
+            net::TransportKind::kFork);
+  EXPECT_EQ(net::transport_from_flag("tcp", "--transport"),
+            net::TransportKind::kTcp);
+}
+
 // The messages gate configs the same way through make_engine, whatever
 // the backend.
 TEST_F(ValidateDeath, MakeEngineFunnelsThroughValidate) {

@@ -235,6 +235,121 @@ TEST(Fault, FaultyPairDecoratesBothDirections) {
   EXPECT_EQ(stats.dropped, 1u);
 }
 
+// --- Recv-side mode (process links: only one end lives here) --------------
+
+/// One link whose RECEIVING end is decorated in Mode::kRecvSide — the
+/// shape the coordinator uses for a fork/tcp link, where the node's end
+/// of the wire lives in another process and can't be wrapped.
+struct RecvRig {
+  std::shared_ptr<FaultController> controller;
+  std::unique_ptr<Endpoint> sender;  ///< raw (the "remote process")
+  std::unique_ptr<Endpoint> receiver;  ///< decorated at intake
+
+  explicit RecvRig(const FaultRates& rates, std::uint64_t seed = 101) {
+    auto [coordinator, node] = make_transport_pair(TransportKind::kRing, 4096);
+    controller = std::make_shared<FaultController>();
+    controller->arm();
+    receiver = std::make_unique<FaultInjectingEndpoint>(
+        std::move(coordinator), controller,
+        FaultInjectingEndpoint::Direction::kToCoordinator, rates, seed,
+        FaultInjectingEndpoint::Mode::kRecvSide);
+    sender = std::move(node);
+  }
+};
+
+TEST(Fault, RecvSideDropSwallowsArrivals) {
+  RecvRig rig(FaultRates{.drop = 1.0});
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.receiver->recv(&got, 30ms, &error),
+            Endpoint::RecvResult::kTimeout);
+  EXPECT_EQ(rig.controller->stats().dropped, 1u);
+}
+
+TEST(Fault, RecvSideCorruptSurfacesAndStreamStaysClean) {
+  RecvRig rig(FaultRates{.corrupt = 1.0});
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kCorrupt);
+  EXPECT_FALSE(error.empty());
+  // Heal: the next frame arrives intact — intake damage never wedges
+  // the framing.
+  rig.controller->heal();
+  ASSERT_EQ(rig.sender->send(ping(1), 1s), Endpoint::SendResult::kOk);
+  ASSERT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kFrame)
+      << error;
+  QueryBatchMsg m;
+  ASSERT_TRUE(decode_query_batch(got, &m, &error)) << error;
+  EXPECT_EQ(m.submission, 1u);
+}
+
+TEST(Fault, RecvSideDuplicateDeliversTwice) {
+  RecvRig rig(FaultRates{.duplicate = 1.0});
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  std::string error;
+  for (int copy = 0; copy < 2; ++copy) {
+    Frame got;
+    ASSERT_EQ(rig.receiver->recv(&got, 1s, &error),
+              Endpoint::RecvResult::kFrame)
+        << "copy " << copy << ": " << error;
+    QueryBatchMsg m;
+    ASSERT_TRUE(decode_query_batch(got, &m, &error)) << error;
+    EXPECT_EQ(m.submission, 0u);
+  }
+  Frame got;
+  EXPECT_EQ(rig.receiver->recv(&got, 20ms, &error),
+            Endpoint::RecvResult::kTimeout);
+  EXPECT_EQ(rig.controller->stats().duplicated, 1u);
+}
+
+TEST(Fault, RecvSideDelayedFramesStillArrive) {
+  RecvRig rig(FaultRates{.delay = 1.0, .delay_ns = 5'000'000});
+  constexpr std::uint64_t kFrames = 20;
+  for (std::uint64_t i = 0; i < kFrames; ++i)
+    ASSERT_EQ(rig.sender->send(ping(i), 1s), Endpoint::SendResult::kOk);
+  std::string error;
+  std::uint64_t arrived = 0;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    Frame got;
+    if (rig.receiver->recv(&got, 1s, &error) == Endpoint::RecvResult::kFrame)
+      ++arrived;
+  }
+  EXPECT_EQ(arrived, kFrames);
+  EXPECT_EQ(rig.controller->stats().delayed, kFrames);
+}
+
+TEST(Fault, RecvSideLeavesSendsAlone) {
+  // The recv-side decorator injects at INTAKE only: its own sends are a
+  // passthrough (the send-side decoration for the other direction is a
+  // separate wrapper in the real double-decorated stack).
+  RecvRig rig(FaultRates{.drop = 1.0});
+  ASSERT_EQ(rig.receiver->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.sender->recv(&got, 1s, &error), Endpoint::RecvResult::kFrame)
+      << error;
+  EXPECT_EQ(rig.controller->stats().dropped, 0u);
+}
+
+TEST(Fault, RecvSidePartitionBlackHolesArrivals) {
+  RecvRig rig(FaultRates{});
+  rig.controller->partition(true);
+  ASSERT_EQ(rig.sender->send(ping(0), 1s), Endpoint::SendResult::kOk);
+  Frame got;
+  std::string error;
+  EXPECT_EQ(rig.receiver->recv(&got, 30ms, &error),
+            Endpoint::RecvResult::kTimeout);
+  rig.controller->partition(false);
+  ASSERT_EQ(rig.sender->send(ping(1), 1s), Endpoint::SendResult::kOk);
+  EXPECT_EQ(rig.receiver->recv(&got, 1s, &error),
+            Endpoint::RecvResult::kFrame)
+      << error;
+}
+
 TEST(Fault, StatsCountPerDirectionIntoOneTotal) {
   const FaultRates rates{.drop = 1.0};
   Rig rig(rates, 37);
